@@ -1,0 +1,22 @@
+"""E10 — the noisy-sampling majority lemma (Lemma 2.11)."""
+
+from repro.experiments import e10_majority_lemma
+
+
+def test_e10_majority_lemma(benchmark, print_report):
+    report = benchmark.pedantic(
+        e10_majority_lemma.run,
+        kwargs={"epsilon": 0.2, "r0": 8.0, "monte_carlo_reps": 40_000},
+        rounds=1,
+        iterations=1,
+    )
+    print_report(report)
+
+    for row in report.rows:
+        # Lemma 2.11's lower bound holds exactly ...
+        assert row["bound_satisfied"]
+        # ... and the Monte-Carlo estimate agrees with the exact binomial value.
+        assert abs(row["monte_carlo_majority_prob"] - row["exact_majority_prob"]) < 0.02
+    # Success probability is monotone in the population bias delta.
+    exact = [row["exact_majority_prob"] for row in report.rows]
+    assert all(later >= earlier - 1e-12 for earlier, later in zip(exact, exact[1:]))

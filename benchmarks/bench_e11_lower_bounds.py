@@ -1,0 +1,27 @@
+"""E11 — lower-bound reference points (Section 1.4)."""
+
+from repro.experiments import e11_lower_bounds
+
+
+def test_e11_lower_bounds(benchmark, print_report):
+    report = benchmark.pedantic(
+        e11_lower_bounds.run,
+        kwargs={"n": 400, "epsilon": 0.25, "trials": 3},
+        rounds=1,
+        iterations=1,
+    )
+    print_report(report)
+
+    rows = {row["scheme"]: row for row in report.rows}
+    direct = rows["direct-from-source (idealised)"]
+    listen_only = rows["listen-only (silent wait, Flip model)"]
+
+    # Both reference schemes are correct (they are brute-force majorities).
+    assert direct["success_rate"] >= 0.6
+    assert listen_only["success_rate"] >= 0.6
+
+    # The idealised scheme needs Theta(log n / eps^2) rounds (within a small constant factor).
+    assert 0.2 <= direct["ratio_to_reference"] <= 5.0
+
+    # Listen-only is slower by a factor on the order of n.
+    assert listen_only["mean_rounds"] > 50 * direct["mean_rounds"]

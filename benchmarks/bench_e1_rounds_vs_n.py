@@ -1,0 +1,18 @@
+"""E1 — broadcast round complexity versus n (Theorem 2.17)."""
+
+from repro.experiments import e1_rounds_vs_n
+
+
+def test_e1_rounds_vs_n(benchmark, print_report):
+    report = benchmark.pedantic(
+        e1_rounds_vs_n.run,
+        kwargs={"sizes": (250, 500, 1000, 2000, 4000), "epsilon": 0.2, "trials": 5},
+        rounds=1,
+        iterations=1,
+    )
+    print_report(report)
+
+    # Theorem 2.17: success w.h.p. at every size, and logarithmic growth in n.
+    assert all(row["success_rate"] >= 0.8 for row in report.rows)
+    normalised = [row["rounds_over_log_n"] for row in report.rows]
+    assert max(normalised) / min(normalised) < 2.0, "rounds / log n should stay roughly constant"

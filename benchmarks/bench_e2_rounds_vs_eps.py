@@ -1,0 +1,20 @@
+"""E2 — broadcast round complexity versus epsilon (Theorem 2.17)."""
+
+from repro.experiments import e2_rounds_vs_eps
+
+
+def test_e2_rounds_vs_eps(benchmark, print_report):
+    report = benchmark.pedantic(
+        e2_rounds_vs_eps.run,
+        kwargs={"epsilons": (0.1, 0.15, 0.2, 0.3, 0.4), "n": 1000, "trials": 5},
+        rounds=1,
+        iterations=1,
+    )
+    print_report(report)
+
+    # Theorem 2.17: success w.h.p. at every noise level, 1/eps^2 growth.
+    assert all(row["success_rate"] >= 0.8 for row in report.rows)
+    normalised = [row["rounds_times_eps_sq"] for row in report.rows]
+    assert max(normalised) / min(normalised) < 3.0, "rounds * eps^2 should stay roughly constant"
+    rounds = [row["mean_rounds"] for row in report.rows]
+    assert rounds[0] > rounds[-1], "noisier channels (smaller eps) must need more rounds"

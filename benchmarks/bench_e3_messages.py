@@ -1,0 +1,20 @@
+"""E3 — total message/bit complexity (Theorem 2.17)."""
+
+from repro.experiments import e3_messages
+
+
+def test_e3_message_complexity(benchmark, print_report):
+    report = benchmark.pedantic(
+        e3_messages.run,
+        kwargs={"sizes": (500, 1000, 2000), "epsilons": (0.15, 0.25), "trials": 3},
+        rounds=1,
+        iterations=1,
+    )
+    print_report(report)
+
+    assert all(row["success_rate"] >= 0.8 for row in report.rows)
+    # Theorem 2.17: messages / (n ln n / eps^2) bounded across the grid.
+    normalised = [row["messages_over_nlogn_eps2"] for row in report.rows]
+    assert max(normalised) / min(normalised) < 3.0
+    # Every agent sends at most one bit per round.
+    assert all(row["messages_per_agent_over_rounds"] <= 1.0 + 1e-9 for row in report.rows)

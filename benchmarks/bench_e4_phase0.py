@@ -1,0 +1,20 @@
+"""E4 — Stage I phase 0: activated set size and bias (Claim 2.2)."""
+
+from repro.experiments import e4_phase0
+
+
+def test_e4_phase0(benchmark, print_report):
+    report = benchmark.pedantic(
+        e4_phase0.run,
+        kwargs={"n": 4000, "epsilons": (0.1, 0.2, 0.3), "trials": 30},
+        rounds=1,
+        iterations=1,
+    )
+    print_report(report)
+
+    for row in report.rows:
+        # Claim 2.2: beta_s/3 <= X0 <= beta_s ...
+        assert row["x0_bound_rate"] >= 0.9
+        # ... and bias at least eps/2 (empirically the bias concentrates near eps).
+        assert row["bias_bound_rate"] >= 0.9
+        assert row["mean_bias0"] >= row["claimed_min_bias"]

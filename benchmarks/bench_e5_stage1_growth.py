@@ -1,0 +1,25 @@
+"""E5 — Stage I layer growth and bias deterioration (Claims 2.4/2.8)."""
+
+from repro.experiments import e5_stage1_growth
+
+
+def test_e5_stage1_growth(benchmark, print_report):
+    report = benchmark.pedantic(
+        e5_stage1_growth.run,
+        kwargs={"n": 8000, "epsilon": 0.35, "beta_override": 8, "trials": 5},
+        rounds=1,
+        iterations=1,
+    )
+    print_report(report)
+
+    # Layer sizes X_i must grow monotonically and end with (nearly) everyone activated.
+    sizes = [row["mean_X_i"] for row in report.rows]
+    assert all(later >= earlier for earlier, later in zip(sizes, sizes[1:]))
+    assert sizes[-1] >= 0.99 * 8000
+
+    # Claim 2.8: the bias of newly activated layers stays above eps^(i+1)/2 on average.
+    for row in report.rows:
+        if row["mean_Y_i"] > 0:
+            assert row["mean_bias_eps_i"] >= row["claimed_min_bias"] * 0.5, (
+                "layer bias fell far below the Claim 2.8 floor"
+            )

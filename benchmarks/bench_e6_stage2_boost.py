@@ -1,0 +1,24 @@
+"""E6 — Stage II bias boosting (Lemmas 2.11/2.14, Corollary 2.15)."""
+
+from repro.experiments import e6_stage2_boost
+
+
+def test_e6_stage2_boost(benchmark, print_report):
+    report = benchmark.pedantic(
+        e6_stage2_boost.run,
+        kwargs={"n": 4000, "epsilon": 0.2, "trials": 8},
+        rounds=1,
+        iterations=1,
+    )
+    print_report(report)
+
+    # The bias trajectory must be (weakly) increasing until it saturates near 1/2.
+    biases = [row["mean_bias_after"] for row in report.rows]
+    assert biases[-1] >= 0.49, "Stage II must end at essentially full consensus"
+    # Early phases (bias still small) must amplify by a factor comfortably above 1.
+    early = [
+        row["amplification_vs_previous"]
+        for row in report.rows
+        if row["mean_bias_after"] < 0.3 and not row["is_final_phase"]
+    ]
+    assert all(factor >= 1.3 for factor in early), "small biases must be amplified each phase"

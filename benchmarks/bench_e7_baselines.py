@@ -1,0 +1,27 @@
+"""E7 — the paper's protocol versus naive baselines (Section 1.6)."""
+
+from repro.experiments import e7_baselines
+
+
+def test_e7_baselines(benchmark, print_report):
+    report = benchmark.pedantic(
+        e7_baselines.run,
+        kwargs={"n": 2000, "epsilons": (0.1, 0.2), "trials": 3},
+        rounds=1,
+        iterations=1,
+    )
+    print_report(report)
+
+    by_protocol = {}
+    for row in report.rows:
+        by_protocol.setdefault(row["protocol"], []).append(row)
+
+    # The paper's protocol wins: full consensus on the correct opinion.
+    assert all(row["success_rate"] >= 0.6 for row in by_protocol["breathe-before-speaking"])
+    assert all(row["mean_final_fraction"] >= 0.99 for row in by_protocol["breathe-before-speaking"])
+
+    # Section 1.6: immediate forwarding and voter dynamics stay near a coin flip.
+    for baseline in ("immediate-forwarding", "noisy-voter"):
+        for row in by_protocol[baseline]:
+            assert row["mean_final_fraction"] < 0.8
+            assert row["success_rate"] == 0.0

@@ -1,0 +1,30 @@
+"""E8 — majority-consensus feasibility region (Corollary 2.18)."""
+
+from repro.experiments import e8_majority
+
+
+def test_e8_majority_consensus(benchmark, print_report):
+    report = benchmark.pedantic(
+        e8_majority.run,
+        kwargs={
+            "n": 2000,
+            "epsilon": 0.2,
+            "set_sizes": (50, 200, 800),
+            "biases": (0.02, 0.05, 0.1, 0.2, 0.35),
+            "trials": 4,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    print_report(report)
+
+    above = [row for row in report.rows if row["above_threshold"]]
+    below = [row for row in report.rows if not row["above_threshold"]]
+    assert above, "the grid must contain configurations above the Corollary 2.18 threshold"
+    assert below, "the grid must contain configurations below the threshold"
+
+    # Corollary 2.18: above the threshold the protocol succeeds (w.h.p.).
+    assert all(row["success_rate"] >= 0.75 for row in above)
+    # The guarantee genuinely needs the threshold: well below it, success degrades.
+    weakest = [row for row in below if row["initial_bias"] <= 0.05 and row["set_size"] <= 200]
+    assert any(row["success_rate"] <= 0.75 for row in weakest)

@@ -1,0 +1,31 @@
+"""E9 — removing the global clock (Theorem 3.1)."""
+
+from repro.experiments import e9_async
+
+
+def test_e9_clock_removal(benchmark, print_report):
+    report = benchmark.pedantic(
+        e9_async.run,
+        kwargs={"n": 1000, "epsilon": 0.25, "skews": (8, 32, 128), "trials": 3},
+        rounds=1,
+        iterations=1,
+    )
+    print_report(report)
+
+    # Correctness is preserved in every variant.
+    assert all(row["success_rate"] >= 0.6 for row in report.rows)
+
+    rows_by_variant = {row["variant"]: row for row in report.rows if row["variant"] != "bounded-skew"}
+    skew_rows = [row for row in report.rows if row["variant"] == "bounded-skew"]
+
+    # The overhead grows with the skew D and stays additive (within ~2x of D * #phases).
+    overheads = [row["overhead_rounds"] for row in skew_rows]
+    assert all(later >= earlier for earlier, later in zip(overheads, overheads[1:]))
+    for row in skew_rows:
+        assert row["overhead_rounds"] <= 2.0 * row["predicted_overhead"] + 50
+
+    # Bounded-skew variants add no messages beyond sampling noise (guards are silent).
+    assert all(abs(row["message_ratio_vs_sync"] - 1.0) < 0.2 for row in skew_rows)
+
+    clock_free = rows_by_variant["clock-free (activation + guards)"]
+    assert clock_free["overhead_rounds"] <= 2.0 * clock_free["predicted_overhead"] + 100

@@ -1,0 +1,27 @@
+"""Shared configuration for the benchmark harness.
+
+Each ``bench_e*.py`` file regenerates one experiment from DESIGN.md Section 4
+by running its driver under ``pytest-benchmark`` (so wall-clock cost is
+recorded) and printing the driver's report table.  Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+
+(``-s`` shows the report tables; omit it if you only want the benchmark
+timings and the pass/fail assertions.)
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def print_report():
+    """Return a helper that prints an ExperimentReport on its own lines."""
+
+    def _print(report) -> None:
+        print()
+        print(report.render())
+        print()
+
+    return _print

@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Scenario: noisy recruitment in an ant colony (majority-consensus).
+
+The paper's introduction motivates majority-consensus with biological
+examples: ants choosing between two candidate nest sites reach consensus on
+the site favoured by the larger number of scouts, even though individual
+ant-to-ant interactions are short and unreliable (Razin et al. 2013, cited as
+[55]; Franks et al. 2002, cited as [31]).
+
+This example casts that story in the Flip model:
+
+* a colony of ``n`` ants, of which only a small set of *scouts* has visited a
+  nest site and holds an opinion (site 0 or site 1);
+* the better site has a modest majority among the scouts;
+* every interaction transmits a single bit ("my site is the good one") and is
+  misunderstood with probability ``1/2 - epsilon``.
+
+The colony runs the paper's majority-consensus protocol, and the example
+sweeps the scout majority to show the feasibility threshold of
+Corollary 2.18: with too thin a majority the colony can lock onto the wrong
+site; with a ``sqrt(log n / |A|)`` majority it reliably picks the right one.
+
+Run with::
+
+    python examples/ant_recruitment.py
+"""
+
+from __future__ import annotations
+
+from repro import solve_noisy_majority_consensus
+from repro.analysis import render_table
+from repro.core.theory import majority_consensus_min_bias
+
+COLONY_SIZE = 2000
+SCOUTS = 200
+EPSILON = 0.2  # an interaction is misread with probability 0.3
+TRIALS = 5
+
+
+def main() -> int:
+    threshold = majority_consensus_min_bias(SCOUTS, COLONY_SIZE)
+    rows = []
+    for scout_bias in (0.02, 0.05, 0.10, 0.20, 0.35):
+        successes = 0
+        rounds = 0
+        for trial in range(TRIALS):
+            result = solve_noisy_majority_consensus(
+                n=COLONY_SIZE,
+                epsilon=EPSILON,
+                initial_set_size=SCOUTS,
+                majority_bias=scout_bias,
+                seed=1000 + trial,
+            )
+            successes += int(result.success)
+            rounds += result.rounds
+        rows.append(
+            {
+                "scout majority-bias": scout_bias,
+                "scouts for good site": int(SCOUTS * (0.5 + scout_bias)),
+                "scouts for bad site": SCOUTS - int(SCOUTS * (0.5 + scout_bias)),
+                "above sqrt(log n/|A|) threshold": scout_bias >= threshold,
+                "colony picks good site": f"{successes}/{TRIALS}",
+                "mean rounds": rounds / TRIALS,
+            }
+        )
+
+    print(
+        f"Colony of {COLONY_SIZE} ants, {SCOUTS} scouts, interactions misread with probability "
+        f"{0.5 - EPSILON:.2f}; Corollary 2.18 bias threshold ~ {threshold:.3f}\n"
+    )
+    print(render_table(rows, title="Nest-site consensus versus scout majority"))
+    print()
+    print(
+        "Above the threshold the colony reliably converges on the better site in O(log n / eps^2) "
+        "rounds; below it the thin scout majority is drowned by interaction noise."
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Scenario: broadcast without a shared clock (Section 3).
+
+Biological agents do not share a global clock.  Section 3 of the paper shows
+that the protocol survives this: an initial *activation phase* (everyone
+relays an arbitrary "wake up" signal and resets its clock a fixed delay after
+first hearing it) bounds the clock skew by ``D = 2 log n``, and then every
+phase is padded with a ``D``-round guard window so that agents whose clocks
+disagree still execute each phase in disjoint global windows.
+
+This example runs the fully-synchronous protocol and the clock-free protocol
+on the same instances and reports the additive overhead — Theorem 3.1's
+``O(log^2 n)`` term — and the (unchanged) message complexity.
+
+Run with::
+
+    python examples/clock_free_broadcast.py
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro import ProtocolParameters, run_clock_free_broadcast, solve_noisy_broadcast
+from repro.analysis import render_table
+from repro.core.synchronizer import default_guard
+
+EPSILON = 0.25
+TRIALS = 3
+
+
+def main() -> int:
+    rows = []
+    for n in (500, 1000, 2000):
+        parameters = ProtocolParameters.calibrated(n, EPSILON)
+        sync_rounds, sync_messages, async_rounds, async_messages, successes = 0, 0, 0, 0, 0
+        for trial in range(TRIALS):
+            sync = solve_noisy_broadcast(n=n, epsilon=EPSILON, seed=300 + trial, parameters=parameters)
+            clock_free = run_clock_free_broadcast(
+                n=n, epsilon=EPSILON, seed=300 + trial, parameters=parameters
+            )
+            sync_rounds += sync.rounds
+            sync_messages += sync.messages_sent
+            async_rounds += clock_free.rounds
+            async_messages += clock_free.messages_sent
+            successes += int(clock_free.success)
+        rows.append(
+            {
+                "n": n,
+                "guard D = 2 log2 n": default_guard(n),
+                "sync rounds": sync_rounds / TRIALS,
+                "clock-free rounds": async_rounds / TRIALS,
+                "overhead rounds": (async_rounds - sync_rounds) / TRIALS,
+                "log2(n)^2": round(math.log2(n) ** 2),
+                "message overhead": round((async_messages / max(sync_messages, 1) - 1) * 100, 1),
+                "clock-free success": f"{successes}/{TRIALS}",
+            }
+        )
+
+    print(render_table(rows, title="Cost of removing the global clock (Theorem 3.1)"))
+    print()
+    print(
+        "The round overhead tracks D * (number of phases) = O(log^2 n), while the extra messages come "
+        "only from the activation phase's 2 log n 'wake up' pushes per agent (column in percent)."
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

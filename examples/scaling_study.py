@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Scenario: verifying the O(log n / eps^2) scaling on your own machine.
+
+This example is a condensed version of experiments E1/E2: it sweeps the
+population size at fixed noise and the noise at fixed population size, fits
+the measured round counts against the theoretical shapes, and prints both the
+raw numbers and the fits.  It is the quickest way to see Theorem 2.17's
+scaling with your own eyes (and to check how long larger runs would take on
+your hardware before launching the full benchmark suite).
+
+Run with::
+
+    python examples/scaling_study.py
+"""
+
+from __future__ import annotations
+
+import math
+import time
+
+from repro import solve_noisy_broadcast
+from repro.analysis import fit_inverse_square_epsilon, fit_log_n_scaling, render_table
+
+
+def sweep_population_sizes() -> None:
+    epsilon = 0.25
+    rows = []
+    sizes = (250, 500, 1000, 2000, 4000)
+    mean_rounds = []
+    for n in sizes:
+        start = time.perf_counter()
+        result = solve_noisy_broadcast(n=n, epsilon=epsilon, seed=97)
+        elapsed = time.perf_counter() - start
+        mean_rounds.append(result.rounds)
+        rows.append(
+            {
+                "n": n,
+                "rounds": result.rounds,
+                "rounds / ln n": result.rounds / math.log(n),
+                "messages": result.messages_sent,
+                "all correct": result.success,
+                "wall time (s)": round(elapsed, 2),
+            }
+        )
+    fit = fit_log_n_scaling(list(sizes), mean_rounds)
+    print(render_table(rows, title=f"Rounds versus n at eps = {epsilon}"))
+    print(f"\nfit: rounds ~ {fit.slope:.1f} * ln(n) + {fit.intercept:.1f}   (R^2 = {fit.r_squared:.3f})\n")
+
+
+def sweep_noise_levels() -> None:
+    n = 1000
+    rows = []
+    epsilons = (0.1, 0.15, 0.2, 0.3, 0.4)
+    mean_rounds = []
+    for epsilon in epsilons:
+        result = solve_noisy_broadcast(n=n, epsilon=epsilon, seed=98)
+        mean_rounds.append(result.rounds)
+        rows.append(
+            {
+                "epsilon": epsilon,
+                "flip probability": round(0.5 - epsilon, 2),
+                "rounds": result.rounds,
+                "rounds * eps^2": result.rounds * epsilon**2,
+                "all correct": result.success,
+            }
+        )
+    fit = fit_inverse_square_epsilon(list(epsilons), mean_rounds)
+    print(render_table(rows, title=f"Rounds versus epsilon at n = {n}"))
+    print(f"\nfit: rounds ~ {fit.slope:.2f} / eps^2 + {fit.intercept:.1f}   (R^2 = {fit.r_squared:.3f})")
+
+
+def main() -> int:
+    sweep_population_sizes()
+    sweep_noise_levels()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

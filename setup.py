@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The project is fully described by ``pyproject.toml``; this file exists only
+so that environments without the ``wheel`` package (which PEP 660 editable
+installs require) can still do a legacy ``python setup.py develop`` /
+``pip install -e .`` editable install.
+"""
+
+from setuptools import setup
+
+setup()

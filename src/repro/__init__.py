@@ -1,0 +1,88 @@
+"""repro — a reproduction of "Breathe before Speaking" (PODC 2014).
+
+This package implements, from scratch, the Flip model of noisy, limited and
+anonymous communication introduced by Feinerman, Haeupler and Korman, the
+paper's two-stage noisy-broadcast / majority-consensus protocol, the
+clock-free variant of Section 3, a collection of baseline protocols, and the
+experiment harness that regenerates the paper's quantitative claims.
+
+Quickstart
+----------
+>>> from repro import solve_noisy_broadcast
+>>> result = solve_noisy_broadcast(n=1000, epsilon=0.25, seed=7)
+>>> result.success
+True
+
+See ``README.md`` for the architecture overview and ``DESIGN.md`` /
+``EXPERIMENTS.md`` for the experiment index.
+"""
+
+from .core import (
+    BroadcastResult,
+    ClockFreeBroadcastProtocol,
+    ClockFreeBroadcastResult,
+    MajorityConsensusResult,
+    MajorityInstance,
+    NoisyBroadcastProtocol,
+    NoisyMajorityConsensusProtocol,
+    ProtocolParameters,
+    StageOneParameters,
+    StageTwoParameters,
+    run_clock_free_broadcast,
+    run_with_bounded_skew,
+    solve_noisy_broadcast,
+    solve_noisy_majority_consensus,
+    theory,
+)
+from .errors import (
+    ConfigurationError,
+    ExperimentError,
+    ParameterError,
+    ProtocolError,
+    ReproError,
+    ScheduleError,
+    SimulationError,
+)
+from .substrate import (
+    BinarySymmetricChannel,
+    Population,
+    PushGossipNetwork,
+    RandomSource,
+    SimulationEngine,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # core protocols
+    "BroadcastResult",
+    "ClockFreeBroadcastProtocol",
+    "ClockFreeBroadcastResult",
+    "MajorityConsensusResult",
+    "MajorityInstance",
+    "NoisyBroadcastProtocol",
+    "NoisyMajorityConsensusProtocol",
+    "ProtocolParameters",
+    "StageOneParameters",
+    "StageTwoParameters",
+    "run_clock_free_broadcast",
+    "run_with_bounded_skew",
+    "solve_noisy_broadcast",
+    "solve_noisy_majority_consensus",
+    "theory",
+    # substrate
+    "BinarySymmetricChannel",
+    "Population",
+    "PushGossipNetwork",
+    "RandomSource",
+    "SimulationEngine",
+    # errors
+    "ReproError",
+    "ConfigurationError",
+    "ParameterError",
+    "ScheduleError",
+    "SimulationError",
+    "ProtocolError",
+    "ExperimentError",
+]

@@ -1,0 +1,83 @@
+"""Convergence detection on recorded time series.
+
+Protocols that run with ``record_time_series=True`` produce a per-round
+correct-fraction series; the helpers here locate convergence rounds,
+sustained convergence (the series stays above a threshold), and crossover
+points between two competing series (e.g. where the paper's protocol
+overtakes a baseline).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..errors import ParameterError
+
+__all__ = ["first_hitting_round", "sustained_convergence_round", "crossover_round", "final_plateau"]
+
+
+def _as_series(series: Sequence[float]) -> np.ndarray:
+    array = np.asarray(list(series), dtype=float)
+    if array.size == 0:
+        raise ParameterError("series must be non-empty")
+    return array
+
+
+def first_hitting_round(series: Sequence[float], threshold: float) -> Optional[int]:
+    """First index at which the series reaches ``threshold`` (or ``None``)."""
+    array = _as_series(series)
+    hits = np.flatnonzero(array >= threshold)
+    return int(hits[0]) if hits.size else None
+
+
+def sustained_convergence_round(
+    series: Sequence[float], threshold: float, window: int = 10
+) -> Optional[int]:
+    """First index from which the series stays at or above ``threshold`` for ``window`` steps.
+
+    Protects against counting a transient spike as convergence, which matters
+    for noisy dynamics such as the voter baseline.
+    """
+    if window < 1:
+        raise ParameterError("window must be at least 1")
+    array = _as_series(series)
+    above = array >= threshold
+    if array.size < window:
+        return None
+    run_length = 0
+    for index, flag in enumerate(above):
+        run_length = run_length + 1 if flag else 0
+        if run_length >= window:
+            return int(index - window + 1)
+    return None
+
+
+def crossover_round(series_a: Sequence[float], series_b: Sequence[float]) -> Optional[int]:
+    """First index at which ``series_a`` becomes at least ``series_b`` and stays so.
+
+    Returns ``None`` when ``series_a`` never (durably) overtakes ``series_b``.
+    The comparison runs over the common prefix of the two series.
+    """
+    a = _as_series(series_a)
+    b = _as_series(series_b)
+    length = min(a.size, b.size)
+    a, b = a[:length], b[:length]
+    ahead = a >= b
+    if not ahead.any():
+        return None
+    # The crossover is the start of the final run of "ahead" values.
+    last_behind = np.flatnonzero(~ahead)
+    if last_behind.size == 0:
+        return 0
+    candidate = int(last_behind[-1]) + 1
+    return candidate if candidate < length else None
+
+
+def final_plateau(series: Sequence[float], window: int = 20) -> float:
+    """Mean of the last ``window`` points — the series' settled value."""
+    if window < 1:
+        raise ParameterError("window must be at least 1")
+    array = _as_series(series)
+    return float(array[-window:].mean())

@@ -1,0 +1,63 @@
+"""Persistence of experiment results as JSON.
+
+Benchmarks and examples can save their :class:`ExperimentResult` /
+:class:`SweepResult` objects so that EXPERIMENTS.md numbers can be traced
+back to concrete runs.  JSON is used (rather than pickles) so results remain
+inspectable and diff-able.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Union
+
+import numpy as np
+
+from ..errors import ExperimentError
+from .experiments import ExperimentResult
+from .sweeps import SweepResult
+
+__all__ = ["to_jsonable", "save_result", "load_result", "save_sweep"]
+
+
+def to_jsonable(value: Any) -> Any:
+    """Recursively convert numpy scalars/arrays so ``json`` can serialise them."""
+    if isinstance(value, dict):
+        return {str(key): to_jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [to_jsonable(item) for item in value]
+    if isinstance(value, np.ndarray):
+        return [to_jsonable(item) for item in value.tolist()]
+    if isinstance(value, (np.bool_,)):
+        return bool(value)
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    return value
+
+
+def save_result(result: ExperimentResult, path: Union[str, Path]) -> Path:
+    """Write an :class:`ExperimentResult` to ``path`` as JSON and return the path."""
+    destination = Path(path)
+    destination.parent.mkdir(parents=True, exist_ok=True)
+    destination.write_text(json.dumps(to_jsonable(result.to_dict()), indent=2, sort_keys=True))
+    return destination
+
+
+def load_result(path: Union[str, Path]) -> ExperimentResult:
+    """Read an :class:`ExperimentResult` previously written by :func:`save_result`."""
+    source = Path(path)
+    if not source.exists():
+        raise ExperimentError(f"no result file at {source}")
+    payload = json.loads(source.read_text())
+    return ExperimentResult.from_dict(payload)
+
+
+def save_sweep(sweep: SweepResult, path: Union[str, Path]) -> Path:
+    """Write a :class:`SweepResult` to ``path`` as JSON and return the path."""
+    destination = Path(path)
+    destination.parent.mkdir(parents=True, exist_ok=True)
+    destination.write_text(json.dumps(to_jsonable(sweep.to_dict()), indent=2, sort_keys=True))
+    return destination

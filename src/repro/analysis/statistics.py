@@ -1,0 +1,194 @@
+"""Statistical primitives used by the analysis and the paper's proofs.
+
+This module codifies the probabilistic toolkit of Section 1.7 (Chernoff
+bounds, negative correlation) together with the estimation machinery the
+experiment harness needs (Wilson confidence intervals, Hoeffding sample-size
+calculations, empirical success probabilities).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ParameterError
+
+__all__ = [
+    "chernoff_upper_tail",
+    "chernoff_lower_tail",
+    "chernoff_deviation_for_confidence",
+    "hoeffding_sample_size",
+    "wilson_interval",
+    "BernoulliSummary",
+    "summarize_bernoulli",
+    "empirical_bias",
+    "binomial_pmf",
+    "central_binomial_tail",
+    "are_negatively_correlated",
+]
+
+
+# ----------------------------------------------------------------------
+# Chernoff bounds (Equations 1 and 2 of the paper)
+# ----------------------------------------------------------------------
+def chernoff_upper_tail(expectation: float, delta: float) -> float:
+    """Equation 1: ``Pr(X >= (1 + delta) E[X]) <= exp(-delta^2 E[X] / 3)``."""
+    if expectation < 0:
+        raise ParameterError("expectation must be non-negative")
+    if not 0 < delta < 1:
+        raise ParameterError("delta must lie in (0, 1)")
+    return math.exp(-delta * delta * expectation / 3.0)
+
+
+def chernoff_lower_tail(expectation: float, delta: float) -> float:
+    """Equation 2: ``Pr(X <= (1 - delta) E[X]) <= exp(-delta^2 E[X] / 2)``."""
+    if expectation < 0:
+        raise ParameterError("expectation must be non-negative")
+    if not 0 < delta < 1:
+        raise ParameterError("delta must lie in (0, 1)")
+    return math.exp(-delta * delta * expectation / 2.0)
+
+
+def chernoff_deviation_for_confidence(expectation: float, failure_probability: float) -> float:
+    """Smallest relative deviation ``delta`` with lower-tail mass at most ``failure_probability``.
+
+    Inverts Equation 2: ``delta = sqrt(2 ln(1/p) / E[X])`` (may exceed 1, in
+    which case the bound is vacuous and the caller needs a larger
+    expectation).
+    """
+    if expectation <= 0:
+        raise ParameterError("expectation must be positive")
+    if not 0 < failure_probability < 1:
+        raise ParameterError("failure_probability must lie in (0, 1)")
+    return math.sqrt(2.0 * math.log(1.0 / failure_probability) / expectation)
+
+
+def hoeffding_sample_size(half_width: float, failure_probability: float) -> int:
+    """Samples needed so a Bernoulli mean estimate is within ``half_width`` w.p. ``1 - failure_probability``."""
+    if not 0 < half_width < 1:
+        raise ParameterError("half_width must lie in (0, 1)")
+    if not 0 < failure_probability < 1:
+        raise ParameterError("failure_probability must lie in (0, 1)")
+    return int(math.ceil(math.log(2.0 / failure_probability) / (2.0 * half_width * half_width)))
+
+
+# ----------------------------------------------------------------------
+# Estimation
+# ----------------------------------------------------------------------
+def wilson_interval(successes: int, trials: int, z: float = 1.96) -> Tuple[float, float]:
+    """Wilson score confidence interval for a binomial proportion.
+
+    Preferred over the normal approximation because experiment success rates
+    are frequently at or near 1.
+    """
+    if trials <= 0:
+        raise ParameterError("trials must be positive")
+    if not 0 <= successes <= trials:
+        raise ParameterError("successes must lie in [0, trials]")
+    p_hat = successes / trials
+    denominator = 1.0 + z * z / trials
+    centre = (p_hat + z * z / (2 * trials)) / denominator
+    margin = (z / denominator) * math.sqrt(p_hat * (1 - p_hat) / trials + z * z / (4 * trials * trials))
+    return max(0.0, centre - margin), min(1.0, centre + margin)
+
+
+@dataclass(frozen=True)
+class BernoulliSummary:
+    """Summary of a sequence of Bernoulli observations (e.g. per-trial success)."""
+
+    trials: int
+    successes: int
+    rate: float
+    ci_low: float
+    ci_high: float
+
+    def as_dict(self) -> dict:
+        """Plain-dict form for result records."""
+        return {
+            "trials": self.trials,
+            "successes": self.successes,
+            "rate": self.rate,
+            "ci_low": self.ci_low,
+            "ci_high": self.ci_high,
+        }
+
+
+def summarize_bernoulli(outcomes: Iterable[bool], z: float = 1.96) -> BernoulliSummary:
+    """Summarise boolean outcomes into a rate with a Wilson interval."""
+    values = [bool(value) for value in outcomes]
+    trials = len(values)
+    if trials == 0:
+        raise ParameterError("need at least one observation")
+    successes = sum(values)
+    low, high = wilson_interval(successes, trials, z=z)
+    return BernoulliSummary(
+        trials=trials, successes=successes, rate=successes / trials, ci_low=low, ci_high=high
+    )
+
+
+def empirical_bias(correct: int, total: int) -> float:
+    """Bias ``(correct - wrong) / (2 total)`` of an observed population."""
+    if total <= 0:
+        raise ParameterError("total must be positive")
+    if not 0 <= correct <= total:
+        raise ParameterError("correct must lie in [0, total]")
+    return (2 * correct - total) / (2 * total)
+
+
+# ----------------------------------------------------------------------
+# Binomial helpers (Claims 2.12 / 2.13 checks)
+# ----------------------------------------------------------------------
+def binomial_pmf(k: int, n: int, p: float) -> float:
+    """Exact binomial probability mass ``P(Bin(n, p) = k)`` via log-gamma."""
+    if not 0 <= k <= n:
+        raise ParameterError("k must lie in [0, n]")
+    if not 0.0 <= p <= 1.0:
+        raise ParameterError("p must be a probability")
+    if p in (0.0, 1.0):
+        certain = n if p == 1.0 else 0
+        return 1.0 if k == certain else 0.0
+    log_pmf = (
+        math.lgamma(n + 1)
+        - math.lgamma(k + 1)
+        - math.lgamma(n - k + 1)
+        + k * math.log(p)
+        + (n - k) * math.log(1 - p)
+    )
+    return math.exp(log_pmf)
+
+
+def central_binomial_tail(n: int, p: float, threshold: int) -> float:
+    """Exact upper-tail probability ``P(Bin(n, p) >= threshold)``."""
+    if threshold <= 0:
+        return 1.0
+    if threshold > n:
+        return 0.0
+    return float(sum(binomial_pmf(k, n, p) for k in range(threshold, n + 1)))
+
+
+# ----------------------------------------------------------------------
+# Negative correlation (Section 1.7)
+# ----------------------------------------------------------------------
+def are_negatively_correlated(samples: np.ndarray, tolerance: float = 0.05) -> bool:
+    """Empirical check of pairwise negative 1-correlation for Bernoulli columns.
+
+    ``samples`` is a ``(num_observations, num_variables)`` 0/1 matrix.  For
+    every pair of columns the function checks
+    ``P(X_i = 1, X_j = 1) <= P(X_i = 1) P(X_j = 1) + tolerance`` — the
+    pairwise special case of the Panconesi–Srinivasan condition the paper's
+    proofs rely on (sampling without replacement).  Used by property tests on
+    the delivery substrate.
+    """
+    matrix = np.asarray(samples, dtype=float)
+    if matrix.ndim != 2:
+        raise ParameterError("samples must be a 2-D matrix")
+    if matrix.shape[0] < 2 or matrix.shape[1] < 2:
+        raise ParameterError("need at least two observations of at least two variables")
+    means = matrix.mean(axis=0)
+    joint = matrix.T @ matrix / matrix.shape[0]
+    product = np.outer(means, means)
+    off_diagonal = ~np.eye(matrix.shape[1], dtype=bool)
+    return bool(np.all(joint[off_diagonal] <= product[off_diagonal] + tolerance))

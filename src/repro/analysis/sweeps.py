@@ -1,0 +1,135 @@
+"""Parameter sweeps: run the same experiment over a grid of configurations.
+
+Every experiment in DESIGN.md Section 4 is a sweep over one or two
+parameters (``n``, ``epsilon``, ``|A|``, initial bias, clock skew ...) with a
+fixed number of Monte-Carlo trials per grid point.  This module provides the
+grid construction and the sweep runner, returning one
+:class:`~repro.analysis.experiments.ExperimentResult` per point.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Sequence, Tuple
+
+from ..errors import ExperimentError
+from .experiments import ExperimentResult, run_trials
+
+__all__ = ["SweepPoint", "SweepResult", "parameter_grid", "run_sweep"]
+
+#: Signature of a sweep trial function: ``(point, seed, trial_index) -> measurements``.
+SweepTrialFunction = Callable[[Mapping[str, Any], int, int], Mapping[str, Any]]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One grid point of a sweep (an immutable view of its parameters)."""
+
+    parameters: Tuple[Tuple[str, Any], ...]
+
+    @classmethod
+    def from_mapping(cls, mapping: Mapping[str, Any]) -> "SweepPoint":
+        """Build a point from a parameter mapping (order preserved)."""
+        return cls(parameters=tuple(mapping.items()))
+
+    def as_dict(self) -> Dict[str, Any]:
+        """The point's parameters as a plain dict."""
+        return dict(self.parameters)
+
+    def label(self) -> str:
+        """Compact human-readable label, e.g. ``n=1000, eps=0.2``."""
+        return ", ".join(f"{key}={value}" for key, value in self.parameters)
+
+
+@dataclass
+class SweepResult:
+    """All grid points of a sweep with their per-point experiment results."""
+
+    name: str
+    points: List[SweepPoint] = field(default_factory=list)
+    results: List[ExperimentResult] = field(default_factory=list)
+
+    def __iter__(self):
+        return iter(zip(self.points, self.results))
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def series(self, parameter: str, measurement: str) -> Tuple[List[Any], List[float]]:
+        """Extract ``(parameter values, mean measurement)`` across the sweep.
+
+        Useful for scaling fits: e.g. ``series("n", "rounds")``.
+        """
+        xs: List[Any] = []
+        ys: List[float] = []
+        for point, result in self:
+            params = point.as_dict()
+            if parameter not in params:
+                raise ExperimentError(f"sweep point {point.label()} has no parameter {parameter!r}")
+            xs.append(params[parameter])
+            ys.append(result.mean(measurement))
+        return xs, ys
+
+    def rates(self, parameter: str, flag: str) -> Tuple[List[Any], List[float]]:
+        """Extract ``(parameter values, success rates)`` across the sweep."""
+        xs: List[Any] = []
+        ys: List[float] = []
+        for point, result in self:
+            xs.append(point.as_dict()[parameter])
+            ys.append(result.rate(flag))
+        return xs, ys
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serialisable representation."""
+        return {
+            "name": self.name,
+            "points": [point.as_dict() for point in self.points],
+            "results": [result.to_dict() for result in self.results],
+        }
+
+
+def parameter_grid(**axes: Sequence[Any]) -> List[Dict[str, Any]]:
+    """Cartesian product of named parameter axes, as a list of dicts.
+
+    >>> parameter_grid(n=[100, 200], epsilon=[0.1, 0.2])
+    [{'n': 100, 'epsilon': 0.1}, {'n': 100, 'epsilon': 0.2},
+     {'n': 200, 'epsilon': 0.1}, {'n': 200, 'epsilon': 0.2}]
+    """
+    if not axes:
+        raise ExperimentError("parameter_grid needs at least one axis")
+    names = list(axes)
+    combinations = itertools.product(*(axes[name] for name in names))
+    return [dict(zip(names, values)) for values in combinations]
+
+
+def run_sweep(
+    name: str,
+    points: Iterable[Mapping[str, Any]],
+    trial_fn: SweepTrialFunction,
+    trials_per_point: int,
+    base_seed: int = 0,
+) -> SweepResult:
+    """Run ``trials_per_point`` trials of ``trial_fn`` at every grid point.
+
+    The per-point experiment is named ``"{name}[{point label}]"`` and seeded
+    independently of the other points, so adding points to a sweep never
+    changes existing results.
+    """
+    sweep = SweepResult(name=name)
+    for raw_point in points:
+        point = SweepPoint.from_mapping(raw_point)
+
+        def bound_trial(seed: int, trial_index: int, _point=point) -> Mapping[str, Any]:
+            return trial_fn(_point.as_dict(), seed, trial_index)
+
+        result = run_trials(
+            name=f"{name}[{point.label()}]",
+            trial_fn=bound_trial,
+            num_trials=trials_per_point,
+            base_seed=base_seed,
+            config=point.as_dict(),
+        )
+        sweep.points.append(point)
+        sweep.results.append(result)
+    return sweep

@@ -1,0 +1,89 @@
+"""Plain-text table rendering.
+
+The paper being a theory paper, this repository's "figures" are tables of
+measured quantities printed by the benchmark harness and recorded in
+EXPERIMENTS.md.  :func:`render_table` formats a list of row dictionaries as
+a GitHub-flavoured markdown table (which also reads fine as plain text in a
+terminal), with light numeric formatting.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, List, Mapping, Optional, Sequence
+
+from ..errors import ParameterError
+
+__all__ = ["format_cell", "render_table", "render_kv"]
+
+
+def format_cell(value: Any, float_digits: int = 3) -> str:
+    """Format one cell: floats rounded, booleans as yes/no, None as a dash."""
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value != 0 and (abs(value) >= 10_000 or abs(value) < 10 ** (-float_digits)):
+            return f"{value:.{float_digits}e}"
+        return f"{value:.{float_digits}f}"
+    return str(value)
+
+
+def render_table(
+    rows: Sequence[Mapping[str, Any]],
+    columns: Optional[Sequence[str]] = None,
+    float_digits: int = 3,
+    title: Optional[str] = None,
+) -> str:
+    """Render rows (list of dicts) as a markdown table.
+
+    Parameters
+    ----------
+    rows:
+        The data; missing keys render as a dash.
+    columns:
+        Column order; defaults to the keys of the first row.
+    float_digits:
+        Decimal places for floating-point cells.
+    title:
+        Optional heading printed above the table.
+    """
+    if not rows:
+        raise ParameterError("cannot render an empty table")
+    if columns is None:
+        columns = list(rows[0].keys())
+    if not columns:
+        raise ParameterError("cannot render a table with no columns")
+
+    header = [str(column) for column in columns]
+    body: List[List[str]] = [
+        [format_cell(row.get(column), float_digits) for column in columns] for row in rows
+    ]
+    widths = [
+        max(len(header[i]), *(len(line[i]) for line in body)) if body else len(header[i])
+        for i in range(len(columns))
+    ]
+
+    def format_line(cells: Iterable[str]) -> str:
+        return "| " + " | ".join(cell.ljust(width) for cell, width in zip(cells, widths)) + " |"
+
+    lines = []
+    if title:
+        lines.append(f"### {title}")
+        lines.append("")
+    lines.append(format_line(header))
+    lines.append("|" + "|".join("-" * (width + 2) for width in widths) + "|")
+    lines.extend(format_line(line) for line in body)
+    return "\n".join(lines)
+
+
+def render_kv(mapping: Mapping[str, Any], float_digits: int = 3, title: Optional[str] = None) -> str:
+    """Render a flat mapping as an aligned ``key: value`` block."""
+    if not mapping:
+        raise ParameterError("cannot render an empty mapping")
+    width = max(len(str(key)) for key in mapping)
+    lines = [f"{title}" ] if title else []
+    lines.extend(
+        f"{str(key).ljust(width)} : {format_cell(value, float_digits)}" for key, value in mapping.items()
+    )
+    return "\n".join(lines)

@@ -1,0 +1,129 @@
+"""Command-line interface.
+
+Installed as ``repro-flip``.  Three subcommands cover the common workflows:
+
+* ``repro-flip broadcast --n 2000 --epsilon 0.2`` — run the paper's noisy
+  broadcast protocol once and print the outcome;
+* ``repro-flip majority --n 2000 --epsilon 0.2 --set-size 300 --bias 0.1`` —
+  run the noisy majority-consensus protocol once;
+* ``repro-flip experiment E1`` — run one of the experiment drivers (see
+  DESIGN.md Section 4) with its default settings and print its report.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from .analysis.tables import render_kv
+from .core.broadcast import solve_noisy_broadcast
+from .core.majority import solve_noisy_majority_consensus
+from .core.synchronizer import run_clock_free_broadcast
+from .experiments import DRIVERS
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed separately for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-flip",
+        description="Noisy broadcast / majority-consensus in the Flip model (PODC 2014 reproduction)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    broadcast = subparsers.add_parser("broadcast", help="run the noisy broadcast protocol once")
+    broadcast.add_argument("--n", type=int, default=1000, help="population size")
+    broadcast.add_argument("--epsilon", type=float, default=0.2, help="noise margin (flip prob = 1/2 - epsilon)")
+    broadcast.add_argument("--seed", type=int, default=0, help="root random seed")
+    broadcast.add_argument(
+        "--clock-free", action="store_true", help="use the Section-3 protocol without a global clock"
+    )
+
+    majority = subparsers.add_parser("majority", help="run the noisy majority-consensus protocol once")
+    majority.add_argument("--n", type=int, default=1000)
+    majority.add_argument("--epsilon", type=float, default=0.2)
+    majority.add_argument("--seed", type=int, default=0)
+    majority.add_argument("--set-size", type=int, default=200, help="size of the initial opinionated set A")
+    majority.add_argument("--bias", type=float, default=0.1, help="majority-bias of the initial set")
+
+    experiment = subparsers.add_parser("experiment", help="run an experiment driver (E1..E11)")
+    experiment.add_argument("experiment_id", choices=sorted(DRIVERS, key=lambda key: int(key[1:])))
+
+    subparsers.add_parser("list-experiments", help="list available experiment drivers")
+    return parser
+
+
+def _run_broadcast(args: argparse.Namespace) -> int:
+    if args.clock_free:
+        result = run_clock_free_broadcast(n=args.n, epsilon=args.epsilon, seed=args.seed)
+        summary = {
+            "protocol": "clock-free broadcast",
+            "success": result.success,
+            "rounds": result.rounds,
+            "overhead_rounds": result.overhead_rounds,
+            "messages": result.messages_sent,
+            "final_correct_fraction": result.final_correct_fraction,
+        }
+    else:
+        result = solve_noisy_broadcast(n=args.n, epsilon=args.epsilon, seed=args.seed)
+        summary = {
+            "protocol": "noisy broadcast",
+            "success": result.success,
+            "rounds": result.rounds,
+            "messages": result.messages_sent,
+            "final_correct_fraction": result.final_correct_fraction,
+            "stage1_bias": result.stage1.final_bias,
+        }
+    print(render_kv(summary))
+    return 0 if result.success else 1
+
+
+def _run_majority(args: argparse.Namespace) -> int:
+    result = solve_noisy_majority_consensus(
+        n=args.n,
+        epsilon=args.epsilon,
+        initial_set_size=args.set_size,
+        majority_bias=args.bias,
+        seed=args.seed,
+    )
+    print(
+        render_kv(
+            {
+                "protocol": "noisy majority-consensus",
+                "success": result.success,
+                "rounds": result.rounds,
+                "messages": result.messages_sent,
+                "start_phase": result.start_phase,
+                "final_correct_fraction": result.final_correct_fraction,
+            }
+        )
+    )
+    return 0 if result.success else 1
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.command == "broadcast":
+        return _run_broadcast(args)
+    if args.command == "majority":
+        return _run_majority(args)
+    if args.command == "experiment":
+        report = DRIVERS[args.experiment_id].run()
+        print(report.render())
+        return 0
+    if args.command == "list-experiments":
+        for experiment_id in sorted(DRIVERS, key=lambda key: int(key[1:])):
+            driver = DRIVERS[experiment_id]
+            print(f"{experiment_id}: {driver.__doc__.strip().splitlines()[0]}")
+        return 0
+    parser.error(f"unknown command {args.command!r}")
+    return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,222 @@
+"""The noisy majority-consensus protocol (Corollary 2.18).
+
+The majority-consensus problem starts from a subset ``A`` of opinionated
+agents whose majority-bias towards ``B`` is
+``(A_B - A_notB) / (2 |A|)``; everyone else has no opinion.  Corollary 2.18
+shows that whenever ``|A| = Omega(log n / eps^2)`` and the bias is
+``Omega(sqrt(log n / |A|))``, the problem is solved by running the broadcast
+algorithm starting from Stage-I phase
+
+    ``i_A = log(|A| / log n) / (2 log(1 / eps))``
+
+(the phase whose activated-set size matches ``|A|``), followed by Stage II.
+This module provides instance generation, the start-phase computation, the
+protocol wrapper and a one-call convenience function.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..errors import ParameterError, SimulationError
+from ..substrate.engine import SimulationEngine
+from .opinions import bias_from_counts, counts_from_bias, opposite, validate_opinion
+from .parameters import ProtocolParameters
+from .stage1 import StageOneResult, execute_stage_one
+from .stage2 import StageTwoResult, execute_stage_two
+
+__all__ = [
+    "MajorityInstance",
+    "MajorityConsensusResult",
+    "compute_start_phase",
+    "NoisyMajorityConsensusProtocol",
+    "solve_noisy_majority_consensus",
+]
+
+
+@dataclass(frozen=True)
+class MajorityInstance:
+    """An initial opinion assignment for the majority-consensus problem.
+
+    Attributes
+    ----------
+    members:
+        Indices of the initially opinionated set ``A``.
+    opinions:
+        Their opinions, aligned with ``members``.
+    majority_opinion:
+        The (ground-truth) majority opinion ``B``.
+    """
+
+    members: np.ndarray
+    opinions: np.ndarray
+    majority_opinion: int
+
+    def __post_init__(self) -> None:
+        if self.members.shape != self.opinions.shape:
+            raise ParameterError("members and opinions must be aligned")
+        validate_opinion(self.majority_opinion)
+
+    @property
+    def size(self) -> int:
+        """``|A|``."""
+        return int(self.members.size)
+
+    @property
+    def majority_bias(self) -> float:
+        """The instance's majority-bias as defined in Section 1.3.1."""
+        correct = int(np.count_nonzero(self.opinions == self.majority_opinion))
+        return bias_from_counts(correct, self.size - correct)
+
+    @classmethod
+    def generate(
+        cls,
+        n: int,
+        size: int,
+        bias: float,
+        majority_opinion: int,
+        rng: np.random.Generator,
+    ) -> "MajorityInstance":
+        """Generate a random instance with ``size`` members and the given bias.
+
+        Members are a uniformly random subset of the ``n`` agents; the number
+        of correct members is the smallest count achieving at least ``bias``.
+        """
+        majority_opinion = validate_opinion(majority_opinion)
+        if not 1 <= size <= n:
+            raise ParameterError(f"initial set size must be in [1, n], got {size}")
+        if bias < 0:
+            raise ParameterError("majority bias must be non-negative")
+        members = rng.choice(n, size=size, replace=False).astype(np.int64)
+        correct_count, wrong_count = counts_from_bias(size, bias)
+        opinions = np.full(size, opposite(majority_opinion), dtype=np.int8)
+        opinions[:correct_count] = majority_opinion
+        rng.shuffle(opinions)
+        return cls(members=members, opinions=opinions, majority_opinion=majority_opinion)
+
+
+@dataclass(frozen=True)
+class MajorityConsensusResult:
+    """Outcome of a noisy majority-consensus run."""
+
+    success: bool
+    majority_opinion: int
+    n: int
+    epsilon: float
+    initial_set_size: int
+    initial_bias: float
+    start_phase: int
+    rounds: int
+    messages_sent: int
+    final_correct_fraction: float
+    stage1: Optional[StageOneResult]
+    stage2: StageTwoResult
+
+
+def compute_start_phase(parameters: ProtocolParameters, initial_set_size: int) -> int:
+    """Corollary 2.18's ``i_A = log(|A| / log n) / (2 log(1/eps))``, clamped to the schedule.
+
+    The returned phase is clamped to ``[1, T + 1]`` so that the initial set
+    always plays the role of "the agents activated before phase ``i_A``": the
+    corollary's formula can exceed the number of phases when ``|A|`` is large
+    relative to the (calibrated) phase growth, in which case starting at the
+    final spreading phase is the faithful choice — the remaining job is just
+    to activate the rest of the population and boost.
+    """
+    if initial_set_size < 1:
+        raise ParameterError("initial_set_size must be positive")
+    n = parameters.n
+    epsilon = parameters.epsilon
+    log_n = math.log(max(n, 2))
+    ratio = initial_set_size / log_n
+    if ratio <= 1.0 or epsilon >= 0.5:
+        phase = 1
+    else:
+        phase = int(round(math.log(ratio) / (2.0 * math.log(1.0 / epsilon))))
+    last_phase = parameters.stage1.num_phases - 1
+    return int(min(max(phase, 1), last_phase))
+
+
+class NoisyMajorityConsensusProtocol:
+    """The paper's majority-consensus algorithm: late-start Stage I, then Stage II."""
+
+    name = "breathe-before-speaking-majority"
+
+    def __init__(self, parameters: ProtocolParameters, start_phase: Optional[int] = None) -> None:
+        self.parameters = parameters
+        self.start_phase = start_phase
+
+    def run(self, engine: SimulationEngine, instance: MajorityInstance) -> MajorityConsensusResult:
+        """Execute the protocol on ``engine`` from the initial assignment ``instance``."""
+        if engine.n != self.parameters.n:
+            raise SimulationError(
+                f"engine has {engine.n} agents but parameters were built for {self.parameters.n}"
+            )
+        correct_opinion = instance.majority_opinion
+        start_phase = (
+            self.start_phase
+            if self.start_phase is not None
+            else compute_start_phase(self.parameters, instance.size)
+        )
+        engine.population.seed_opinionated_set(
+            instance.members, instance.opinions, phase=max(start_phase - 1, 0), round_index=0
+        )
+
+        stage1 = execute_stage_one(
+            engine, self.parameters.stage1, correct_opinion, start_phase=start_phase
+        )
+        stage2 = execute_stage_two(engine, self.parameters.stage2, correct_opinion)
+
+        return MajorityConsensusResult(
+            success=engine.population.all_correct(correct_opinion),
+            majority_opinion=correct_opinion,
+            n=engine.n,
+            epsilon=engine.epsilon,
+            initial_set_size=instance.size,
+            initial_bias=instance.majority_bias,
+            start_phase=start_phase,
+            rounds=stage1.rounds + stage2.rounds,
+            messages_sent=stage1.messages_sent + stage2.messages_sent,
+            final_correct_fraction=stage2.final_correct_fraction,
+            stage1=stage1,
+            stage2=stage2,
+        )
+
+
+def solve_noisy_majority_consensus(
+    n: int,
+    epsilon: float,
+    initial_set_size: int,
+    majority_bias: float,
+    seed: int = 0,
+    majority_opinion: int = 1,
+    parameters: Optional[ProtocolParameters] = None,
+    **calibration_overrides: float,
+) -> MajorityConsensusResult:
+    """Build an engine, generate a random instance and solve it once.
+
+    Parameters
+    ----------
+    n, epsilon, seed:
+        Instance size, noise margin and root seed.
+    initial_set_size, majority_bias, majority_opinion:
+        The initial opinionated set ``A``: its size, its majority-bias towards
+        ``majority_opinion``.
+    parameters:
+        Optional explicit protocol parameters (calibrated preset otherwise).
+    """
+    if parameters is None:
+        parameters = ProtocolParameters.calibrated(n, epsilon, **calibration_overrides)
+    engine = SimulationEngine.create(n=n, epsilon=epsilon, seed=seed, source=None)
+    instance = MajorityInstance.generate(
+        n=n,
+        size=initial_set_size,
+        bias=majority_bias,
+        majority_opinion=majority_opinion,
+        rng=engine.random.stream("instance"),
+    )
+    return NoisyMajorityConsensusProtocol(parameters).run(engine, instance)

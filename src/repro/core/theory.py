@@ -1,0 +1,228 @@
+"""Closed-form theoretical predictions from the paper.
+
+These functions express, as code, the quantitative statements of the paper:
+the complexity bounds of Theorems 2.17/3.1, the lower bounds of Section 1.4,
+the per-hop reliability decay of Section 1.6, and the majority-sampling
+bounds of Lemma 2.11 / Claims 2.12-2.13.  The experiment drivers compare the
+simulator's measurements against these predictions, and the unit tests check
+the algebra (monotonicity, limiting cases) directly.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from ..errors import ParameterError
+from ..substrate.noise import validate_epsilon
+
+__all__ = [
+    "broadcast_round_bound",
+    "broadcast_message_bound",
+    "lower_bound_rounds",
+    "lower_bound_messages",
+    "clock_free_round_bound",
+    "two_party_channel_uses",
+    "hop_bias",
+    "hop_correct_probability",
+    "expected_relay_depth",
+    "sample_majority_success_lower_bound",
+    "stage2_bias_recursion",
+    "stage2_phases_needed",
+    "exact_majority_success_probability",
+    "stirling_central_binomial_lower_bound",
+    "silent_wait_round_bound",
+    "majority_consensus_min_set_size",
+    "majority_consensus_min_bias",
+]
+
+
+def _check_n(n: int) -> int:
+    if n < 2:
+        raise ParameterError(f"n must be at least 2, got {n}")
+    return int(n)
+
+
+# ----------------------------------------------------------------------
+# Upper bounds (Theorem 2.17, Theorem 3.1)
+# ----------------------------------------------------------------------
+def broadcast_round_bound(n: int, epsilon: float, constant: float = 1.0) -> float:
+    """Theorem 2.17's round complexity ``O(log n / eps^2)`` with an explicit constant."""
+    n = _check_n(n)
+    epsilon = validate_epsilon(epsilon)
+    return constant * math.log(n) / (epsilon * epsilon)
+
+
+def broadcast_message_bound(n: int, epsilon: float, constant: float = 1.0) -> float:
+    """Theorem 2.17's message complexity ``O(n log n / eps^2)``."""
+    return n * broadcast_round_bound(n, epsilon, constant)
+
+
+def clock_free_round_bound(n: int, epsilon: float, constant: float = 1.0) -> float:
+    """Theorem 3.1's round complexity ``O(log n / eps^2 + log^2 n)``."""
+    n = _check_n(n)
+    epsilon = validate_epsilon(epsilon)
+    return constant * (math.log(n) / (epsilon * epsilon) + math.log(n) ** 2)
+
+
+# ----------------------------------------------------------------------
+# Lower bounds (Section 1.4)
+# ----------------------------------------------------------------------
+def two_party_channel_uses(epsilon: float, constant: float = 1.0) -> float:
+    """Shannon's ``Theta(1/eps^2)`` channel uses for one reliable bit over a BSC."""
+    epsilon = validate_epsilon(epsilon)
+    return constant / (epsilon * epsilon)
+
+
+def lower_bound_rounds(n: int, epsilon: float, constant: float = 1.0) -> float:
+    """Section 1.4's ``Omega(log n / eps^2)`` round lower bound."""
+    return broadcast_round_bound(n, epsilon, constant)
+
+
+def lower_bound_messages(n: int, epsilon: float, constant: float = 1.0) -> float:
+    """Section 1.4's ``Omega(n log n / eps^2)`` total-bit lower bound."""
+    return broadcast_message_bound(n, epsilon, constant)
+
+
+def silent_wait_round_bound(n: int, epsilon: float, constant: float = 1.0) -> float:
+    """Rounds needed when agents only listen to the source: ``Theta(n log n / eps^2)``.
+
+    Section 1.4: without relaying, each agent must individually collect
+    ``Theta(log n / eps^2)`` samples from the single source, which sends one
+    message per round, giving ``Theta(n log n / eps^2)`` rounds overall.
+    """
+    return n * broadcast_round_bound(n, epsilon, constant)
+
+
+def majority_consensus_min_set_size(n: int, epsilon: float, constant: float = 1.0) -> float:
+    """Corollary 2.18's requirement ``|A| = Omega(log n / eps^2)``."""
+    return broadcast_round_bound(n, epsilon, constant)
+
+
+def majority_consensus_min_bias(set_size: int, n: int, constant: float = 1.0) -> float:
+    """Corollary 2.18's requirement on the majority-bias: ``Omega(sqrt(log n / |A|))``."""
+    if set_size < 1:
+        raise ParameterError("set_size must be positive")
+    n = _check_n(n)
+    return constant * math.sqrt(math.log(n) / set_size)
+
+
+# ----------------------------------------------------------------------
+# Per-hop reliability decay (Section 1.6)
+# ----------------------------------------------------------------------
+def hop_bias(epsilon: float, depth: int) -> float:
+    """Bias of a message relayed over ``depth`` noisy hops.
+
+    Section 1.6: a message following a path of ``c`` intermediate agents is
+    correct with probability at most ``1/2 + (2 eps)^c`` — i.e. its bias is
+    ``(2 eps)^c / 2`` in the notation ``1/2 + bias``... the paper states the
+    probability bound directly; we return the *advantage* over 1/2, which is
+    ``(2 eps)^depth / 2`` per the exact single-hop recursion
+    ``advantage -> 2 eps * advantage`` starting from advantage ``eps``... To
+    avoid ambiguity this function returns the exact advantage obtained by
+    iterating ``a_{c} = 2 eps * a_{c-1}`` with ``a_0 = 1/2`` (a perfectly
+    informed sender), which gives ``a_c = (2 eps)^c / 2 <= (2 eps)^c``.
+    """
+    epsilon = validate_epsilon(epsilon)
+    if depth < 0:
+        raise ParameterError("depth must be non-negative")
+    return 0.5 * (2.0 * epsilon) ** depth
+
+
+def hop_correct_probability(epsilon: float, depth: int) -> float:
+    """Probability a message relayed over ``depth`` hops still carries ``B``."""
+    return 0.5 + hop_bias(epsilon, depth)
+
+
+def expected_relay_depth(n: int) -> float:
+    """Typical relay-tree depth under immediate forwarding: ``Theta(log n)``.
+
+    Used by the Section 1.6 discussion: with immediate forwarding the typical
+    agent first hears the rumor over a path of roughly ``log2 n`` hops, so its
+    first message is correct with probability only ``1/2 + (2 eps)^{log2 n}``.
+    """
+    return math.log2(_check_n(n))
+
+
+# ----------------------------------------------------------------------
+# Lemma 2.11 and its supporting claims
+# ----------------------------------------------------------------------
+def sample_majority_success_lower_bound(delta: float, cap: float = 1.0 / 100.0) -> float:
+    """Lemma 2.11: majority of ``gamma`` noisy samples is correct w.p. ``>= min(1/2 + 4 delta, 1/2 + cap)``."""
+    if delta < 0:
+        raise ParameterError("delta must be non-negative")
+    return 0.5 + min(4.0 * delta, cap)
+
+
+def stage2_bias_recursion(delta: float, amplification: float = 1.7, cap: float = 1.0 / 800.0) -> float:
+    """Lemma 2.14's one-phase bias map ``delta -> min(amplification * delta, cap)`` ... capped from above.
+
+    The lemma guarantees the *new* bias is at least ``min(1.7 delta, 1/800)``;
+    iterating this map gives the trajectory the analysis tracks.
+    """
+    if delta < 0:
+        raise ParameterError("delta must be non-negative")
+    return min(amplification * delta, max(cap, delta))
+
+
+def stage2_phases_needed(initial_bias: float, target_bias: float = 1.0 / 800.0, amplification: float = 1.7) -> int:
+    """Number of boosting phases to go from ``initial_bias`` to ``target_bias`` at rate ``amplification``."""
+    if initial_bias <= 0:
+        raise ParameterError("initial_bias must be positive")
+    if target_bias <= initial_bias:
+        return 0
+    return int(math.ceil(math.log(target_bias / initial_bias) / math.log(amplification)))
+
+
+def exact_majority_success_probability(gamma: int, per_sample_correct: float) -> float:
+    """Exact probability that the majority of ``gamma`` i.i.d. samples is correct.
+
+    Each sample is independently correct with probability
+    ``per_sample_correct``; ties (possible only for even ``gamma``) count as
+    correct with probability 1/2.  This is the quantity Lemma 2.11 lower
+    bounds; experiments compare the Monte-Carlo estimate, this exact value
+    and the lemma's bound.
+    """
+    if gamma < 1:
+        raise ParameterError("gamma must be positive")
+    if not 0.0 <= per_sample_correct <= 1.0:
+        raise ParameterError("per_sample_correct must be a probability")
+    p = per_sample_correct
+    q = 1.0 - p
+    # Sum the binomial pmf over outcomes with a strict correct majority,
+    # adding half the tie mass for even gamma.  Computed in log space for
+    # numerical stability at large gamma.
+    total = 0.0
+    half = gamma / 2.0
+    for correct_count in range(gamma + 1):
+        if correct_count < half:
+            continue
+        log_term = (
+            math.lgamma(gamma + 1)
+            - math.lgamma(correct_count + 1)
+            - math.lgamma(gamma - correct_count + 1)
+        )
+        if p > 0:
+            log_term += correct_count * math.log(p)
+        elif correct_count > 0:
+            continue
+        if q > 0:
+            log_term += (gamma - correct_count) * math.log(q)
+        elif gamma - correct_count > 0:
+            continue
+        term = math.exp(log_term)
+        if correct_count == half:
+            term *= 0.5
+        total += term
+    return min(1.0, total)
+
+
+def stirling_central_binomial_lower_bound(r: int) -> float:
+    """Claim 2.12's bound: ``P(exactly r + i wrong among 2r+1 fair coins) > 1 / (10 sqrt(r))``.
+
+    Returns the claimed lower bound ``1 / (10 sqrt(r))``; tests compare it to
+    the exact binomial probability to confirm the claim's direction.
+    """
+    if r < 1:
+        raise ParameterError("r must be positive")
+    return 1.0 / (10.0 * math.sqrt(r))

@@ -1,0 +1,52 @@
+"""Experiment drivers — one module per reproduced claim (DESIGN.md Section 4).
+
+Each driver exposes a ``run(...)`` function returning an
+:class:`~repro.experiments.report.ExperimentReport`; the benchmark files in
+``benchmarks/`` call these drivers and print the rendered reports, and
+EXPERIMENTS.md records representative outputs.
+"""
+
+from . import (
+    e1_rounds_vs_n,
+    e2_rounds_vs_eps,
+    e3_messages,
+    e4_phase0,
+    e5_stage1_growth,
+    e6_stage2_boost,
+    e7_baselines,
+    e8_majority,
+    e9_async,
+    e10_majority_lemma,
+    e11_lower_bounds,
+)
+from .report import ExperimentReport
+
+__all__ = [
+    "ExperimentReport",
+    "e1_rounds_vs_n",
+    "e2_rounds_vs_eps",
+    "e3_messages",
+    "e4_phase0",
+    "e5_stage1_growth",
+    "e6_stage2_boost",
+    "e7_baselines",
+    "e8_majority",
+    "e9_async",
+    "e10_majority_lemma",
+    "e11_lower_bounds",
+]
+
+#: Mapping from experiment id to its driver module (used by the CLI).
+DRIVERS = {
+    "E1": e1_rounds_vs_n,
+    "E2": e2_rounds_vs_eps,
+    "E3": e3_messages,
+    "E4": e4_phase0,
+    "E5": e5_stage1_growth,
+    "E6": e6_stage2_boost,
+    "E7": e7_baselines,
+    "E8": e8_majority,
+    "E9": e9_async,
+    "E10": e10_majority_lemma,
+    "E11": e11_lower_bounds,
+}

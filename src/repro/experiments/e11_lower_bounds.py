@@ -1,0 +1,96 @@
+"""Experiment E11 — lower-bound sanity checks (Section 1.4).
+
+Section 1.4 derives the ``Omega(log n / eps^2)`` round and
+``Omega(n log n / eps^2)`` message lower bounds from Shannon's two-party
+argument, and notes that *without relaying* (agents only listen to the
+source) completing the broadcast takes ``Theta(n log n / eps^2)`` rounds.
+
+The driver measures both reference points in the simulator:
+
+* the idealised direct-from-source process (every agent receives an
+  independent noisy source bit every round): the first round at which every
+  agent's running majority is correct scales like ``log n / eps^2`` — this is
+  the floor the paper's protocol matches up to constants;
+* the silent-wait strategy inside the actual Flip model (only the source
+  pushes, one message per round): completing the broadcast takes a factor
+  ``~n`` longer, matching ``Theta(n log n / eps^2)``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..analysis.experiments import run_trials
+from ..core.theory import broadcast_round_bound, silent_wait_round_bound
+from ..protocols.direct_source import DirectSourceReference
+from ..protocols.silent_wait import SilentWaitBroadcast, default_decision_threshold
+from ..substrate.engine import SimulationEngine
+from .report import ExperimentReport
+
+__all__ = ["run"]
+
+
+def run(
+    n: int = 400,
+    epsilon: float = 0.25,
+    trials: int = 3,
+    base_seed: int = 1111,
+) -> ExperimentReport:
+    """Run the E11 reference measurements and return its report."""
+    report = ExperimentReport(
+        experiment_id="E11",
+        title="Lower-bound reference points: direct-from-source versus listen-only",
+        claim=(
+            "Section 1.4: every agent needs Omega(log n / eps^2) source samples, so even the idealised "
+            "direct scheme needs that many rounds, and listen-only broadcast needs Theta(n log n / eps^2) rounds"
+        ),
+        config={"n": n, "epsilon": epsilon, "trials": trials},
+    )
+
+    def direct_trial(seed, _index):
+        engine = SimulationEngine.create(n=n, epsilon=epsilon, seed=seed)
+        result = DirectSourceReference().run(engine, correct_opinion=1)
+        return {
+            "rounds_to_all_correct": result.extra["first_all_correct_round"] or result.rounds,
+            "success": result.success,
+        }
+
+    direct = run_trials("E11-direct-source", direct_trial, num_trials=trials, base_seed=base_seed)
+    report.add_row(
+        scheme="direct-from-source (idealised)",
+        mean_rounds=direct.mean("rounds_to_all_correct"),
+        reference_scale=broadcast_round_bound(n, epsilon),
+        ratio_to_reference=direct.mean("rounds_to_all_correct") / broadcast_round_bound(n, epsilon),
+        success_rate=direct.rate("success"),
+    )
+
+    threshold = default_decision_threshold(n, epsilon, constant=2.0)
+
+    def silent_trial(seed, _index):
+        engine = SimulationEngine.create(n=n, epsilon=epsilon, seed=seed)
+        result = SilentWaitBroadcast(threshold=threshold).run(engine, correct_opinion=1)
+        return {
+            "rounds": result.rounds,
+            "success": result.success,
+            "decided_fraction": result.extra["decided_fraction"],
+            "first_two_messages_round": result.extra["first_round_with_two_messages"] or 0,
+        }
+
+    silent = run_trials("E11-silent-wait", silent_trial, num_trials=trials, base_seed=base_seed)
+    report.add_row(
+        scheme="listen-only (silent wait, Flip model)",
+        mean_rounds=silent.mean("rounds"),
+        reference_scale=silent_wait_round_bound(n, epsilon, constant=2.0),
+        ratio_to_reference=silent.mean("rounds") / silent_wait_round_bound(n, epsilon, constant=2.0),
+        success_rate=silent.rate("success"),
+    )
+
+    report.add_note(
+        f"listen-only completion is ~n times slower than the direct reference "
+        f"(measured ratio {silent.mean('rounds') / max(direct.mean('rounds_to_all_correct'), 1):.0f}x, n = {n})"
+    )
+    report.add_note(
+        f"Section 1.6 birthday-paradox check: the first agent to hear two (source) messages appeared at "
+        f"round ~{silent.mean('first_two_messages_round'):.0f} on average (sqrt(n) = {n ** 0.5:.0f})"
+    )
+    return report

@@ -1,0 +1,97 @@
+"""Experiment E8 — majority-consensus feasibility region (Corollary 2.18).
+
+Corollary 2.18: the noisy majority-consensus problem is solvable in
+``O(log n / eps^2)`` rounds whenever the initial opinionated set satisfies
+``|A| = Omega(log n / eps^2)`` *and* its majority-bias is
+``Omega(sqrt(log n / |A|))``.  Below those thresholds the initial signal is
+simply not statistically identifiable, so no symmetric protocol can
+guarantee the majority opinion wins.
+
+The driver sweeps ``|A|`` and the initial majority-bias on a grid and
+measures the success rate of the protocol, showing the feasibility
+transition around the ``sqrt(log n / |A|)`` curve.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..analysis.sweeps import parameter_grid, run_sweep
+from ..core.majority import solve_noisy_majority_consensus
+from ..core.theory import majority_consensus_min_bias, majority_consensus_min_set_size
+from .report import ExperimentReport
+
+__all__ = ["run"]
+
+DEFAULT_SET_SIZES: Sequence[int] = (50, 200, 800)
+DEFAULT_BIASES: Sequence[float] = (0.02, 0.05, 0.1, 0.2, 0.35)
+
+
+def run(
+    n: int = 2000,
+    epsilon: float = 0.2,
+    set_sizes: Sequence[int] = DEFAULT_SET_SIZES,
+    biases: Sequence[float] = DEFAULT_BIASES,
+    trials: int = 5,
+    base_seed: int = 808,
+) -> ExperimentReport:
+    """Run the E8 feasibility sweep and return its report."""
+
+    def trial(point, seed, _index):
+        result = solve_noisy_majority_consensus(
+            n=n,
+            epsilon=epsilon,
+            initial_set_size=point["set_size"],
+            majority_bias=point["bias"],
+            seed=seed,
+        )
+        return {
+            "success": result.success,
+            "final_fraction": result.final_correct_fraction,
+            "rounds": result.rounds,
+        }
+
+    sweep = run_sweep(
+        name="E8-majority-consensus",
+        points=parameter_grid(set_size=list(set_sizes), bias=list(biases)),
+        trial_fn=trial,
+        trials_per_point=trials,
+        base_seed=base_seed,
+    )
+
+    report = ExperimentReport(
+        experiment_id="E8",
+        title="Majority-consensus success rate versus |A| and initial majority-bias",
+        claim=(
+            "Corollary 2.18: success w.h.p. when |A| = Omega(log n / eps^2) and "
+            "bias = Omega(sqrt(log n / |A|)); below the bias threshold the majority is not recoverable"
+        ),
+        config={
+            "n": n,
+            "epsilon": epsilon,
+            "set_sizes": list(set_sizes),
+            "biases": list(biases),
+            "trials": trials,
+            "min_set_size_scale": majority_consensus_min_set_size(n, epsilon),
+        },
+    )
+    for point, result in sweep:
+        params = point.as_dict()
+        set_size, bias = params["set_size"], params["bias"]
+        threshold = majority_consensus_min_bias(set_size, n)
+        report.add_row(
+            set_size=set_size,
+            initial_bias=bias,
+            bias_threshold_sqrt_logn_over_A=threshold,
+            above_threshold=bias >= threshold,
+            success_rate=result.rate("success"),
+            mean_final_fraction=result.mean("final_fraction"),
+            mean_rounds=result.mean("rounds"),
+        )
+
+    report.add_note(
+        "the paper guarantees success only above the threshold (above_threshold=yes rows); "
+        "below it the protocol still converges to *some* opinion, but the success rate degrades towards "
+        "the probability that sampling noise preserves the thin initial majority."
+    )
+    return report

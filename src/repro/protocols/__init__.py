@@ -1,0 +1,33 @@
+"""Baseline and comparator protocols.
+
+These are the algorithms the paper's protocol is compared against in the
+experiments (DESIGN.md Section 4): the naive strategies whose failure modes
+Section 1.6 discusses, the idealised direct-from-source reference of
+Section 1.4, and the related-work dynamics (noisy voter model, two-choices
+majority, three-state approximate majority).
+"""
+
+from .base import BaselineProtocol, ProtocolResult, consensus_round
+from .direct_source import DirectSourceReference
+from .naive_forward import ImmediateForwardingBroadcast
+from .noisy_voter import NoisyVoterBroadcast
+from .registry import available_protocols, make_protocol, register_protocol
+from .silent_wait import SilentWaitBroadcast, default_decision_threshold
+from .three_state import ThreeStateApproximateMajority
+from .two_choices import TwoChoicesMajority
+
+__all__ = [
+    "BaselineProtocol",
+    "ProtocolResult",
+    "consensus_round",
+    "DirectSourceReference",
+    "ImmediateForwardingBroadcast",
+    "NoisyVoterBroadcast",
+    "SilentWaitBroadcast",
+    "default_decision_threshold",
+    "ThreeStateApproximateMajority",
+    "TwoChoicesMajority",
+    "available_protocols",
+    "make_protocol",
+    "register_protocol",
+]

@@ -1,0 +1,93 @@
+"""The "forward immediately" strategy discussed in Section 1.6.
+
+In this naive broadcast strategy every agent, as soon as it hears its first
+message, adopts the received bit as its opinion and starts repeating it every
+round.  There is no breathing period and no majority correction.
+
+The paper explains why this fails: the dissemination pattern forms a tree of
+depth ``Theta(log n)``, and a bit relayed over ``c`` noisy hops is correct
+with probability only ``1/2 + (2 eps)^c``, so the typical agent's opinion is
+barely better than a coin flip.  Experiment E7 measures exactly this: the
+final correct fraction of the population hovers near ``1/2`` while the
+paper's protocol reaches 1.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..core.opinions import validate_opinion
+from ..errors import SimulationError
+from ..substrate.engine import SimulationEngine
+from ..substrate.population import NO_OPINION
+from .base import BaselineProtocol, ProtocolResult
+
+__all__ = ["ImmediateForwardingBroadcast"]
+
+
+@dataclass
+class ImmediateForwardingBroadcast(BaselineProtocol):
+    """Broadcast by immediate, unfiltered forwarding of the first heard bit.
+
+    Parameters
+    ----------
+    max_rounds:
+        Round budget.  ``None`` uses ``ceil(4 log2 n)`` rounds, which is
+        ample for the rumor itself to reach everyone — the point of the
+        baseline is that *reach* is easy but *reliability* is lost.
+    keep_first_opinion:
+        When ``True`` (the default, matching Section 1.6's description) an
+        agent adopts only the first bit it ever hears and repeats it forever.
+        When ``False`` the agent re-adopts every bit it hears, which turns
+        the strategy into the noisy voter dynamic of
+        :mod:`repro.protocols.noisy_voter`.
+    """
+
+    max_rounds: Optional[int] = None
+    keep_first_opinion: bool = True
+    name: str = "immediate-forwarding"
+
+    def run(self, engine: SimulationEngine, correct_opinion: int = 1) -> ProtocolResult:
+        correct_opinion = validate_opinion(correct_opinion)
+        population = engine.population
+        if population.source is None:
+            raise SimulationError("immediate forwarding requires a source agent")
+        population.set_source_opinion(correct_opinion)
+
+        budget = self.max_rounds
+        if budget is None:
+            budget = int(math.ceil(4 * math.log2(engine.n))) + 8
+
+        messages_before = engine.metrics.messages_sent
+        start_round = engine.now
+        all_active_round: Optional[int] = None
+
+        for round_index in range(budget):
+            senders = np.flatnonzero(population.opinions != NO_OPINION)
+            bits = population.opinions[senders].astype(np.int8)
+            report = engine.gossip_round(senders, bits, correct_opinion=correct_opinion)
+            if report.recipients.size:
+                if self.keep_first_opinion:
+                    fresh_mask = ~population.activated[report.recipients]
+                    targets = report.recipients[fresh_mask]
+                    values = report.bits[fresh_mask]
+                else:
+                    targets = report.recipients
+                    values = report.bits
+                population.set_opinions(targets, values)
+                population.activate(report.recipients, phase=0, round_index=engine.now)
+            if all_active_round is None and population.num_activated() == population.size:
+                all_active_round = round_index + 1
+
+        return self._result(
+            engine,
+            correct_opinion,
+            converged=population.num_activated() == population.size,
+            rounds=engine.now - start_round,
+            messages_sent=engine.metrics.messages_sent - messages_before,
+            all_informed_round=all_active_round,
+        )

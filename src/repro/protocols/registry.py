@@ -1,0 +1,55 @@
+"""Name-based registry of baseline protocols.
+
+The experiment drivers refer to baselines by their string names so that
+sweeps can be configured declaratively (and so the CLI can expose
+``--protocol``).  The registry maps each name to a zero-argument factory
+returning a fresh protocol instance with default settings; callers that need
+non-default settings construct the protocol class directly.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from ..errors import ConfigurationError
+from .base import BaselineProtocol
+from .direct_source import DirectSourceReference
+from .naive_forward import ImmediateForwardingBroadcast
+from .noisy_voter import NoisyVoterBroadcast
+from .silent_wait import SilentWaitBroadcast
+from .three_state import ThreeStateApproximateMajority
+from .two_choices import TwoChoicesMajority
+
+__all__ = ["available_protocols", "make_protocol", "register_protocol"]
+
+_FACTORIES: Dict[str, Callable[[], BaselineProtocol]] = {
+    ImmediateForwardingBroadcast.name: ImmediateForwardingBroadcast,
+    SilentWaitBroadcast.name: SilentWaitBroadcast,
+    DirectSourceReference.name: DirectSourceReference,
+    NoisyVoterBroadcast.name: NoisyVoterBroadcast,
+    TwoChoicesMajority.name: TwoChoicesMajority,
+    ThreeStateApproximateMajority.name: ThreeStateApproximateMajority,
+}
+
+
+def available_protocols() -> List[str]:
+    """Sorted list of registered baseline protocol names."""
+    return sorted(_FACTORIES)
+
+
+def make_protocol(name: str) -> BaselineProtocol:
+    """Instantiate the registered baseline protocol called ``name``."""
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown protocol {name!r}; available: {', '.join(available_protocols())}"
+        ) from None
+    return factory()
+
+
+def register_protocol(name: str, factory: Callable[[], BaselineProtocol]) -> None:
+    """Register an additional protocol factory (e.g. from user code or tests)."""
+    if name in _FACTORIES:
+        raise ConfigurationError(f"protocol {name!r} is already registered")
+    _FACTORIES[name] = factory

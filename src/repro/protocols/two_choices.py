@@ -1,0 +1,114 @@
+"""The two-choices majority dynamics of Doerr et al. (related-work baseline).
+
+Doerr, Goldberg, Minder, Sauerwald and Scheideler ("Stabilizing consensus
+with the power of two choices", SPAA 2011) analyse the dynamics in which each
+agent repeatedly samples the opinions of two uniformly random agents and
+adopts the majority among the two samples and its own opinion.  Without
+noise this converges to the initial majority in ``O(log n)`` rounds whenever
+the initial bias is ``Omega(sqrt(log n / n))`` — it is the canonical
+"repeated sampling + majority" building block the paper's Stage II adapts.
+
+The baseline here plays two roles in the experiments:
+
+* **noiseless mode** reproduces the classical behaviour and serves as a
+  best-case reference for the majority-consensus experiments (E8);
+* **noisy mode** applies the Flip model's per-sample bit flips, showing that
+  the plain dynamics stall at a noise-limited bias instead of reaching full
+  consensus — motivating the paper's longer final phase.
+
+Note that the dynamics are *pull*-based and use two messages per agent per
+round, so they live outside the strict Flip model; they are implemented
+directly on the opinion vector rather than through the push network.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..core.opinions import validate_opinion
+from ..errors import SimulationError
+from ..substrate.engine import SimulationEngine
+from ..substrate.noise import PerfectChannel
+from ..substrate.population import NO_OPINION
+from .base import BaselineProtocol, ProtocolResult
+
+__all__ = ["TwoChoicesMajority"]
+
+
+@dataclass
+class TwoChoicesMajority(BaselineProtocol):
+    """Repeated "sample two, majority of three" dynamics.
+
+    Parameters
+    ----------
+    max_rounds:
+        Round budget.
+    noisy:
+        Apply the engine's channel to every sampled opinion (Flip-model
+        noise); when ``False`` samples are read exactly (the classical
+        setting of Doerr et al.).
+    check_every:
+        Consensus check frequency in rounds.
+    """
+
+    max_rounds: int = 400
+    noisy: bool = True
+    check_every: int = 4
+    name: str = "two-choices-majority"
+
+    def run(self, engine: SimulationEngine, correct_opinion: int = 1) -> ProtocolResult:
+        correct_opinion = validate_opinion(correct_opinion)
+        population = engine.population
+        if population.num_opinionated() == 0:
+            raise SimulationError("two-choices needs an initially opinionated population")
+
+        n = engine.n
+        rng = engine.random.stream("two-choices")
+        channel = engine.channel if self.noisy else PerfectChannel()
+
+        messages_before = engine.metrics.messages_sent
+        messages = 0
+        converged = False
+        rounds_run = 0
+
+        for round_index in range(self.max_rounds):
+            opinions = population.opinions.copy()
+            holders = np.flatnonzero(opinions != NO_OPINION)
+            if holders.size == 0:
+                break
+            # Each agent samples two uniformly random *opinionated* agents.
+            first = holders[rng.integers(0, holders.size, size=n)]
+            second = holders[rng.integers(0, holders.size, size=n)]
+            sample_one = channel.transmit(opinions[first].astype(np.int8), rng)
+            sample_two = channel.transmit(opinions[second].astype(np.int8), rng)
+            messages += 2 * n
+
+            own = opinions.copy()
+            # Agents without an opinion adopt the majority of their two samples
+            # (ties broken by the first sample), mirroring how the dynamics are
+            # bootstrapped when only a subset starts opinionated.
+            blank = own == NO_OPINION
+            own[blank] = sample_one[blank]
+            votes = own.astype(np.int32) + sample_one.astype(np.int32) + sample_two.astype(np.int32)
+            new_opinions = (votes >= 2).astype(np.int8)
+            population.set_opinions(np.arange(n), new_opinions)
+            population.activate(np.arange(n), phase=0, round_index=engine.now)
+
+            engine.clock.tick()
+            engine.metrics.observe_round(messages_sent=2 * n, messages_delivered=2 * n, messages_dropped=0)
+            rounds_run += 1
+            if (round_index + 1) % self.check_every == 0 and population.consensus_opinion() is not None:
+                converged = True
+                break
+
+        return self._result(
+            engine,
+            correct_opinion,
+            converged=converged,
+            rounds=rounds_run,
+            messages_sent=messages,
+            consensus_opinion=population.consensus_opinion(),
+        )

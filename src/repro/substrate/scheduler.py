@@ -1,0 +1,94 @@
+"""A small synchronous round scheduler.
+
+The paper's own protocols have a *fixed, precomputed* round schedule (their
+running time does not depend on the execution), so Stage I/II executors in
+:mod:`repro.core` simply iterate over their schedules.  Baseline protocols
+such as the noisy voter model or the silent-wait strategy, however, run
+*until convergence* and need a driver with a round budget and stop
+conditions.  :class:`RoundScheduler` is that driver.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from ..errors import ParameterError
+
+__all__ = ["StopReason", "ScheduleOutcome", "RoundScheduler"]
+
+
+class StopReason(enum.Enum):
+    """Why a scheduled run stopped."""
+
+    #: The per-round step function asked to stop (e.g. consensus detected).
+    CONVERGED = "converged"
+    #: The round budget was exhausted before the step function stopped.
+    BUDGET_EXHAUSTED = "budget_exhausted"
+    #: An externally supplied predicate asked to stop.
+    PREDICATE = "predicate"
+
+
+@dataclass(frozen=True)
+class ScheduleOutcome:
+    """Result of :meth:`RoundScheduler.run`."""
+
+    rounds_executed: int
+    stop_reason: StopReason
+
+    @property
+    def converged(self) -> bool:
+        """True when the run stopped because the step function said so."""
+        return self.stop_reason in (StopReason.CONVERGED, StopReason.PREDICATE)
+
+
+@dataclass
+class RoundScheduler:
+    """Drive a per-round step function for up to ``max_rounds`` rounds.
+
+    Parameters
+    ----------
+    max_rounds:
+        Hard budget on the number of rounds.
+    check_every:
+        How often (in rounds) the optional ``stop_predicate`` is evaluated;
+        predicates such as "has the population reached consensus?" can be
+        relatively expensive, so they need not run every round.
+    """
+
+    max_rounds: int
+    check_every: int = 1
+
+    def __post_init__(self) -> None:
+        if self.max_rounds < 0:
+            raise ParameterError("max_rounds must be non-negative")
+        if self.check_every < 1:
+            raise ParameterError("check_every must be at least 1")
+
+    def run(
+        self,
+        step: Callable[[int], bool],
+        stop_predicate: Optional[Callable[[int], bool]] = None,
+    ) -> ScheduleOutcome:
+        """Run ``step(round_index)`` until it returns ``False`` or budget runs out.
+
+        Parameters
+        ----------
+        step:
+            Called once per round with the zero-based round index.  Returning
+            ``False`` stops the run (reported as :attr:`StopReason.CONVERGED`).
+        stop_predicate:
+            Optional predicate evaluated every ``check_every`` rounds after
+            the step; returning ``True`` stops the run.
+        """
+        executed = 0
+        for round_index in range(self.max_rounds):
+            keep_going = step(round_index)
+            executed += 1
+            if not keep_going:
+                return ScheduleOutcome(executed, StopReason.CONVERGED)
+            if stop_predicate is not None and (round_index + 1) % self.check_every == 0:
+                if stop_predicate(round_index):
+                    return ScheduleOutcome(executed, StopReason.PREDICATE)
+        return ScheduleOutcome(executed, StopReason.BUDGET_EXHAUSTED)

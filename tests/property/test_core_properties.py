@@ -1,0 +1,137 @@
+"""Property-based tests (hypothesis) for the core protocol building blocks."""
+
+import math
+
+import numpy as np
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.opinions import (
+    bias_from_counts,
+    correct_probability_after_noise,
+    counts_from_bias,
+    opposite,
+)
+from repro.core.parameters import ProtocolParameters, compute_num_intermediate_phases
+from repro.core.schedule import build_stage1_schedule, build_stage2_schedule
+from repro.core.stage2 import majority_of_random_subset
+from repro.core.theory import exact_majority_success_probability, sample_majority_success_lower_bound
+
+
+class TestOpinionAlgebraProperties:
+    @given(st.integers(0, 10_000), st.integers(0, 10_000))
+    @settings(max_examples=100, deadline=None)
+    def test_bias_is_antisymmetric_and_bounded(self, correct, wrong):
+        assume(correct + wrong > 0)
+        bias = bias_from_counts(correct, wrong)
+        assert -0.5 <= bias <= 0.5
+        assert bias == -bias_from_counts(wrong, correct)
+        # The majority-bias equals the correct-fraction advantage over 1/2.
+        assert math.isclose(bias, correct / (correct + wrong) - 0.5, abs_tol=1e-12)
+
+    @given(st.integers(1, 5000), st.floats(min_value=0.0, max_value=0.5))
+    @settings(max_examples=100, deadline=None)
+    def test_counts_from_bias_achieves_requested_bias(self, total, bias):
+        correct, wrong = counts_from_bias(total, bias)
+        assert correct + wrong == total
+        achieved = bias_from_counts(correct, wrong)
+        # The achieved bias is the closest achievable value not below the request
+        # (except when the request cannot be met even with everyone correct).
+        assert achieved >= bias - 1e-12 or correct == total
+
+    @given(st.floats(0.0, 0.5), st.floats(0.01, 0.5))
+    @settings(max_examples=100, deadline=None)
+    def test_noisy_sample_probability_bounds(self, bias, epsilon):
+        probability = correct_probability_after_noise(bias, epsilon)
+        assert 0.5 <= probability <= 0.5 + 2 * epsilon * 0.5 + 1e-12
+        # Symmetric: a wrong-leaning population is exactly as wrong as a right-leaning one is right.
+        assert math.isclose(correct_probability_after_noise(-bias, epsilon), 1 - probability, abs_tol=1e-12)
+
+    @given(st.integers(0, 1))
+    def test_opposite_is_an_involution(self, opinion):
+        assert opposite(opposite(opinion)) == opinion
+
+
+class TestParameterProperties:
+    @given(st.integers(8, 200_000), st.floats(min_value=0.05, max_value=0.5))
+    @settings(max_examples=60, deadline=None)
+    def test_calibrated_parameters_are_well_formed(self, n, epsilon):
+        assume(epsilon > n ** (-0.45))
+        params = ProtocolParameters.calibrated(n, epsilon)
+        stage1, stage2 = params.stage1, params.stage2
+        # Paper constraint: beta_s * (beta+1)^T <= n/2 (Section 2.1.2), unless T = 0.
+        if stage1.num_intermediate_phases > 0:
+            assert stage1.beta_s * (stage1.beta + 1) ** stage1.num_intermediate_phases <= n / 2
+        assert stage2.gamma % 2 == 1
+        assert params.total_rounds == stage1.total_rounds + stage2.total_rounds
+        # Round complexity stays within a constant factor of log n / eps^2.
+        scale = math.log(n) / epsilon**2
+        assert params.total_rounds <= 60 * scale + 2000
+
+    @given(st.integers(4, 10**7), st.integers(1, 10_000), st.integers(1, 1000))
+    @settings(max_examples=100, deadline=None)
+    def test_intermediate_phase_count_is_maximal(self, n, beta_s, beta):
+        T = compute_num_intermediate_phases(n, beta_s, beta)
+        assert T >= 0
+        if T > 0:
+            assert beta_s * (beta + 1) ** T <= n / 2
+            assert beta_s * (beta + 1) ** (T + 1) > n / 2
+
+
+class TestScheduleProperties:
+    @given(st.integers(8, 50_000), st.floats(min_value=0.08, max_value=0.5), st.integers(0, 40))
+    @settings(max_examples=50, deadline=None)
+    def test_schedules_partition_their_span(self, n, epsilon, guard):
+        assume(epsilon > n ** (-0.45))
+        params = ProtocolParameters.calibrated(n, epsilon)
+        stage1 = build_stage1_schedule(params.stage1)
+        stage2 = build_stage2_schedule(params.stage2, start_round=stage1.end)
+        # Contiguous, ordered, lengths match the parameter object.
+        assert stage1.total_rounds == params.stage1.total_rounds
+        assert stage2.total_rounds == params.stage2.total_rounds
+        assert stage2.start == stage1.end
+        combined = list(stage1) + list(stage2)
+        for earlier, later in zip(combined, combined[1:]):
+            assert later.start == earlier.end
+        # Dilation preserves lengths and inserts exactly `guard` before each phase.
+        dilated = stage1.dilated(guard)
+        for original, shifted in zip(stage1, dilated):
+            assert shifted.length == original.length
+            assert shifted.start >= original.start
+
+
+class TestStageTwoSamplingProperties:
+    @given(
+        st.integers(1, 60),
+        st.integers(0, 60),
+        st.integers(1, 30),
+        st.integers(0, 2**31),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_subset_majority_respects_unanimity_and_range(self, total, ones, subset, seed):
+        assume(ones <= total and subset <= total)
+        rng = np.random.default_rng(seed)
+        result = majority_of_random_subset(
+            np.asarray([total]), np.asarray([ones]), subset, rng
+        )
+        assert result[0] in (0, 1)
+        if ones == total:
+            assert result[0] == 1
+        if ones == 0:
+            assert result[0] == 0
+
+    @given(st.integers(1, 80), st.floats(0.5, 1.0))
+    @settings(max_examples=60, deadline=None)
+    def test_exact_majority_probability_bounds(self, r, per_sample):
+        gamma = 2 * r + 1
+        probability = exact_majority_success_probability(gamma, per_sample)
+        assert 0.5 - 1e-9 <= probability <= 1.0 + 1e-9
+        # More reliable samples can only help.
+        assert probability >= exact_majority_success_probability(gamma, 0.5) - 1e-9
+
+    @given(st.floats(0.0, 0.5))
+    @settings(max_examples=50, deadline=None)
+    def test_lemma_bound_never_exceeds_achievable_probability(self, delta):
+        """The Lemma 2.11 bound stays a valid probability and caps at 1/2 + 1/100."""
+        bound = sample_majority_success_lower_bound(delta)
+        assert 0.5 <= bound <= 0.51

@@ -1,0 +1,143 @@
+"""Unit tests for repro.analysis.experiments, .sweeps, .tables and .resultsio."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.experiments import ExperimentResult, TrialResult, run_trials
+from repro.analysis.resultsio import load_result, save_result, save_sweep, to_jsonable
+from repro.analysis.sweeps import SweepPoint, parameter_grid, run_sweep
+from repro.analysis.tables import format_cell, render_kv, render_table
+from repro.errors import ExperimentError, ParameterError
+
+
+class TestRunTrials:
+    def test_collects_all_trials_with_distinct_seeds(self):
+        seen_seeds = []
+
+        def trial(seed, index):
+            seen_seeds.append(seed)
+            return {"value": index * 2.0, "flag": index % 2 == 0}
+
+        result = run_trials("demo", trial, num_trials=5, base_seed=9)
+        assert result.num_trials == 5
+        assert len(set(seen_seeds)) == 5
+        assert result.values("value") == [0.0, 2.0, 4.0, 6.0, 8.0]
+        assert result.rate("flag") == pytest.approx(3 / 5)
+        assert result.mean("value") == pytest.approx(4.0)
+
+    def test_seeds_are_reproducible(self):
+        def trial(seed, index):
+            return {"seed": seed}
+
+        first = run_trials("demo", trial, num_trials=3, base_seed=1)
+        second = run_trials("demo", trial, num_trials=3, base_seed=1)
+        assert first.values("seed") == second.values("seed")
+
+    def test_missing_measurement_raises(self):
+        result = run_trials("demo", lambda seed, index: {"a": 1.0}, num_trials=2)
+        with pytest.raises(ExperimentError):
+            result.values("b")
+
+    def test_non_mapping_return_rejected(self):
+        with pytest.raises(ExperimentError):
+            run_trials("demo", lambda seed, index: 42, num_trials=1)
+
+    def test_zero_trials_rejected(self):
+        with pytest.raises(ExperimentError):
+            run_trials("demo", lambda seed, index: {}, num_trials=0)
+
+    def test_round_trip_through_dict(self):
+        result = run_trials("demo", lambda seed, index: {"x": float(index)}, num_trials=3)
+        clone = ExperimentResult.from_dict(result.to_dict())
+        assert clone.name == "demo"
+        assert clone.values("x") == result.values("x")
+
+    def test_trial_result_accessors(self):
+        trial = TrialResult(trial_index=0, seed=1, measurements={"a": 3})
+        assert trial["a"] == 3
+        assert trial.get("missing", "default") == "default"
+
+
+class TestSweeps:
+    def test_parameter_grid_is_cartesian_product(self):
+        grid = parameter_grid(n=[1, 2], eps=[0.1, 0.2, 0.3])
+        assert len(grid) == 6
+        assert {"n": 2, "eps": 0.3} in grid
+
+    def test_parameter_grid_requires_axes(self):
+        with pytest.raises(ExperimentError):
+            parameter_grid()
+
+    def test_run_sweep_collects_per_point_results(self):
+        def trial(point, seed, index):
+            return {"double": point["x"] * 2.0, "ok": True}
+
+        sweep = run_sweep("demo", [{"x": 1}, {"x": 5}], trial, trials_per_point=3, base_seed=4)
+        assert len(sweep) == 2
+        xs, doubles = sweep.series("x", "double")
+        assert xs == [1, 5]
+        assert doubles == [2.0, 10.0]
+        xs, rates = sweep.rates("x", "ok")
+        assert rates == [1.0, 1.0]
+
+    def test_series_with_unknown_parameter_raises(self):
+        sweep = run_sweep("demo", [{"x": 1}], lambda p, s, i: {"y": 1.0}, trials_per_point=1)
+        with pytest.raises(ExperimentError):
+            sweep.series("missing", "y")
+
+    def test_sweep_point_label(self):
+        point = SweepPoint.from_mapping({"n": 100, "eps": 0.1})
+        assert point.label() == "n=100, eps=0.1"
+        assert point.as_dict() == {"n": 100, "eps": 0.1}
+
+
+class TestTables:
+    def test_format_cell(self):
+        assert format_cell(None) == "-"
+        assert format_cell(True) == "yes"
+        assert format_cell(0.123456) == "0.123"
+        assert format_cell(1234567.0) == "1.235e+06"
+        assert format_cell("text") == "text"
+
+    def test_render_table_markdown_shape(self):
+        table = render_table([{"a": 1, "b": 0.5}, {"a": 2, "b": 0.25}], title="demo")
+        lines = table.splitlines()
+        assert lines[0] == "### demo"
+        assert lines[2].startswith("| a")
+        assert len(lines) == 6
+
+    def test_render_table_missing_keys_become_dashes(self):
+        table = render_table([{"a": 1}, {"a": 2, "b": 3}], columns=["a", "b"])
+        assert "-" in table.splitlines()[2]
+
+    def test_render_empty_rejected(self):
+        with pytest.raises(ParameterError):
+            render_table([])
+
+    def test_render_kv(self):
+        block = render_kv({"rounds": 12, "ok": True})
+        assert "rounds : 12" in block
+        assert "ok" in block
+
+
+class TestResultsIO:
+    def test_to_jsonable_handles_numpy(self):
+        payload = to_jsonable({"a": np.int64(3), "b": np.float64(0.5), "c": np.asarray([1, 2]), "d": np.bool_(True)})
+        assert payload == {"a": 3, "b": 0.5, "c": [1, 2], "d": True}
+
+    def test_save_and_load_round_trip(self, tmp_path):
+        result = run_trials("demo", lambda seed, index: {"x": float(index)}, num_trials=2)
+        path = save_result(result, tmp_path / "result.json")
+        loaded = load_result(path)
+        assert loaded.name == "demo"
+        assert loaded.values("x") == result.values("x")
+
+    def test_load_missing_file_raises(self, tmp_path):
+        with pytest.raises(ExperimentError):
+            load_result(tmp_path / "absent.json")
+
+    def test_save_sweep(self, tmp_path):
+        sweep = run_sweep("demo", [{"x": 1}], lambda p, s, i: {"y": 1.0}, trials_per_point=1)
+        path = save_sweep(sweep, tmp_path / "sweep.json")
+        assert path.exists()
+        assert "demo" in path.read_text()

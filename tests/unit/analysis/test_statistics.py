@@ -1,0 +1,127 @@
+"""Unit tests for repro.analysis.statistics."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.statistics import (
+    are_negatively_correlated,
+    binomial_pmf,
+    central_binomial_tail,
+    chernoff_deviation_for_confidence,
+    chernoff_lower_tail,
+    chernoff_upper_tail,
+    empirical_bias,
+    hoeffding_sample_size,
+    summarize_bernoulli,
+    wilson_interval,
+)
+from repro.errors import ParameterError
+
+
+class TestChernoff:
+    def test_formulas_match_paper_equations(self):
+        assert chernoff_upper_tail(expectation=100, delta=0.1) == pytest.approx(math.exp(-100 * 0.01 / 3))
+        assert chernoff_lower_tail(expectation=100, delta=0.1) == pytest.approx(math.exp(-100 * 0.01 / 2))
+
+    def test_bounds_shrink_with_expectation(self):
+        assert chernoff_lower_tail(1000, 0.1) < chernoff_lower_tail(100, 0.1)
+
+    def test_bounds_are_actual_bounds_on_binomials(self):
+        """The Chernoff expressions upper-bound exact binomial tails."""
+        n, p = 400, 0.5
+        expectation = n * p
+        for delta in (0.1, 0.2, 0.3):
+            exact_upper = central_binomial_tail(n, p, math.ceil((1 + delta) * expectation))
+            assert exact_upper <= chernoff_upper_tail(expectation, delta) + 1e-12
+
+    def test_deviation_for_confidence_inverts_lower_tail(self):
+        delta = chernoff_deviation_for_confidence(expectation=200, failure_probability=1e-3)
+        assert chernoff_lower_tail(200, min(delta, 0.999)) == pytest.approx(1e-3, rel=0.05)
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            chernoff_upper_tail(10, 1.5)
+        with pytest.raises(ParameterError):
+            chernoff_lower_tail(-1, 0.5)
+
+
+class TestSampleSizes:
+    def test_hoeffding_sample_size(self):
+        size = hoeffding_sample_size(half_width=0.05, failure_probability=0.05)
+        assert size == math.ceil(math.log(2 / 0.05) / (2 * 0.0025))
+
+    def test_tighter_estimates_need_more_samples(self):
+        assert hoeffding_sample_size(0.01, 0.05) > hoeffding_sample_size(0.1, 0.05)
+
+
+class TestWilson:
+    def test_interval_contains_point_estimate(self):
+        low, high = wilson_interval(80, 100)
+        assert low < 0.8 < high
+
+    def test_extreme_rates_stay_in_unit_interval(self):
+        low, high = wilson_interval(100, 100)
+        assert 0.9 < low < 1.0 and high >= 0.999
+        low, high = wilson_interval(0, 100)
+        assert low == 0.0 and 0.0 < high < 0.1
+
+    def test_more_trials_narrow_the_interval(self):
+        narrow = wilson_interval(800, 1000)
+        wide = wilson_interval(8, 10)
+        assert (narrow[1] - narrow[0]) < (wide[1] - wide[0])
+
+    def test_summarize_bernoulli(self):
+        summary = summarize_bernoulli([True] * 9 + [False])
+        assert summary.trials == 10
+        assert summary.successes == 9
+        assert summary.rate == pytest.approx(0.9)
+        assert summary.ci_low < 0.9 < summary.ci_high
+        assert summary.as_dict()["successes"] == 9
+
+    def test_summarize_empty_rejected(self):
+        with pytest.raises(ParameterError):
+            summarize_bernoulli([])
+
+
+class TestBinomialHelpers:
+    def test_pmf_sums_to_one(self):
+        total = sum(binomial_pmf(k, 20, 0.3) for k in range(21))
+        assert total == pytest.approx(1.0)
+
+    def test_pmf_degenerate_probabilities(self):
+        assert binomial_pmf(0, 10, 0.0) == 1.0
+        assert binomial_pmf(10, 10, 1.0) == 1.0
+        assert binomial_pmf(3, 10, 0.0) == 0.0
+
+    def test_tail_edge_cases(self):
+        assert central_binomial_tail(10, 0.5, 0) == 1.0
+        assert central_binomial_tail(10, 0.5, 11) == 0.0
+        assert central_binomial_tail(10, 0.5, 5) > 0.5
+
+    def test_empirical_bias(self):
+        assert empirical_bias(60, 100) == pytest.approx(0.1)
+        with pytest.raises(ParameterError):
+            empirical_bias(5, 0)
+
+
+class TestNegativeCorrelation:
+    def test_sampling_without_replacement_is_negatively_correlated(self, rng):
+        """The paper's key example: indicators of sampling without replacement."""
+        observations = []
+        for _ in range(3000):
+            drawn = rng.choice(6, size=3, replace=False)
+            indicators = np.zeros(6)
+            indicators[drawn] = 1
+            observations.append(indicators)
+        assert are_negatively_correlated(np.asarray(observations), tolerance=0.02)
+
+    def test_positively_correlated_variables_detected(self, rng):
+        shared = rng.integers(0, 2, size=(3000, 1))
+        observations = np.hstack([shared, shared])
+        assert not are_negatively_correlated(observations, tolerance=0.02)
+
+    def test_shape_validation(self):
+        with pytest.raises(ParameterError):
+            are_negatively_correlated(np.zeros(5))

@@ -1,0 +1,118 @@
+"""Unit tests for repro.core.theory (closed-form predictions)."""
+
+import math
+
+import pytest
+
+from repro.analysis.statistics import binomial_pmf
+from repro.core import theory
+from repro.errors import ParameterError
+
+
+class TestComplexityBounds:
+    def test_round_bound_formula(self):
+        assert theory.broadcast_round_bound(1000, 0.2) == pytest.approx(math.log(1000) / 0.04)
+
+    def test_message_bound_is_n_times_round_bound(self):
+        assert theory.broadcast_message_bound(500, 0.1) == pytest.approx(
+            500 * theory.broadcast_round_bound(500, 0.1)
+        )
+
+    def test_lower_bounds_match_upper_bound_shapes(self):
+        assert theory.lower_bound_rounds(1000, 0.2) == theory.broadcast_round_bound(1000, 0.2)
+        assert theory.lower_bound_messages(1000, 0.2) == theory.broadcast_message_bound(1000, 0.2)
+
+    def test_clock_free_bound_adds_log_squared(self):
+        base = theory.broadcast_round_bound(1000, 0.2)
+        assert theory.clock_free_round_bound(1000, 0.2) == pytest.approx(base + math.log(1000) ** 2)
+
+    def test_silent_wait_is_n_times_slower(self):
+        assert theory.silent_wait_round_bound(100, 0.2) == pytest.approx(
+            100 * theory.broadcast_round_bound(100, 0.2)
+        )
+
+    def test_two_party_channel_uses(self):
+        assert theory.two_party_channel_uses(0.1) == pytest.approx(100.0)
+
+    def test_majority_consensus_thresholds(self):
+        assert theory.majority_consensus_min_set_size(1000, 0.2) == pytest.approx(
+            math.log(1000) / 0.04
+        )
+        assert theory.majority_consensus_min_bias(100, 1000) == pytest.approx(
+            math.sqrt(math.log(1000) / 100)
+        )
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ParameterError):
+            theory.broadcast_round_bound(1, 0.2)
+        with pytest.raises(ParameterError):
+            theory.majority_consensus_min_bias(0, 100)
+
+
+class TestHopDecay:
+    def test_single_hop_bias_is_epsilon(self):
+        assert theory.hop_bias(0.2, 1) == pytest.approx(0.2)
+
+    def test_decay_factor_per_hop(self):
+        for depth in range(1, 8):
+            assert theory.hop_bias(0.2, depth + 1) == pytest.approx(0.4 * theory.hop_bias(0.2, depth))
+
+    def test_correct_probability_approaches_half(self):
+        assert theory.hop_correct_probability(0.1, 30) == pytest.approx(0.5, abs=1e-9)
+
+    def test_depth_zero_is_perfect(self):
+        assert theory.hop_correct_probability(0.2, 0) == 1.0
+
+    def test_expected_relay_depth(self):
+        assert theory.expected_relay_depth(1024) == pytest.approx(10.0)
+
+
+class TestMajorityLemma:
+    def test_lower_bound_regimes(self):
+        assert theory.sample_majority_success_lower_bound(0.001) == pytest.approx(0.504)
+        assert theory.sample_majority_success_lower_bound(0.2) == pytest.approx(0.51)
+
+    def test_exact_probability_monotone_in_sample_quality(self):
+        values = [theory.exact_majority_success_probability(21, p) for p in (0.5, 0.55, 0.6, 0.7, 0.9)]
+        assert values == sorted(values)
+        assert values[0] == pytest.approx(0.5)
+
+    def test_exact_probability_monotone_in_gamma(self):
+        small = theory.exact_majority_success_probability(11, 0.6)
+        large = theory.exact_majority_success_probability(101, 0.6)
+        assert large > small
+
+    def test_exact_probability_even_gamma_ties_split(self):
+        # For gamma=2 and p=0.5: P(majority correct) = P(2 correct) + 0.5 P(tie) = 0.25 + 0.25.
+        assert theory.exact_majority_success_probability(2, 0.5) == pytest.approx(0.5)
+
+    def test_extreme_probabilities(self):
+        assert theory.exact_majority_success_probability(9, 1.0) == 1.0
+        assert theory.exact_majority_success_probability(9, 0.0) == 0.0
+
+    def test_stirling_bound_is_valid_lower_bound(self):
+        # Claim 2.12: P(exactly r+i wrong among 2r+1 fair coins) > 1/(10 sqrt r) for i <= sqrt(r).
+        for r in (4, 16, 64, 256):
+            bound = theory.stirling_central_binomial_lower_bound(r)
+            for i in (1, int(math.sqrt(r))):
+                exact = binomial_pmf(r + i, 2 * r + 1, 0.5)
+                assert exact > bound
+
+
+class TestStageTwoRecursion:
+    def test_amplifies_small_bias(self):
+        # Well below the 1/800 cap the map multiplies by 1.7; near the cap it clips to it.
+        assert theory.stage2_bias_recursion(0.0001) == pytest.approx(0.00017)
+        assert theory.stage2_bias_recursion(0.001) == pytest.approx(1.0 / 800.0)
+
+    def test_does_not_shrink_large_bias(self):
+        assert theory.stage2_bias_recursion(0.2) >= 0.2
+
+    def test_phases_needed(self):
+        assert theory.stage2_phases_needed(1.0 / 800.0) == 0
+        needed = theory.stage2_phases_needed(0.001, target_bias=1.0 / 800.0)
+        assert needed == math.ceil(math.log((1 / 800) / 0.001) / math.log(1.7))
+
+    def test_invalid_initial_bias(self):
+        with pytest.raises(ParameterError):
+            theory.stage2_phases_needed(0.0)

@@ -1,0 +1,62 @@
+"""Unit tests for repro.protocols.registry and the shared result type."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.protocols import (
+    BaselineProtocol,
+    ImmediateForwardingBroadcast,
+    available_protocols,
+    consensus_round,
+    make_protocol,
+    register_protocol,
+)
+from repro.protocols.registry import _FACTORIES
+
+
+class TestRegistry:
+    def test_all_builtin_protocols_registered(self):
+        names = available_protocols()
+        assert "immediate-forwarding" in names
+        assert "silent-wait" in names
+        assert "direct-source-reference" in names
+        assert "noisy-voter" in names
+        assert "two-choices-majority" in names
+        assert "three-state-majority" in names
+
+    def test_make_protocol_returns_fresh_instances(self):
+        first = make_protocol("immediate-forwarding")
+        second = make_protocol("immediate-forwarding")
+        assert isinstance(first, ImmediateForwardingBroadcast)
+        assert first is not second
+
+    def test_unknown_name_rejected_with_suggestions(self):
+        with pytest.raises(ConfigurationError, match="available"):
+            make_protocol("no-such-protocol")
+
+    def test_register_custom_protocol(self):
+        class Dummy(ImmediateForwardingBroadcast):
+            name = "dummy-protocol"
+
+        try:
+            register_protocol("dummy-protocol", Dummy)
+            assert isinstance(make_protocol("dummy-protocol"), Dummy)
+            with pytest.raises(ConfigurationError):
+                register_protocol("dummy-protocol", Dummy)
+        finally:
+            _FACTORIES.pop("dummy-protocol", None)
+
+    def test_every_registered_factory_builds_a_baseline_protocol(self):
+        for name in available_protocols():
+            assert isinstance(make_protocol(name), BaselineProtocol)
+
+
+class TestConsensusRound:
+    def test_finds_first_hit(self):
+        series = np.asarray([0.2, 0.5, 0.99, 1.0, 1.0])
+        assert consensus_round(series) == 3
+        assert consensus_round(series, threshold=0.9) == 2
+
+    def test_returns_none_when_never_reached(self):
+        assert consensus_round(np.asarray([0.1, 0.2, 0.3])) is None

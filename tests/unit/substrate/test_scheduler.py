@@ -1,0 +1,46 @@
+"""Unit tests for repro.substrate.scheduler."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.substrate.scheduler import RoundScheduler, StopReason
+
+
+class TestRoundScheduler:
+    def test_runs_until_budget(self):
+        calls = []
+        outcome = RoundScheduler(max_rounds=5).run(lambda r: calls.append(r) or True)
+        assert outcome.rounds_executed == 5
+        assert outcome.stop_reason is StopReason.BUDGET_EXHAUSTED
+        assert not outcome.converged
+        assert calls == [0, 1, 2, 3, 4]
+
+    def test_stops_when_step_returns_false(self):
+        outcome = RoundScheduler(max_rounds=100).run(lambda r: r < 3)
+        assert outcome.rounds_executed == 4
+        assert outcome.stop_reason is StopReason.CONVERGED
+        assert outcome.converged
+
+    def test_stop_predicate_checked_on_schedule(self):
+        checks = []
+
+        def predicate(round_index):
+            checks.append(round_index)
+            return round_index >= 5
+
+        outcome = RoundScheduler(max_rounds=100, check_every=3).run(lambda r: True, predicate)
+        assert outcome.stop_reason is StopReason.PREDICATE
+        # Predicate runs at rounds 2, 5 (0-based) -> stops after 6 executed rounds.
+        assert checks == [2, 5]
+        assert outcome.rounds_executed == 6
+
+    def test_zero_budget(self):
+        outcome = RoundScheduler(max_rounds=0).run(lambda r: True)
+        assert outcome.rounds_executed == 0
+        assert outcome.stop_reason is StopReason.BUDGET_EXHAUSTED
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ParameterError):
+            RoundScheduler(max_rounds=-1)
+        with pytest.raises(ParameterError):
+            RoundScheduler(max_rounds=10, check_every=0)

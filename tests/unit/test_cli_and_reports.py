@@ -1,0 +1,76 @@
+"""Unit tests for the CLI and the experiment report structure."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.errors import ExperimentError
+from repro.experiments import DRIVERS
+from repro.experiments.report import ExperimentReport
+
+
+class TestExperimentReport:
+    def test_rows_and_rendering(self):
+        report = ExperimentReport(experiment_id="EX", title="demo", claim="something holds")
+        report.add_row(n=10, value=0.5)
+        report.add_row(n=20, value=0.25)
+        report.add_note("a remark")
+        text = report.render()
+        assert "EX: demo" in text
+        assert "paper claim: something holds" in text
+        assert "note: a remark" in text
+        assert report.columns() == ["n", "value"]
+        assert report.row_values("n") == [10, 20]
+
+    def test_empty_report_rejected_at_render(self):
+        report = ExperimentReport(experiment_id="EX", title="demo", claim="c")
+        with pytest.raises(ExperimentError):
+            report.render()
+
+
+class TestDriverRegistry:
+    def test_all_eleven_experiments_registered(self):
+        assert sorted(DRIVERS, key=lambda key: int(key[1:])) == [f"E{i}" for i in range(1, 12)]
+
+    def test_every_driver_exposes_run(self):
+        for driver in DRIVERS.values():
+            assert callable(driver.run)
+            assert driver.__doc__
+
+
+class TestCli:
+    def test_parser_has_all_subcommands(self):
+        parser = build_parser()
+        args = parser.parse_args(["broadcast", "--n", "50", "--epsilon", "0.3"])
+        assert args.command == "broadcast" and args.n == 50
+        args = parser.parse_args(["majority", "--set-size", "10"])
+        assert args.command == "majority" and args.set_size == 10
+        args = parser.parse_args(["experiment", "E10"])
+        assert args.experiment_id == "E10"
+
+    def test_broadcast_command_runs_and_reports_success(self, capsys):
+        exit_code = main(["broadcast", "--n", "250", "--epsilon", "0.3", "--seed", "3"])
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "success" in captured and "rounds" in captured
+
+    def test_majority_command_runs(self, capsys):
+        exit_code = main(
+            ["majority", "--n", "250", "--epsilon", "0.3", "--set-size", "80", "--bias", "0.25"]
+        )
+        assert exit_code == 0
+        assert "majority-consensus" in capsys.readouterr().out
+
+    def test_experiment_command_prints_report(self, capsys):
+        exit_code = main(["experiment", "E10"])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "E10" in out and "Lemma 2.11" in out
+
+    def test_list_experiments(self, capsys):
+        assert main(["list-experiments"]) == 0
+        out = capsys.readouterr().out
+        assert "E1:" in out and "E11:" in out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "E99"])
