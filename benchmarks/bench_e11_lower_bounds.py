@@ -3,10 +3,10 @@
 from repro.experiments import e11_lower_bounds
 
 
-def test_e11_lower_bounds(benchmark, print_report):
+def test_e11_lower_bounds(benchmark, print_report, exec_runner):
     report = benchmark.pedantic(
         e11_lower_bounds.run,
-        kwargs={"n": 400, "epsilon": 0.25, "trials": 3},
+        kwargs={"n": 400, "epsilon": 0.25, "trials": 3, "runner": exec_runner},
         rounds=1,
         iterations=1,
     )

@@ -3,10 +3,10 @@
 from repro.experiments import e1_rounds_vs_n
 
 
-def test_e1_rounds_vs_n(benchmark, print_report):
+def test_e1_rounds_vs_n(benchmark, print_report, exec_runner):
     report = benchmark.pedantic(
         e1_rounds_vs_n.run,
-        kwargs={"sizes": (250, 500, 1000, 2000, 4000), "epsilon": 0.2, "trials": 5},
+        kwargs={"sizes": (250, 500, 1000, 2000, 4000), "epsilon": 0.2, "trials": 5, "runner": exec_runner},
         rounds=1,
         iterations=1,
     )

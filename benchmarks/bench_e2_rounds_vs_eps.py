@@ -3,10 +3,10 @@
 from repro.experiments import e2_rounds_vs_eps
 
 
-def test_e2_rounds_vs_eps(benchmark, print_report):
+def test_e2_rounds_vs_eps(benchmark, print_report, exec_runner):
     report = benchmark.pedantic(
         e2_rounds_vs_eps.run,
-        kwargs={"epsilons": (0.1, 0.15, 0.2, 0.3, 0.4), "n": 1000, "trials": 5},
+        kwargs={"epsilons": (0.1, 0.15, 0.2, 0.3, 0.4), "n": 1000, "trials": 5, "runner": exec_runner},
         rounds=1,
         iterations=1,
     )

@@ -3,10 +3,10 @@
 from repro.experiments import e3_messages
 
 
-def test_e3_message_complexity(benchmark, print_report):
+def test_e3_message_complexity(benchmark, print_report, exec_runner):
     report = benchmark.pedantic(
         e3_messages.run,
-        kwargs={"sizes": (500, 1000, 2000), "epsilons": (0.15, 0.25), "trials": 3},
+        kwargs={"sizes": (500, 1000, 2000), "epsilons": (0.15, 0.25), "trials": 3, "runner": exec_runner},
         rounds=1,
         iterations=1,
     )

@@ -3,10 +3,10 @@
 from repro.experiments import e4_phase0
 
 
-def test_e4_phase0(benchmark, print_report):
+def test_e4_phase0(benchmark, print_report, exec_runner):
     report = benchmark.pedantic(
         e4_phase0.run,
-        kwargs={"n": 4000, "epsilons": (0.1, 0.2, 0.3), "trials": 30},
+        kwargs={"n": 4000, "epsilons": (0.1, 0.2, 0.3), "trials": 30, "runner": exec_runner},
         rounds=1,
         iterations=1,
     )

@@ -3,10 +3,10 @@
 from repro.experiments import e5_stage1_growth
 
 
-def test_e5_stage1_growth(benchmark, print_report):
+def test_e5_stage1_growth(benchmark, print_report, exec_runner):
     report = benchmark.pedantic(
         e5_stage1_growth.run,
-        kwargs={"n": 8000, "epsilon": 0.35, "beta_override": 8, "trials": 5},
+        kwargs={"n": 8000, "epsilon": 0.35, "beta_override": 8, "trials": 5, "runner": exec_runner},
         rounds=1,
         iterations=1,
     )

@@ -3,10 +3,10 @@
 from repro.experiments import e6_stage2_boost
 
 
-def test_e6_stage2_boost(benchmark, print_report):
+def test_e6_stage2_boost(benchmark, print_report, exec_runner):
     report = benchmark.pedantic(
         e6_stage2_boost.run,
-        kwargs={"n": 4000, "epsilon": 0.2, "trials": 8},
+        kwargs={"n": 4000, "epsilon": 0.2, "trials": 8, "runner": exec_runner},
         rounds=1,
         iterations=1,
     )

@@ -3,10 +3,10 @@
 from repro.experiments import e7_baselines
 
 
-def test_e7_baselines(benchmark, print_report):
+def test_e7_baselines(benchmark, print_report, exec_runner):
     report = benchmark.pedantic(
         e7_baselines.run,
-        kwargs={"n": 2000, "epsilons": (0.1, 0.2), "trials": 3},
+        kwargs={"n": 2000, "epsilons": (0.1, 0.2), "trials": 3, "runner": exec_runner},
         rounds=1,
         iterations=1,
     )

@@ -3,7 +3,7 @@
 from repro.experiments import e8_majority
 
 
-def test_e8_majority_consensus(benchmark, print_report):
+def test_e8_majority_consensus(benchmark, print_report, exec_runner):
     report = benchmark.pedantic(
         e8_majority.run,
         kwargs={
@@ -12,6 +12,7 @@ def test_e8_majority_consensus(benchmark, print_report):
             "set_sizes": (50, 200, 800),
             "biases": (0.02, 0.05, 0.1, 0.2, 0.35),
             "trials": 4,
+            "runner": exec_runner,
         },
         rounds=1,
         iterations=1,

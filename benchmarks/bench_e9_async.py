@@ -3,10 +3,10 @@
 from repro.experiments import e9_async
 
 
-def test_e9_clock_removal(benchmark, print_report):
+def test_e9_clock_removal(benchmark, print_report, exec_runner):
     report = benchmark.pedantic(
         e9_async.run,
-        kwargs={"n": 1000, "epsilon": 0.25, "skews": (8, 32, 128), "trials": 3},
+        kwargs={"n": 1000, "epsilon": 0.25, "skews": (8, 32, 128), "trials": 3, "runner": exec_runner},
         rounds=1,
         iterations=1,
     )

@@ -1,18 +1,27 @@
 """Shared configuration for the benchmark harness.
 
-Each ``bench_e*.py`` file regenerates one experiment from DESIGN.md Section 4
-by running its driver under ``pytest-benchmark`` (so wall-clock cost is
-recorded) and printing the driver's report table.  Run with::
+Each ``bench_e*.py`` file regenerates one experiment of the E1–E11 table in
+``README.md`` by running its driver under ``pytest-benchmark`` (so wall-clock
+cost is recorded) and printing the driver's report table.  Run with::
 
     pytest benchmarks/ --benchmark-only -s
 
 (``-s`` shows the report tables; omit it if you only want the benchmark
 timings and the pass/fail assertions.)
+
+The drivers execute their Monte-Carlo trials through the trial-execution
+subsystem (:mod:`repro.exec`).  By default trials run serially; set
+``REPRO_BENCH_JOBS`` to fan them out over worker processes (``0`` = one per
+CPU, ``k`` = ``k`` workers) — results are identical either way, only the
+wall-clock changes.  ``benchmarks/bench_exec_speedup.py`` measures the
+speedup of the parallel and batched paths explicitly and records it as JSON.
 """
 
 from __future__ import annotations
 
 import pytest
+
+from repro.exec import runner_from_env
 
 
 @pytest.fixture
@@ -25,3 +34,9 @@ def print_report():
         print()
 
     return _print
+
+
+@pytest.fixture
+def exec_runner():
+    """Trial runner shared by every benchmark, configured via ``REPRO_BENCH_JOBS``."""
+    return runner_from_env("REPRO_BENCH_JOBS")

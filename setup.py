@@ -1,11 +1,62 @@
-"""Setuptools shim.
+"""Package metadata and installation for the PODC 2014 reproduction.
 
-The project is fully described by ``pyproject.toml``; this file exists only
-so that environments without the ``wheel`` package (which PEP 660 editable
-installs require) can still do a legacy ``python setup.py develop`` /
-``pip install -e .`` editable install.
+Installs the ``repro`` package (a from-scratch reproduction of
+Feinerman–Haeupler–Korman, "Breathe before Speaking", PODC 2014) and the
+``repro-flip`` command-line interface.  The long description is the
+top-level ``README.md``, so PyPI-style metadata stays in sync with the
+repository documentation.
 """
 
-from setuptools import setup
+from pathlib import Path
 
-setup()
+from setuptools import find_packages, setup
+
+README = Path(__file__).parent / "README.md"
+
+setup(
+    name="repro-flip",
+    version="1.0.0",
+    description=(
+        "Noisy broadcast and majority consensus in the Flip model — a reproduction of "
+        "Feinerman, Haeupler & Korman, 'Breathe before Speaking' (PODC 2014)"
+    ),
+    long_description=README.read_text(encoding="utf-8"),
+    long_description_content_type="text/markdown",
+    author="paper-repo-growth",
+    license="MIT",
+    url="https://example.invalid/repro-flip",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+    install_requires=["numpy>=1.22"],
+    extras_require={
+        "test": ["pytest>=7", "hypothesis>=6", "pytest-benchmark>=4"],
+    },
+    entry_points={
+        "console_scripts": [
+            "repro-flip = repro.cli:main",
+        ],
+    },
+    classifiers=[
+        "Development Status :: 4 - Beta",
+        "Intended Audience :: Science/Research",
+        "License :: OSI Approved :: MIT License",
+        "Operating System :: OS Independent",
+        "Programming Language :: Python :: 3",
+        "Programming Language :: Python :: 3.9",
+        "Programming Language :: Python :: 3.10",
+        "Programming Language :: Python :: 3.11",
+        "Programming Language :: Python :: 3.12",
+        "Topic :: Scientific/Engineering",
+        "Topic :: System :: Distributed Computing",
+    ],
+    keywords=[
+        "distributed-computing",
+        "gossip-protocols",
+        "noisy-communication",
+        "population-protocols",
+        "simulation",
+        "reproducibility",
+    ],
+    zip_safe=False,
+)

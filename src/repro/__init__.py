@@ -13,8 +13,8 @@ Quickstart
 >>> result.success
 True
 
-See ``README.md`` for the architecture overview and ``DESIGN.md`` /
-``EXPERIMENTS.md`` for the experiment index.
+See ``README.md`` for the experiment index (E1–E11) and
+``docs/ARCHITECTURE.md`` for the architecture overview.
 """
 
 from .core import (

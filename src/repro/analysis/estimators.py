@@ -2,7 +2,7 @@
 
 The experiment drivers produce lists of per-trial scalars (rounds, messages,
 final bias, success flags).  This module reduces them into the summary rows
-shown in EXPERIMENTS.md: means with confidence intervals, quantiles, success
+shown in the experiment reports: means with confidence intervals, quantiles, success
 rates, and bias trajectories averaged across trials.
 """
 

@@ -7,17 +7,25 @@ experiment driver uses: it derives one independent seed per trial from a
 base seed, calls the trial function, and collects the returned measurements
 into an :class:`ExperimentResult` that can be summarised, tabulated and
 serialised.
+
+*Where* the trials execute is delegated to the trial runners in
+:mod:`repro.exec.runner`: the default :class:`~repro.exec.runner.SerialTrialRunner`
+reproduces the historical in-process loop exactly, while
+:class:`~repro.exec.runner.ParallelTrialRunner` fans trials out over a
+process pool with an identical-results-for-identical-seeds guarantee.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Mapping, Optional, Sequence
 
 from ..errors import ExperimentError
-from ..substrate.rng import derive_seed
 from .estimators import ScalarSummary, summarize_scalar
 from .statistics import BernoulliSummary, summarize_bernoulli
+
+if TYPE_CHECKING:  # pragma: no cover - avoids an import cycle with repro.exec
+    from ..exec.runner import TrialRunner
 
 __all__ = ["TrialResult", "ExperimentResult", "run_trials"]
 
@@ -123,6 +131,7 @@ def run_trials(
     num_trials: int,
     base_seed: int = 0,
     config: Optional[Mapping[str, Any]] = None,
+    runner: Optional["TrialRunner"] = None,
 ) -> ExperimentResult:
     """Run ``num_trials`` independent trials of ``trial_fn`` and collect the results.
 
@@ -140,18 +149,18 @@ def run_trials(
         Root seed; fixing it makes the whole experiment reproducible.
     config:
         Arbitrary configuration metadata stored alongside the results.
+    runner:
+        Trial-execution strategy from :mod:`repro.exec.runner`; ``None``
+        selects the serial runner.  Runners derive identical per-trial seeds,
+        so the result does not depend on which one executes the trials (for
+        a picklable ``trial_fn``, parallel results are bit-identical).
     """
-    if num_trials < 1:
-        raise ExperimentError("num_trials must be at least 1")
-    result = ExperimentResult(name=name, config=dict(config or {}))
-    for trial_index in range(num_trials):
-        seed = derive_seed(base_seed, name, trial_index)
-        measurements = trial_fn(seed, trial_index)
-        if not isinstance(measurements, Mapping):
-            raise ExperimentError(
-                f"trial function for {name!r} must return a mapping, got {type(measurements).__name__}"
-            )
-        result.trials.append(
-            TrialResult(trial_index=trial_index, seed=seed, measurements=dict(measurements))
-        )
-    return result
+    if runner is None:
+        # Imported late: repro.exec.runner imports this module for the result
+        # containers, so a top-level import either way would be circular.
+        from ..exec.runner import SerialTrialRunner
+
+        runner = SerialTrialRunner()
+    return runner.run(
+        name=name, trial_fn=trial_fn, num_trials=num_trials, base_seed=base_seed, config=config
+    )

@@ -1,7 +1,7 @@
 """Persistence of experiment results as JSON.
 
 Benchmarks and examples can save their :class:`ExperimentResult` /
-:class:`SweepResult` objects so that EXPERIMENTS.md numbers can be traced
+:class:`SweepResult` objects so that reported numbers can be traced
 back to concrete runs.  JSON is used (rather than pickles) so results remain
 inspectable and diff-able.
 """

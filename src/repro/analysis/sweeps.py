@@ -1,20 +1,27 @@
 """Parameter sweeps: run the same experiment over a grid of configurations.
 
-Every experiment in DESIGN.md Section 4 is a sweep over one or two
-parameters (``n``, ``epsilon``, ``|A|``, initial bias, clock skew ...) with a
-fixed number of Monte-Carlo trials per grid point.  This module provides the
-grid construction and the sweep runner, returning one
-:class:`~repro.analysis.experiments.ExperimentResult` per point.
+Every experiment driver in :mod:`repro.experiments` (the E1–E11 table in
+``README.md``) is a sweep over one or two parameters (``n``, ``epsilon``,
+``|A|``, initial bias, clock skew ...) with a fixed number of Monte-Carlo
+trials per grid point.  This module provides the grid construction and the
+sweep runner, returning one
+:class:`~repro.analysis.experiments.ExperimentResult` per point.  Like
+:func:`~repro.analysis.experiments.run_trials`, :func:`run_sweep` accepts a
+trial runner from :mod:`repro.exec.runner` to execute each point's trials in
+parallel.
 """
 
 from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterable, List, Mapping, Sequence, Tuple
+from typing import TYPE_CHECKING, Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from ..errors import ExperimentError
 from .experiments import ExperimentResult, run_trials
+
+if TYPE_CHECKING:  # pragma: no cover - avoids an import cycle with repro.exec
+    from ..exec.runner import TrialRunner
 
 __all__ = ["SweepPoint", "SweepResult", "parameter_grid", "run_sweep"]
 
@@ -103,32 +110,49 @@ def parameter_grid(**axes: Sequence[Any]) -> List[Dict[str, Any]]:
     return [dict(zip(names, values)) for values in combinations]
 
 
+@dataclass(frozen=True)
+class _PointBoundTrial:
+    """A sweep trial function with one grid point's parameters bound.
+
+    A module-level class (rather than a closure) so the bound trial can cross
+    a process boundary: :class:`~repro.exec.runner.ParallelTrialRunner`
+    pickles the trial function into its workers, and closures cannot be
+    pickled.  The instance is picklable whenever ``trial_fn`` itself is.
+    """
+
+    trial_fn: SweepTrialFunction
+    point: SweepPoint
+
+    def __call__(self, seed: int, trial_index: int) -> Mapping[str, Any]:
+        """Run one trial at the bound grid point."""
+        return self.trial_fn(self.point.as_dict(), seed, trial_index)
+
+
 def run_sweep(
     name: str,
     points: Iterable[Mapping[str, Any]],
     trial_fn: SweepTrialFunction,
     trials_per_point: int,
     base_seed: int = 0,
+    runner: Optional["TrialRunner"] = None,
 ) -> SweepResult:
     """Run ``trials_per_point`` trials of ``trial_fn`` at every grid point.
 
     The per-point experiment is named ``"{name}[{point label}]"`` and seeded
     independently of the other points, so adding points to a sweep never
-    changes existing results.
+    changes existing results.  ``runner`` selects the execution strategy for
+    each point's trials (see :func:`repro.analysis.experiments.run_trials`).
     """
     sweep = SweepResult(name=name)
     for raw_point in points:
         point = SweepPoint.from_mapping(raw_point)
-
-        def bound_trial(seed: int, trial_index: int, _point=point) -> Mapping[str, Any]:
-            return trial_fn(_point.as_dict(), seed, trial_index)
-
         result = run_trials(
             name=f"{name}[{point.label()}]",
-            trial_fn=bound_trial,
+            trial_fn=_PointBoundTrial(trial_fn, point),
             num_trials=trials_per_point,
             base_seed=base_seed,
             config=point.as_dict(),
+            runner=runner,
         )
         sweep.points.append(point)
         sweep.results.append(result)

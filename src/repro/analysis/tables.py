@@ -2,7 +2,7 @@
 
 The paper being a theory paper, this repository's "figures" are tables of
 measured quantities printed by the benchmark harness and recorded in
-EXPERIMENTS.md.  :func:`render_table` formats a list of row dictionaries as
+the rendered experiment reports.  :func:`render_table` formats a list of row dictionaries as
 a GitHub-flavoured markdown table (which also reads fine as plain text in a
 terminal), with light numeric formatting.
 """

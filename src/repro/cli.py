@@ -1,4 +1,4 @@
-"""Command-line interface.
+"""Command-line interface to the protocol runners and experiment drivers.
 
 Installed as ``repro-flip``.  Three subcommands cover the common workflows:
 
@@ -6,13 +6,17 @@ Installed as ``repro-flip``.  Three subcommands cover the common workflows:
   broadcast protocol once and print the outcome;
 * ``repro-flip majority --n 2000 --epsilon 0.2 --set-size 300 --bias 0.1`` —
   run the noisy majority-consensus protocol once;
-* ``repro-flip experiment E1`` — run one of the experiment drivers (see
-  DESIGN.md Section 4) with its default settings and print its report.
+* ``repro-flip experiment E1 --jobs 4`` — run one of the experiment drivers
+  (the E1–E11 table in ``README.md``) with its default settings and print
+  its report; ``--jobs`` runs the Monte-Carlo trials across worker
+  processes and ``--batch`` uses the vectorised batch simulator for the
+  broadcast-shaped experiments (see :mod:`repro.exec`).
 """
 
 from __future__ import annotations
 
 import argparse
+import inspect
 import sys
 from typing import Optional, Sequence
 
@@ -20,6 +24,7 @@ from .analysis.tables import render_kv
 from .core.broadcast import solve_noisy_broadcast
 from .core.majority import solve_noisy_majority_consensus
 from .core.synchronizer import run_clock_free_broadcast
+from .exec import resolve_runner
 from .experiments import DRIVERS
 
 __all__ = ["build_parser", "main"]
@@ -50,6 +55,21 @@ def build_parser() -> argparse.ArgumentParser:
 
     experiment = subparsers.add_parser("experiment", help="run an experiment driver (E1..E11)")
     experiment.add_argument("experiment_id", choices=sorted(DRIVERS, key=lambda key: int(key[1:])))
+    experiment.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="run Monte-Carlo trials across N worker processes (0 = one per CPU, default: serial); "
+        "results are identical to a serial run for the same seeds",
+    )
+    experiment.add_argument(
+        "--batch",
+        action="store_true",
+        help="simulate all trials of each sweep point at once with the vectorised batch path "
+        "(broadcast-shaped experiments only; deterministic per base seed, but drawn from a "
+        "batch-level random stream instead of per-trial streams)",
+    )
 
     subparsers.add_parser("list-experiments", help="list available experiment drivers")
     return parser
@@ -103,6 +123,39 @@ def _run_majority(args: argparse.Namespace) -> int:
     return 0 if result.success else 1
 
 
+def _run_experiment(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
+    """Run one experiment driver with the requested execution strategy."""
+    driver = DRIVERS[args.experiment_id]
+    accepted = inspect.signature(driver.run).parameters
+    kwargs = {}
+    if args.jobs is not None:
+        if args.jobs < 0:
+            parser.error(f"--jobs must be non-negative (0 = one worker per CPU), got {args.jobs}")
+        if args.batch:
+            print(
+                "note: --batch is a single-process vectorised path; --jobs is ignored",
+                file=sys.stderr,
+            )
+        elif "runner" not in accepted:
+            print(
+                f"note: {args.experiment_id} vectorises its Monte-Carlo in-process rather than "
+                "running per-trial simulations; --jobs has no effect",
+                file=sys.stderr,
+            )
+        else:
+            kwargs["runner"] = resolve_runner(args.jobs)
+    if args.batch:
+        if "batch" not in accepted:
+            parser.error(
+                f"{args.experiment_id} has no vectorised batch path; --batch supports the "
+                "broadcast-shaped experiments (E1, E2, E3)"
+            )
+        kwargs["batch"] = True
+    report = driver.run(**kwargs)
+    print(report.render())
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
@@ -113,9 +166,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.command == "majority":
         return _run_majority(args)
     if args.command == "experiment":
-        report = DRIVERS[args.experiment_id].run()
-        print(report.render())
-        return 0
+        return _run_experiment(args, parser)
     if args.command == "list-experiments":
         for experiment_id in sorted(DRIVERS, key=lambda key: int(key[1:])):
             driver = DRIVERS[experiment_id]

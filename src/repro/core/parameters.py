@@ -13,7 +13,7 @@ constants, via two presets:
   (enormous; useful only to document and unit-test the formulas);
 * :meth:`ProtocolParameters.calibrated` — small constants that preserve all
   dependencies on ``n`` and ``epsilon`` and succeed with overwhelming
-  empirical frequency at laptop scale (see DESIGN.md Section 5).
+  empirical frequency at laptop scale (see the calibration notes below).
 """
 
 from __future__ import annotations

@@ -1,0 +1,68 @@
+"""Trial-execution subsystem: serial, process-parallel and batched runners.
+
+The analysis layer (:mod:`repro.analysis`) defines *what* a Monte-Carlo
+experiment is — trial functions, seed bookkeeping, result containers.  This
+package defines *how* the trials execute:
+
+* :mod:`repro.exec.runner` — :class:`SerialTrialRunner` (the deterministic
+  reference) and :class:`ParallelTrialRunner` (a process-pool fan-out with an
+  identical-results-for-identical-seeds contract and automatic serial
+  fallback for unpicklable trial functions);
+* :mod:`repro.exec.pool` — the :class:`concurrent.futures.ProcessPoolExecutor`
+  plumbing behind the parallel runner;
+* :mod:`repro.exec.batching` — a vectorised path that simulates ``R``
+  independent replicates of the noisy push-gossip protocol as ``(R, n)``
+  NumPy grids instead of one engine per trial.
+
+Experiment drivers accept a ``runner=`` argument (surfaced as ``--jobs`` on
+the CLI) and, for the broadcast-shaped experiments, a ``batch=`` flag
+(surfaced as ``--batch``); see ``docs/ARCHITECTURE.md`` for the determinism
+contract of each path.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+from .batching import (
+    BatchBroadcastResult,
+    batch_to_experiment_result,
+    run_broadcast_batch,
+    run_broadcast_sweep_batched,
+)
+from .runner import (
+    ParallelTrialRunner,
+    SerialTrialRunner,
+    TrialRunner,
+    resolve_runner,
+    trial_seed,
+    trial_seeds,
+)
+
+__all__ = [
+    "TrialRunner",
+    "SerialTrialRunner",
+    "ParallelTrialRunner",
+    "resolve_runner",
+    "runner_from_env",
+    "trial_seed",
+    "trial_seeds",
+    "BatchBroadcastResult",
+    "run_broadcast_batch",
+    "batch_to_experiment_result",
+    "run_broadcast_sweep_batched",
+]
+
+
+def runner_from_env(variable: str = "REPRO_JOBS") -> TrialRunner:
+    """Build a runner from an environment variable (used by the benchmarks).
+
+    The variable holds the worker count with the same convention as the CLI's
+    ``--jobs`` flag: unset or ``1`` → serial, ``0`` → one worker per CPU,
+    ``k > 1`` → ``k`` workers.
+    """
+    raw = os.environ.get(variable, "").strip()
+    if not raw:
+        return SerialTrialRunner()
+    return resolve_runner(int(raw))

@@ -1,0 +1,327 @@
+"""Vectorised batch execution of the noisy-broadcast protocol.
+
+The serial execution path builds one :class:`~repro.substrate.engine.SimulationEngine`
+per Monte-Carlo trial and pays Python-level bookkeeping (engine wiring,
+metrics, tracing, per-round dataclasses) for every round of every trial.
+Since all trials of one sweep point share ``(n, epsilon, parameters)`` — and
+the protocol's round schedule is a deterministic function of those — ``R``
+replicates can instead be simulated *simultaneously* as ``(R, n)`` NumPy
+grids: one :meth:`~repro.substrate.network.PushGossipNetwork.deliver_batch`
+call per round replaces ``R`` engine rounds.
+
+Determinism contract
+--------------------
+* A batch run is fully determined by ``(n, epsilon, num_replicates,
+  base_seed, parameters)``: two identical calls return identical arrays.
+* Per-replicate dynamics are *statistically* equivalent to
+  :func:`repro.core.broadcast.solve_noisy_broadcast` — same protocol, same
+  schedule (the per-replicate round count is exactly equal), same
+  distributions — but **not** bit-identical to serial trials, because the
+  whole batch consumes one random stream instead of one stream tree per
+  engine.  Experiments that must be replayable trial-for-trial (the default)
+  use the serial or parallel runners in :mod:`repro.exec.runner`; ``--batch``
+  trades that per-trial replayability for a large constant-factor speedup
+  while keeping batch-level reproducibility.
+
+The differential tests in ``tests/unit/exec/test_batching.py`` pin both
+halves of the contract: exact equality where the paper's schedule is
+deterministic (round counts), and distributional agreement for the stochastic
+observables (success rate, message counts, final bias).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, Mapping, Optional
+
+import numpy as np
+
+from ..core.parameters import ProtocolParameters
+from ..errors import ExperimentError, SimulationError
+from ..substrate.network import PushGossipNetwork
+from ..substrate.noise import BinarySymmetricChannel, NoiseChannel
+from ..substrate.population import NO_OPINION
+from ..substrate.rng import derive_seed, spawn_generator
+from .runner import trial_seeds
+
+__all__ = [
+    "BatchBroadcastResult",
+    "run_broadcast_batch",
+    "batch_to_experiment_result",
+    "run_broadcast_sweep_batched",
+]
+
+
+@dataclass(frozen=True)
+class BatchBroadcastResult:
+    """Per-replicate outcomes of a batched noisy-broadcast run.
+
+    Attributes
+    ----------
+    n, epsilon, correct_opinion:
+        The shared instance parameters.
+    rounds:
+        Round count — identical for every replicate because the paper's
+        two-stage schedule is fixed by ``(n, epsilon)``; exactly equals the
+        serial :class:`~repro.core.broadcast.BroadcastResult.rounds`.
+    success:
+        ``(R,)`` boolean vector: did every agent finish holding ``B``?
+    final_correct_fraction:
+        ``(R,)`` fraction of agents holding ``B`` at the end.
+    messages_sent:
+        ``(R,)`` total messages pushed, per replicate.
+    stage1_bias:
+        ``(R,)`` population bias towards ``B`` at the end of Stage I (the
+        paper's ``delta_1``).
+    """
+
+    n: int
+    epsilon: float
+    correct_opinion: int
+    rounds: int
+    success: np.ndarray
+    final_correct_fraction: np.ndarray
+    messages_sent: np.ndarray
+    stage1_bias: np.ndarray
+
+    @property
+    def num_replicates(self) -> int:
+        """Number of replicates ``R`` in the batch."""
+        return int(self.success.size)
+
+    def measurements(self, index: int) -> Dict[str, Any]:
+        """Replicate ``index`` as a trial-measurement mapping.
+
+        The keys form a superset of what the broadcast-shaped experiment
+        drivers (E1–E3) record serially, so batched and serial sweeps produce
+        interchangeable :class:`~repro.analysis.experiments.ExperimentResult`
+        tables.
+        """
+        return {
+            "rounds": int(self.rounds),
+            "messages": int(self.messages_sent[index]),
+            "messages_per_agent": float(self.messages_sent[index] / self.n),
+            "success": bool(self.success[index]),
+            "final_correct_fraction": float(self.final_correct_fraction[index]),
+            "stage1_bias": float(self.stage1_bias[index]),
+        }
+
+
+def run_broadcast_batch(
+    n: int,
+    epsilon: float,
+    num_replicates: int,
+    base_seed: int = 0,
+    correct_opinion: int = 1,
+    parameters: Optional[ProtocolParameters] = None,
+    channel: Optional[NoiseChannel] = None,
+    allow_self_messages: bool = False,
+    **calibration_overrides: float,
+) -> BatchBroadcastResult:
+    """Simulate ``num_replicates`` independent noisy-broadcast runs at once.
+
+    This is the batched counterpart of
+    :func:`repro.core.broadcast.solve_noisy_broadcast`: the same two-stage
+    "breathe before speaking" protocol (Stage I spreading in synchronized
+    layers, Stage II majority boosting), executed for all replicates
+    simultaneously on ``(R, n)`` grids.
+
+    Parameters
+    ----------
+    n, epsilon:
+        Instance size and noise margin, shared by every replicate.
+    num_replicates:
+        Number of independent replicates ``R``.
+    base_seed:
+        Root seed of the batch stream; fixing it makes the whole batch
+        reproducible.
+    correct_opinion:
+        The source's opinion ``B``.
+    parameters:
+        Optional explicit :class:`ProtocolParameters`; the calibrated preset
+        is used when omitted (``calibration_overrides`` are forwarded).
+    channel:
+        Override the default :class:`BinarySymmetricChannel`.
+    allow_self_messages:
+        Allow agents to push messages to themselves.
+    """
+    if num_replicates < 1:
+        raise ExperimentError("num_replicates must be at least 1")
+    if parameters is None:
+        parameters = ProtocolParameters.calibrated(n, epsilon, **calibration_overrides)
+    if parameters.n != n:
+        raise SimulationError(f"parameters were built for n={parameters.n}, not n={n}")
+    if channel is None:
+        channel = BinarySymmetricChannel(epsilon=epsilon)
+
+    rng = spawn_generator(base_seed, "batch-broadcast", n)
+    network = PushGossipNetwork(size=n, allow_self_messages=allow_self_messages)
+    R = num_replicates
+
+    # Replicate state, mirroring Population: opinion grid and activation grid.
+    opinions = np.full((R, n), NO_OPINION, dtype=np.int8)
+    activated = np.zeros((R, n), dtype=bool)
+    opinions[:, 0] = correct_opinion  # agent 0 is the source in every replicate
+    activated[:, 0] = True
+    messages_sent = np.zeros(R, dtype=np.int64)
+    rounds = 0
+
+    # ------------------------------------------------------------------
+    # Stage I — spreading in synchronized layers (Section 2.1).
+    # ------------------------------------------------------------------
+    stage1 = parameters.stage1
+    for phase in range(stage1.num_phases):
+        phase_length = stage1.phase_length(phase)
+        # Senders are fixed at phase start: activated and opinionated agents.
+        send_mask = activated & (opinions != NO_OPINION)
+        bits = np.where(send_mask, opinions, 0).astype(np.int8)
+        dormant = ~activated
+
+        # Per-agent reservoir sampling over the messages heard this phase,
+        # exactly as ReceptionAccumulator does serially.
+        heard_counts = np.zeros((R, n), dtype=np.int64)
+        chosen = np.full((R, n), NO_OPINION, dtype=np.int8)
+        senders_per_replicate = send_mask.sum(axis=1)
+        for _ in range(phase_length):
+            report = network.deliver_batch(send_mask, bits, channel, rng)
+            rows, cols = np.nonzero(report.accepted & dormant)
+            if rows.size:
+                counts = heard_counts[rows, cols] + 1
+                heard_counts[rows, cols] = counts
+                replace = rng.random(rows.size) < 1.0 / counts
+                keep_rows, keep_cols = rows[replace], cols[replace]
+                chosen[keep_rows, keep_cols] = report.bits[keep_rows, keep_cols]
+            messages_sent += senders_per_replicate
+            rounds += 1
+
+        newly = (heard_counts > 0) & dormant
+        activated |= newly
+        opinions = np.where(newly, chosen, opinions)
+
+    correct = (opinions == correct_opinion).sum(axis=1)
+    wrong = ((opinions != correct_opinion) & (opinions != NO_OPINION)).sum(axis=1)
+    opinionated = correct + wrong
+    stage1_bias = np.where(
+        opinionated > 0, (correct - wrong) / np.maximum(2 * opinionated, 1), 0.0
+    )
+
+    # ------------------------------------------------------------------
+    # Stage II — boosting by repeated noisy majorities (Section 2.2).
+    # ------------------------------------------------------------------
+    stage2 = parameters.stage2
+    for phase in range(1, stage2.num_phases + 1):
+        phase_length = stage2.phase_length(phase)
+        subset_size = phase_length // 2
+        # Messages sent during the phase all carry the phase-start opinion.
+        snapshot = opinions.copy()
+        send_mask = snapshot != NO_OPINION
+        bits = np.where(send_mask, snapshot, 0).astype(np.int8)
+        senders_per_replicate = send_mask.sum(axis=1)
+
+        totals = np.zeros((R, n), dtype=np.int64)
+        ones = np.zeros((R, n), dtype=np.int64)
+        for _ in range(phase_length):
+            report = network.deliver_batch(send_mask, bits, channel, rng)
+            totals += report.accepted
+            ones += report.bits  # zero wherever nothing was accepted
+            messages_sent += senders_per_replicate
+            rounds += 1
+
+        successful = totals >= subset_size
+        # Majority of a uniformly random subset of exactly subset_size samples,
+        # simulated exactly by a hypergeometric draw (cf. stage2.majority_of_
+        # random_subset).  Parameters are clamped to a legal configuration at
+        # unsuccessful positions; those draws are discarded below.
+        safe_ones = np.where(successful, ones, subset_size)
+        safe_zeros = np.where(successful, totals - ones, 0)
+        ones_in_subset = rng.hypergeometric(safe_ones, safe_zeros, subset_size)
+        doubled = 2 * ones_in_subset
+        majority = np.where(doubled > subset_size, 1, 0).astype(np.int8)
+        ties = doubled == subset_size
+        if np.any(ties):
+            tie_break = rng.integers(0, 2, size=(R, n)).astype(np.int8)
+            majority = np.where(ties, tie_break, majority)
+        opinions = np.where(successful, majority, opinions)
+        activated |= successful
+
+    correct_final = (opinions == correct_opinion).sum(axis=1)
+    return BatchBroadcastResult(
+        n=n,
+        epsilon=float(epsilon),
+        correct_opinion=int(correct_opinion),
+        rounds=rounds,
+        success=correct_final == n,
+        final_correct_fraction=correct_final / n,
+        messages_sent=messages_sent,
+        stage1_bias=stage1_bias.astype(float),
+    )
+
+
+def batch_to_experiment_result(
+    name: str,
+    batch: BatchBroadcastResult,
+    base_seed: int = 0,
+    config: Optional[Mapping[str, Any]] = None,
+) -> "Any":
+    """Package a batch as an :class:`~repro.analysis.experiments.ExperimentResult`.
+
+    Trial ``i`` records replicate ``i``'s measurements under the same
+    identifying seed ``trial_seed(base_seed, name, i)`` that a serial run
+    would use, so downstream summaries, tables and serialisation treat
+    batched and serial experiments uniformly.  (The seed identifies the
+    trial; the batch's randomness comes from the batch stream — see the
+    module docstring's determinism contract.)
+    """
+    from ..analysis.experiments import ExperimentResult, TrialResult
+
+    seeds = trial_seeds(base_seed, name, batch.num_replicates)
+    result = ExperimentResult(name=name, config=dict(config or {}))
+    for index, seed in enumerate(seeds):
+        result.trials.append(
+            TrialResult(trial_index=index, seed=seed, measurements=batch.measurements(index))
+        )
+    return result
+
+
+def run_broadcast_sweep_batched(
+    name: str,
+    points: Iterable[Mapping[str, Any]],
+    trials_per_point: int,
+    base_seed: int = 0,
+    defaults: Optional[Mapping[str, Any]] = None,
+) -> "Any":
+    """Batched counterpart of :func:`repro.analysis.sweeps.run_sweep` for broadcast grids.
+
+    Every grid point must (together with ``defaults``) provide ``n`` and
+    ``epsilon``; all ``trials_per_point`` replicates of one point run as a
+    single :func:`run_broadcast_batch` call.  Point naming and per-point seed
+    derivation mirror ``run_sweep`` so batched sweeps slot into the existing
+    report builders unchanged.
+    """
+    from ..analysis.sweeps import SweepPoint, SweepResult
+
+    if trials_per_point < 1:
+        raise ExperimentError("trials_per_point must be at least 1")
+    merged_defaults = dict(defaults or {})
+    sweep = SweepResult(name=name)
+    for raw_point in points:
+        point = SweepPoint.from_mapping(raw_point)
+        settings = {**merged_defaults, **point.as_dict()}
+        if "n" not in settings or "epsilon" not in settings:
+            raise ExperimentError(
+                f"batched broadcast sweep point {point.label()} must define n and epsilon"
+            )
+        point_name = f"{name}[{point.label()}]"
+        batch = run_broadcast_batch(
+            n=int(settings["n"]),
+            epsilon=float(settings["epsilon"]),
+            num_replicates=trials_per_point,
+            base_seed=derive_seed(base_seed, point_name, "batch"),
+        )
+        sweep.points.append(point)
+        sweep.results.append(
+            batch_to_experiment_result(
+                point_name, batch, base_seed=base_seed, config=point.as_dict()
+            )
+        )
+    return sweep

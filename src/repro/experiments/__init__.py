@@ -1,9 +1,9 @@
-"""Experiment drivers — one module per reproduced claim (DESIGN.md Section 4).
+"""Experiment drivers — one module per reproduced claim (the E1–E11 table in README.md).
 
 Each driver exposes a ``run(...)`` function returning an
 :class:`~repro.experiments.report.ExperimentReport`; the benchmark files in
-``benchmarks/`` call these drivers and print the rendered reports, and
-EXPERIMENTS.md records representative outputs.
+``benchmarks/`` call these drivers and print the rendered reports;
+``benchmarks/results/`` records representative outputs.
 """
 
 from . import (

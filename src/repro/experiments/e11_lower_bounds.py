@@ -18,7 +18,8 @@ The driver measures both reference points in the simulator:
 
 from __future__ import annotations
 
-from typing import Sequence
+import functools
+from typing import TYPE_CHECKING, Optional, Sequence
 
 from ..analysis.experiments import run_trials
 from ..core.theory import broadcast_round_bound, silent_wait_round_bound
@@ -27,7 +28,32 @@ from ..protocols.silent_wait import SilentWaitBroadcast, default_decision_thresh
 from ..substrate.engine import SimulationEngine
 from .report import ExperimentReport
 
+if TYPE_CHECKING:  # pragma: no cover
+    from ..exec.runner import TrialRunner
+
 __all__ = ["run"]
+
+
+def _direct_trial(seed: int, _index: int, n: int, epsilon: float) -> dict:
+    """One direct-from-source reference run (module-level, hence picklable)."""
+    engine = SimulationEngine.create(n=n, epsilon=epsilon, seed=seed)
+    result = DirectSourceReference().run(engine, correct_opinion=1)
+    return {
+        "rounds_to_all_correct": result.extra["first_all_correct_round"] or result.rounds,
+        "success": result.success,
+    }
+
+
+def _silent_trial(seed: int, _index: int, n: int, epsilon: float, threshold: int) -> dict:
+    """One listen-only (silent-wait) run (module-level, hence picklable)."""
+    engine = SimulationEngine.create(n=n, epsilon=epsilon, seed=seed)
+    result = SilentWaitBroadcast(threshold=threshold).run(engine, correct_opinion=1)
+    return {
+        "rounds": result.rounds,
+        "success": result.success,
+        "decided_fraction": result.extra["decided_fraction"],
+        "first_two_messages_round": result.extra["first_round_with_two_messages"] or 0,
+    }
 
 
 def run(
@@ -35,6 +61,7 @@ def run(
     epsilon: float = 0.25,
     trials: int = 3,
     base_seed: int = 1111,
+    runner: Optional["TrialRunner"] = None,
 ) -> ExperimentReport:
     """Run the E11 reference measurements and return its report."""
     report = ExperimentReport(
@@ -47,15 +74,13 @@ def run(
         config={"n": n, "epsilon": epsilon, "trials": trials},
     )
 
-    def direct_trial(seed, _index):
-        engine = SimulationEngine.create(n=n, epsilon=epsilon, seed=seed)
-        result = DirectSourceReference().run(engine, correct_opinion=1)
-        return {
-            "rounds_to_all_correct": result.extra["first_all_correct_round"] or result.rounds,
-            "success": result.success,
-        }
-
-    direct = run_trials("E11-direct-source", direct_trial, num_trials=trials, base_seed=base_seed)
+    direct = run_trials(
+        "E11-direct-source",
+        functools.partial(_direct_trial, n=n, epsilon=epsilon),
+        num_trials=trials,
+        base_seed=base_seed,
+        runner=runner,
+    )
     report.add_row(
         scheme="direct-from-source (idealised)",
         mean_rounds=direct.mean("rounds_to_all_correct"),
@@ -66,17 +91,13 @@ def run(
 
     threshold = default_decision_threshold(n, epsilon, constant=2.0)
 
-    def silent_trial(seed, _index):
-        engine = SimulationEngine.create(n=n, epsilon=epsilon, seed=seed)
-        result = SilentWaitBroadcast(threshold=threshold).run(engine, correct_opinion=1)
-        return {
-            "rounds": result.rounds,
-            "success": result.success,
-            "decided_fraction": result.extra["decided_fraction"],
-            "first_two_messages_round": result.extra["first_round_with_two_messages"] or 0,
-        }
-
-    silent = run_trials("E11-silent-wait", silent_trial, num_trials=trials, base_seed=base_seed)
+    silent = run_trials(
+        "E11-silent-wait",
+        functools.partial(_silent_trial, n=n, epsilon=epsilon, threshold=threshold),
+        num_trials=trials,
+        base_seed=base_seed,
+        runner=runner,
+    )
     report.add_row(
         scheme="listen-only (silent wait, Flip model)",
         mean_rounds=silent.mean("rounds"),

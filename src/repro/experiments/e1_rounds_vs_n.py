@@ -9,8 +9,9 @@ rounds / messages / success, and fits ``rounds ~ a ln n + b``.
 
 from __future__ import annotations
 
+import functools
 import math
-from typing import Optional, Sequence
+from typing import TYPE_CHECKING, Mapping, Optional, Sequence
 
 from ..analysis.scaling import fit_log_n_scaling
 from ..analysis.sweeps import run_sweep
@@ -18,10 +19,24 @@ from ..core.broadcast import solve_noisy_broadcast
 from ..core.theory import broadcast_round_bound
 from .report import ExperimentReport
 
+if TYPE_CHECKING:  # pragma: no cover
+    from ..exec.runner import TrialRunner
+
 __all__ = ["run"]
 
 #: Default population sizes (geometric, spanning more than a decade).
 DEFAULT_SIZES: Sequence[int] = (250, 500, 1000, 2000, 4000)
+
+
+def _broadcast_trial(point: Mapping[str, object], seed: int, _index: int, epsilon: float) -> dict:
+    """One noisy-broadcast run at a sweep point (module-level, hence picklable)."""
+    result = solve_noisy_broadcast(n=int(point["n"]), epsilon=epsilon, seed=seed)
+    return {
+        "rounds": result.rounds,
+        "messages": result.messages_sent,
+        "success": result.success,
+        "final_correct_fraction": result.final_correct_fraction,
+    }
 
 
 def run(
@@ -29,25 +44,35 @@ def run(
     epsilon: float = 0.2,
     trials: int = 5,
     base_seed: int = 101,
+    runner: Optional["TrialRunner"] = None,
+    batch: bool = False,
 ) -> ExperimentReport:
-    """Run the E1 sweep and return its report."""
+    """Run the E1 sweep and return its report.
 
-    def trial(point, seed, _index):
-        result = solve_noisy_broadcast(n=point["n"], epsilon=epsilon, seed=seed)
-        return {
-            "rounds": result.rounds,
-            "messages": result.messages_sent,
-            "success": result.success,
-            "final_correct_fraction": result.final_correct_fraction,
-        }
+    ``runner`` selects the trial-execution strategy (serial by default;
+    process-parallel when a :class:`~repro.exec.runner.ParallelTrialRunner`
+    is passed); ``batch=True`` instead simulates all trials of each grid
+    point simultaneously via :mod:`repro.exec.batching`.
+    """
+    if batch:
+        from ..exec.batching import run_broadcast_sweep_batched
 
-    sweep = run_sweep(
-        name="E1-rounds-vs-n",
-        points=[{"n": n} for n in sizes],
-        trial_fn=trial,
-        trials_per_point=trials,
-        base_seed=base_seed,
-    )
+        sweep = run_broadcast_sweep_batched(
+            name="E1-rounds-vs-n",
+            points=[{"n": n} for n in sizes],
+            trials_per_point=trials,
+            base_seed=base_seed,
+            defaults={"epsilon": epsilon},
+        )
+    else:
+        sweep = run_sweep(
+            name="E1-rounds-vs-n",
+            points=[{"n": n} for n in sizes],
+            trial_fn=functools.partial(_broadcast_trial, epsilon=epsilon),
+            trials_per_point=trials,
+            base_seed=base_seed,
+            runner=runner,
+        )
 
     report = ExperimentReport(
         experiment_id="E1",

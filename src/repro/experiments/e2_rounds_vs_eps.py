@@ -7,7 +7,8 @@ measures rounds and success, and fits ``rounds ~ a / eps^2 + b``.
 
 from __future__ import annotations
 
-from typing import Sequence
+import functools
+from typing import TYPE_CHECKING, Mapping, Optional, Sequence
 
 from ..analysis.scaling import fit_inverse_square_epsilon
 from ..analysis.sweeps import run_sweep
@@ -15,9 +16,23 @@ from ..core.broadcast import solve_noisy_broadcast
 from ..core.theory import broadcast_round_bound
 from .report import ExperimentReport
 
+if TYPE_CHECKING:  # pragma: no cover
+    from ..exec.runner import TrialRunner
+
 __all__ = ["run"]
 
 DEFAULT_EPSILONS: Sequence[float] = (0.1, 0.15, 0.2, 0.3, 0.4)
+
+
+def _broadcast_trial(point: Mapping[str, object], seed: int, _index: int, n: int) -> dict:
+    """One noisy-broadcast run at a sweep point (module-level, hence picklable)."""
+    result = solve_noisy_broadcast(n=n, epsilon=float(point["epsilon"]), seed=seed)
+    return {
+        "rounds": result.rounds,
+        "messages": result.messages_sent,
+        "success": result.success,
+        "final_correct_fraction": result.final_correct_fraction,
+    }
 
 
 def run(
@@ -25,25 +40,33 @@ def run(
     n: int = 1000,
     trials: int = 5,
     base_seed: int = 202,
+    runner: Optional["TrialRunner"] = None,
+    batch: bool = False,
 ) -> ExperimentReport:
-    """Run the E2 sweep and return its report."""
+    """Run the E2 sweep and return its report.
 
-    def trial(point, seed, _index):
-        result = solve_noisy_broadcast(n=n, epsilon=point["epsilon"], seed=seed)
-        return {
-            "rounds": result.rounds,
-            "messages": result.messages_sent,
-            "success": result.success,
-            "final_correct_fraction": result.final_correct_fraction,
-        }
+    ``runner`` and ``batch`` select the execution strategy exactly as in
+    :func:`repro.experiments.e1_rounds_vs_n.run`.
+    """
+    if batch:
+        from ..exec.batching import run_broadcast_sweep_batched
 
-    sweep = run_sweep(
-        name="E2-rounds-vs-eps",
-        points=[{"epsilon": epsilon} for epsilon in epsilons],
-        trial_fn=trial,
-        trials_per_point=trials,
-        base_seed=base_seed,
-    )
+        sweep = run_broadcast_sweep_batched(
+            name="E2-rounds-vs-eps",
+            points=[{"epsilon": epsilon} for epsilon in epsilons],
+            trials_per_point=trials,
+            base_seed=base_seed,
+            defaults={"n": n},
+        )
+    else:
+        sweep = run_sweep(
+            name="E2-rounds-vs-eps",
+            points=[{"epsilon": epsilon} for epsilon in epsilons],
+            trial_fn=functools.partial(_broadcast_trial, n=n),
+            trials_per_point=trials,
+            base_seed=base_seed,
+            runner=runner,
+        )
 
     report = ExperimentReport(
         experiment_id="E2",

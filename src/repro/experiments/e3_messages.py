@@ -13,12 +13,15 @@ activation.
 from __future__ import annotations
 
 import math
-from typing import Sequence
+from typing import TYPE_CHECKING, Mapping, Optional, Sequence
 
 from ..analysis.sweeps import parameter_grid, run_sweep
 from ..core.broadcast import solve_noisy_broadcast
 from ..core.theory import broadcast_message_bound
 from .report import ExperimentReport
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..exec.runner import TrialRunner
 
 __all__ = ["run"]
 
@@ -26,30 +29,48 @@ DEFAULT_SIZES: Sequence[int] = (500, 1000, 2000)
 DEFAULT_EPSILONS: Sequence[float] = (0.15, 0.25)
 
 
+def _broadcast_trial(point: Mapping[str, object], seed: int, _index: int) -> dict:
+    """One noisy-broadcast run at a sweep point (module-level, hence picklable)."""
+    result = solve_noisy_broadcast(n=int(point["n"]), epsilon=float(point["epsilon"]), seed=seed)
+    return {
+        "rounds": result.rounds,
+        "messages": result.messages_sent,
+        "messages_per_agent": result.messages_per_agent,
+        "success": result.success,
+    }
+
+
 def run(
     sizes: Sequence[int] = DEFAULT_SIZES,
     epsilons: Sequence[float] = DEFAULT_EPSILONS,
     trials: int = 3,
     base_seed: int = 303,
+    runner: Optional["TrialRunner"] = None,
+    batch: bool = False,
 ) -> ExperimentReport:
-    """Run the E3 sweep and return its report."""
+    """Run the E3 sweep and return its report.
 
-    def trial(point, seed, _index):
-        result = solve_noisy_broadcast(n=point["n"], epsilon=point["epsilon"], seed=seed)
-        return {
-            "rounds": result.rounds,
-            "messages": result.messages_sent,
-            "messages_per_agent": result.messages_per_agent,
-            "success": result.success,
-        }
+    ``runner`` and ``batch`` select the execution strategy exactly as in
+    :func:`repro.experiments.e1_rounds_vs_n.run`.
+    """
+    if batch:
+        from ..exec.batching import run_broadcast_sweep_batched
 
-    sweep = run_sweep(
-        name="E3-message-complexity",
-        points=parameter_grid(n=list(sizes), epsilon=list(epsilons)),
-        trial_fn=trial,
-        trials_per_point=trials,
-        base_seed=base_seed,
-    )
+        sweep = run_broadcast_sweep_batched(
+            name="E3-message-complexity",
+            points=parameter_grid(n=list(sizes), epsilon=list(epsilons)),
+            trials_per_point=trials,
+            base_seed=base_seed,
+        )
+    else:
+        sweep = run_sweep(
+            name="E3-message-complexity",
+            points=parameter_grid(n=list(sizes), epsilon=list(epsilons)),
+            trial_fn=_broadcast_trial,
+            trials_per_point=trials,
+            base_seed=base_seed,
+            runner=runner,
+        )
 
     report = ExperimentReport(
         experiment_id="E3",

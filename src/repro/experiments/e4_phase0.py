@@ -12,13 +12,17 @@ The driver runs phase 0 many times and reports the distribution of ``X0`` and
 
 from __future__ import annotations
 
-from typing import Sequence
+import functools
+from typing import TYPE_CHECKING, Optional, Sequence
 
 from ..analysis.experiments import run_trials
 from ..core.parameters import ProtocolParameters, StageOneParameters
 from ..core.stage1 import execute_stage_one
 from ..substrate.engine import SimulationEngine
 from .report import ExperimentReport
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..exec.runner import TrialRunner
 
 __all__ = ["run"]
 
@@ -36,11 +40,31 @@ def _phase0_only_parameters(n: int, epsilon: float) -> StageOneParameters:
     )
 
 
+def _phase0_trial(
+    seed: int, _index: int, n: int, epsilon: float, parameters: StageOneParameters
+) -> dict:
+    """One phase-0-only Stage-I run (module-level, hence picklable)."""
+    engine = SimulationEngine.create(n=n, epsilon=epsilon, seed=seed)
+    engine.population.set_source_opinion(1)
+    stage1 = execute_stage_one(engine, parameters, correct_opinion=1)
+    phase0 = stage1.phase(0)
+    # X0 counts non-source activated agents, as in the claim's setup.
+    x0 = phase0.activated_total - 1
+    bias0 = phase0.bias_of_new
+    return {
+        "x0": x0,
+        "bias0": bias0,
+        "x0_within_bounds": parameters.beta_s / 3 <= x0 <= parameters.beta_s,
+        "bias_at_least_half_eps": bias0 >= epsilon / 2,
+    }
+
+
 def run(
     n: int = 4000,
     epsilons: Sequence[float] = DEFAULT_EPSILONS,
     trials: int = 30,
     base_seed: int = 404,
+    runner: Optional["TrialRunner"] = None,
 ) -> ExperimentReport:
     """Run the E4 Monte-Carlo and return its report."""
     report = ExperimentReport(
@@ -53,23 +77,12 @@ def run(
     for epsilon in epsilons:
         parameters = _phase0_only_parameters(n, epsilon)
 
-        def trial(seed, _index, _epsilon=epsilon, _parameters=parameters):
-            engine = SimulationEngine.create(n=n, epsilon=_epsilon, seed=seed)
-            engine.population.set_source_opinion(1)
-            stage1 = execute_stage_one(engine, _parameters, correct_opinion=1)
-            phase0 = stage1.phase(0)
-            # X0 counts non-source activated agents, as in the claim's setup.
-            x0 = phase0.activated_total - 1
-            bias0 = phase0.bias_of_new
-            return {
-                "x0": x0,
-                "bias0": bias0,
-                "x0_within_bounds": _parameters.beta_s / 3 <= x0 <= _parameters.beta_s,
-                "bias_at_least_half_eps": bias0 >= _epsilon / 2,
-            }
-
         result = run_trials(
-            name=f"E4-phase0-eps={epsilon}", trial_fn=trial, num_trials=trials, base_seed=base_seed
+            name=f"E4-phase0-eps={epsilon}",
+            trial_fn=functools.partial(_phase0_trial, n=n, epsilon=epsilon, parameters=parameters),
+            num_trials=trials,
+            base_seed=base_seed,
+            runner=runner,
         )
         x0_summary = result.scalar_summary("x0")
         report.add_row(

@@ -22,15 +22,38 @@ near-misses of the 1/16 constant).
 
 from __future__ import annotations
 
+import functools
 import math
+from typing import TYPE_CHECKING, Optional
 
 from ..analysis.experiments import run_trials
-from ..core.parameters import ProtocolParameters
+from ..core.parameters import ProtocolParameters, StageOneParameters
 from ..core.stage1 import execute_stage_one
 from ..substrate.engine import SimulationEngine
 from .report import ExperimentReport
 
+if TYPE_CHECKING:  # pragma: no cover
+    from ..exec.runner import TrialRunner
+
 __all__ = ["run"]
+
+
+def _stage1_trial(
+    seed: int, _index: int, n: int, epsilon: float, parameters: StageOneParameters
+) -> dict:
+    """One full Stage-I run with per-phase measurements (module-level, picklable)."""
+    engine = SimulationEngine.create(n=n, epsilon=epsilon, seed=seed)
+    engine.population.set_source_opinion(1)
+    stage1 = execute_stage_one(engine, parameters, correct_opinion=1)
+    measurements = {
+        "all_activated": stage1.all_activated,
+        "final_bias": stage1.final_bias,
+    }
+    for phase in stage1.phases:
+        measurements[f"x_{phase.phase}"] = phase.activated_total
+        measurements[f"y_{phase.phase}"] = phase.newly_activated
+        measurements[f"bias_{phase.phase}"] = phase.bias_of_new
+    return measurements
 
 
 def run(
@@ -39,26 +62,19 @@ def run(
     beta_override: int = 8,
     trials: int = 5,
     base_seed: int = 505,
+    runner: Optional["TrialRunner"] = None,
 ) -> ExperimentReport:
     """Run the E5 per-phase measurement and return its report."""
     parameters = ProtocolParameters.calibrated(n, epsilon, s0=1.0, beta_override=beta_override)
     stage1_params = parameters.stage1
 
-    def trial(seed, _index):
-        engine = SimulationEngine.create(n=n, epsilon=epsilon, seed=seed)
-        engine.population.set_source_opinion(1)
-        stage1 = execute_stage_one(engine, stage1_params, correct_opinion=1)
-        measurements = {
-            "all_activated": stage1.all_activated,
-            "final_bias": stage1.final_bias,
-        }
-        for phase in stage1.phases:
-            measurements[f"x_{phase.phase}"] = phase.activated_total
-            measurements[f"y_{phase.phase}"] = phase.newly_activated
-            measurements[f"bias_{phase.phase}"] = phase.bias_of_new
-        return measurements
-
-    result = run_trials(name="E5-stage1-growth", trial_fn=trial, num_trials=trials, base_seed=base_seed)
+    result = run_trials(
+        name="E5-stage1-growth",
+        trial_fn=functools.partial(_stage1_trial, n=n, epsilon=epsilon, parameters=stage1_params),
+        num_trials=trials,
+        base_seed=base_seed,
+        runner=runner,
+    )
 
     report = ExperimentReport(
         experiment_id="E5",

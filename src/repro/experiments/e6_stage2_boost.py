@@ -13,20 +13,50 @@ the per-phase amplification factors, alongside the final success rate.
 
 from __future__ import annotations
 
+import functools
 import math
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 import numpy as np
 
 from ..analysis.estimators import average_trajectories
 from ..analysis.experiments import run_trials
 from ..core.majority import MajorityInstance
-from ..core.parameters import ProtocolParameters, initial_bias_target
+from ..core.parameters import ProtocolParameters, StageTwoParameters, initial_bias_target
 from ..core.stage2 import execute_stage_two
 from ..substrate.engine import SimulationEngine
 from .report import ExperimentReport
 
+if TYPE_CHECKING:  # pragma: no cover
+    from ..exec.runner import TrialRunner
+
 __all__ = ["run"]
+
+
+def _stage2_trial(
+    seed: int,
+    _index: int,
+    n: int,
+    epsilon: float,
+    initial_bias: float,
+    parameters: StageTwoParameters,
+) -> dict:
+    """One Stage-II-only run from a seeded bias (module-level, hence picklable)."""
+    engine = SimulationEngine.create(n=n, epsilon=epsilon, seed=seed, source=None)
+    instance = MajorityInstance.generate(
+        n=n, size=n, bias=initial_bias, majority_opinion=1, rng=engine.random.stream("seeding")
+    )
+    engine.population.seed_opinionated_set(instance.members, instance.opinions)
+    stage2 = execute_stage_two(engine, parameters, correct_opinion=1)
+    measurements = {
+        "success": stage2.consensus_reached,
+        "final_bias": stage2.final_bias,
+        "final_fraction": stage2.final_correct_fraction,
+    }
+    for phase in stage2.phases:
+        measurements[f"bias_after_{phase.phase}"] = phase.bias_after
+        measurements[f"successful_{phase.phase}"] = phase.successful_agents
+    return measurements
 
 
 def run(
@@ -35,6 +65,7 @@ def run(
     initial_bias: Optional[float] = None,
     trials: int = 10,
     base_seed: int = 606,
+    runner: Optional["TrialRunner"] = None,
 ) -> ExperimentReport:
     """Run the E6 Stage-II-only measurement and return its report."""
     if initial_bias is None:
@@ -42,24 +73,15 @@ def run(
     parameters = ProtocolParameters.calibrated(n, epsilon)
     stage2_params = parameters.stage2
 
-    def trial(seed, _index):
-        engine = SimulationEngine.create(n=n, epsilon=epsilon, seed=seed, source=None)
-        instance = MajorityInstance.generate(
-            n=n, size=n, bias=initial_bias, majority_opinion=1, rng=engine.random.stream("seeding")
-        )
-        engine.population.seed_opinionated_set(instance.members, instance.opinions)
-        stage2 = execute_stage_two(engine, stage2_params, correct_opinion=1)
-        measurements = {
-            "success": stage2.consensus_reached,
-            "final_bias": stage2.final_bias,
-            "final_fraction": stage2.final_correct_fraction,
-        }
-        for phase in stage2.phases:
-            measurements[f"bias_after_{phase.phase}"] = phase.bias_after
-            measurements[f"successful_{phase.phase}"] = phase.successful_agents
-        return measurements
-
-    result = run_trials(name="E6-stage2-boost", trial_fn=trial, num_trials=trials, base_seed=base_seed)
+    result = run_trials(
+        name="E6-stage2-boost",
+        trial_fn=functools.partial(
+            _stage2_trial, n=n, epsilon=epsilon, initial_bias=initial_bias, parameters=stage2_params
+        ),
+        num_trials=trials,
+        base_seed=base_seed,
+        runner=runner,
+    )
 
     report = ExperimentReport(
         experiment_id="E6",

@@ -16,7 +16,8 @@ final correct fraction, success rate, and rounds used.
 
 from __future__ import annotations
 
-from typing import Dict, Sequence
+import functools
+from typing import TYPE_CHECKING, Dict, Optional, Sequence
 
 from ..analysis.experiments import run_trials
 from ..core.broadcast import solve_noisy_broadcast
@@ -27,9 +28,55 @@ from ..protocols.noisy_voter import NoisyVoterBroadcast
 from ..substrate.engine import SimulationEngine
 from .report import ExperimentReport
 
+if TYPE_CHECKING:  # pragma: no cover
+    from ..exec.runner import TrialRunner
+
 __all__ = ["run"]
 
 DEFAULT_EPSILONS: Sequence[float] = (0.1, 0.2)
+
+
+def _paper_trial(seed: int, _index: int, n: int, epsilon: float) -> dict:
+    """One run of the paper's protocol (module-level, hence picklable)."""
+    result = solve_noisy_broadcast(n=n, epsilon=epsilon, seed=seed)
+    return {
+        "fraction": result.final_correct_fraction,
+        "success": result.success,
+        "rounds": result.rounds,
+    }
+
+
+def _forwarding_trial(seed: int, _index: int, n: int, epsilon: float) -> dict:
+    """One run of the immediate-forwarding baseline (module-level, picklable)."""
+    engine = SimulationEngine.create(n=n, epsilon=epsilon, seed=seed)
+    result = ImmediateForwardingBroadcast().run(engine, correct_opinion=1)
+    return {
+        "fraction": result.final_correct_fraction,
+        "success": result.success,
+        "rounds": result.rounds,
+    }
+
+
+def _voter_trial(seed: int, _index: int, n: int, epsilon: float, voter_rounds: int) -> dict:
+    """One run of the noisy-voter baseline (module-level, hence picklable)."""
+    engine = SimulationEngine.create(n=n, epsilon=epsilon, seed=seed)
+    result = NoisyVoterBroadcast(max_rounds=voter_rounds).run(engine, correct_opinion=1)
+    return {
+        "fraction": result.final_correct_fraction,
+        "success": result.success,
+        "rounds": result.rounds,
+    }
+
+
+def _direct_trial(seed: int, _index: int, n: int, epsilon: float) -> dict:
+    """One run of the idealised direct-from-source reference (module-level, picklable)."""
+    engine = SimulationEngine.create(n=n, epsilon=epsilon, seed=seed)
+    result = DirectSourceReference().run(engine, correct_opinion=1)
+    return {
+        "fraction": result.final_correct_fraction,
+        "success": result.success,
+        "rounds": result.extra["first_all_correct_round"] or result.rounds,
+    }
 
 
 def run(
@@ -38,6 +85,7 @@ def run(
     trials: int = 4,
     voter_rounds: int = 600,
     base_seed: int = 707,
+    runner: Optional["TrialRunner"] = None,
 ) -> ExperimentReport:
     """Run the E7 protocol comparison and return its report."""
     report = ExperimentReport(
@@ -52,47 +100,13 @@ def run(
     )
 
     for epsilon in epsilons:
-
-        def paper_trial(seed, _index, _epsilon=epsilon):
-            result = solve_noisy_broadcast(n=n, epsilon=_epsilon, seed=seed)
-            return {
-                "fraction": result.final_correct_fraction,
-                "success": result.success,
-                "rounds": result.rounds,
-            }
-
-        def forwarding_trial(seed, _index, _epsilon=epsilon):
-            engine = SimulationEngine.create(n=n, epsilon=_epsilon, seed=seed)
-            result = ImmediateForwardingBroadcast().run(engine, correct_opinion=1)
-            return {
-                "fraction": result.final_correct_fraction,
-                "success": result.success,
-                "rounds": result.rounds,
-            }
-
-        def voter_trial(seed, _index, _epsilon=epsilon):
-            engine = SimulationEngine.create(n=n, epsilon=_epsilon, seed=seed)
-            result = NoisyVoterBroadcast(max_rounds=voter_rounds).run(engine, correct_opinion=1)
-            return {
-                "fraction": result.final_correct_fraction,
-                "success": result.success,
-                "rounds": result.rounds,
-            }
-
-        def direct_trial(seed, _index, _epsilon=epsilon):
-            engine = SimulationEngine.create(n=n, epsilon=_epsilon, seed=seed)
-            result = DirectSourceReference().run(engine, correct_opinion=1)
-            return {
-                "fraction": result.final_correct_fraction,
-                "success": result.success,
-                "rounds": result.extra["first_all_correct_round"] or result.rounds,
-            }
-
         protocols: Dict[str, object] = {
-            "breathe-before-speaking": paper_trial,
-            "immediate-forwarding": forwarding_trial,
-            "noisy-voter": voter_trial,
-            "direct-source-reference": direct_trial,
+            "breathe-before-speaking": functools.partial(_paper_trial, n=n, epsilon=epsilon),
+            "immediate-forwarding": functools.partial(_forwarding_trial, n=n, epsilon=epsilon),
+            "noisy-voter": functools.partial(
+                _voter_trial, n=n, epsilon=epsilon, voter_rounds=voter_rounds
+            ),
+            "direct-source-reference": functools.partial(_direct_trial, n=n, epsilon=epsilon),
         }
         for name, trial_fn in protocols.items():
             result = run_trials(
@@ -100,6 +114,7 @@ def run(
                 trial_fn=trial_fn,
                 num_trials=trials,
                 base_seed=base_seed,
+                runner=runner,
             )
             report.add_row(
                 protocol=name,

@@ -14,17 +14,37 @@ transition around the ``sqrt(log n / |A|)`` curve.
 
 from __future__ import annotations
 
-from typing import Sequence
+import functools
+from typing import TYPE_CHECKING, Mapping, Optional, Sequence
 
 from ..analysis.sweeps import parameter_grid, run_sweep
 from ..core.majority import solve_noisy_majority_consensus
 from ..core.theory import majority_consensus_min_bias, majority_consensus_min_set_size
 from .report import ExperimentReport
 
+if TYPE_CHECKING:  # pragma: no cover
+    from ..exec.runner import TrialRunner
+
 __all__ = ["run"]
 
 DEFAULT_SET_SIZES: Sequence[int] = (50, 200, 800)
 DEFAULT_BIASES: Sequence[float] = (0.02, 0.05, 0.1, 0.2, 0.35)
+
+
+def _majority_trial(point: Mapping[str, object], seed: int, _index: int, n: int, epsilon: float) -> dict:
+    """One majority-consensus run at a sweep point (module-level, hence picklable)."""
+    result = solve_noisy_majority_consensus(
+        n=n,
+        epsilon=epsilon,
+        initial_set_size=int(point["set_size"]),
+        majority_bias=float(point["bias"]),
+        seed=seed,
+    )
+    return {
+        "success": result.success,
+        "final_fraction": result.final_correct_fraction,
+        "rounds": result.rounds,
+    }
 
 
 def run(
@@ -34,29 +54,16 @@ def run(
     biases: Sequence[float] = DEFAULT_BIASES,
     trials: int = 5,
     base_seed: int = 808,
+    runner: Optional["TrialRunner"] = None,
 ) -> ExperimentReport:
     """Run the E8 feasibility sweep and return its report."""
-
-    def trial(point, seed, _index):
-        result = solve_noisy_majority_consensus(
-            n=n,
-            epsilon=epsilon,
-            initial_set_size=point["set_size"],
-            majority_bias=point["bias"],
-            seed=seed,
-        )
-        return {
-            "success": result.success,
-            "final_fraction": result.final_correct_fraction,
-            "rounds": result.rounds,
-        }
-
     sweep = run_sweep(
         name="E8-majority-consensus",
         points=parameter_grid(set_size=list(set_sizes), bias=list(biases)),
-        trial_fn=trial,
+        trial_fn=functools.partial(_majority_trial, n=n, epsilon=epsilon),
         trials_per_point=trials,
         base_seed=base_seed,
+        runner=runner,
     )
 
     report = ExperimentReport(

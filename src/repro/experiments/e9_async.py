@@ -18,8 +18,9 @@ the synchronous run, message ratio, and success rate.
 
 from __future__ import annotations
 
+import functools
 import math
-from typing import Sequence
+from typing import TYPE_CHECKING, Optional, Sequence
 
 from ..analysis.experiments import run_trials
 from ..core.broadcast import solve_noisy_broadcast
@@ -27,9 +28,37 @@ from ..core.parameters import ProtocolParameters
 from ..core.synchronizer import default_guard, run_clock_free_broadcast, run_with_bounded_skew
 from .report import ExperimentReport
 
+if TYPE_CHECKING:  # pragma: no cover
+    from ..exec.runner import TrialRunner
+
 __all__ = ["run"]
 
 DEFAULT_SKEWS: Sequence[int] = (8, 32, 128)
+
+
+def _sync_trial(seed: int, _index: int, n: int, epsilon: float, parameters: ProtocolParameters) -> dict:
+    """One fully-synchronous broadcast run (module-level, hence picklable)."""
+    result = solve_noisy_broadcast(n=n, epsilon=epsilon, seed=seed, parameters=parameters)
+    return {"rounds": result.rounds, "messages": result.messages_sent, "success": result.success}
+
+
+def _skew_trial(
+    seed: int, _index: int, n: int, epsilon: float, skew: int, parameters: ProtocolParameters
+) -> dict:
+    """One bounded-skew broadcast run (module-level, hence picklable)."""
+    result = run_with_bounded_skew(n=n, epsilon=epsilon, max_skew=skew, seed=seed, parameters=parameters)
+    return {"rounds": result.rounds, "messages": result.messages_sent, "success": result.success}
+
+
+def _clock_free_trial(seed: int, _index: int, n: int, epsilon: float, parameters: ProtocolParameters) -> dict:
+    """One clock-free broadcast run (module-level, hence picklable)."""
+    result = run_clock_free_broadcast(n=n, epsilon=epsilon, seed=seed, parameters=parameters)
+    return {
+        "rounds": result.rounds,
+        "messages": result.messages_sent,
+        "success": result.success,
+        "skew": result.activation.skew if result.activation else 0,
+    }
 
 
 def run(
@@ -38,6 +67,7 @@ def run(
     skews: Sequence[int] = DEFAULT_SKEWS,
     trials: int = 3,
     base_seed: int = 909,
+    runner: Optional["TrialRunner"] = None,
 ) -> ExperimentReport:
     """Run the E9 comparison and return its report."""
     parameters = ProtocolParameters.calibrated(n, epsilon)
@@ -51,11 +81,13 @@ def run(
         config={"n": n, "epsilon": epsilon, "skews": list(skews), "trials": trials},
     )
 
-    def sync_trial(seed, _index):
-        result = solve_noisy_broadcast(n=n, epsilon=epsilon, seed=seed, parameters=parameters)
-        return {"rounds": result.rounds, "messages": result.messages_sent, "success": result.success}
-
-    sync = run_trials("E9-synchronous", sync_trial, num_trials=trials, base_seed=base_seed)
+    sync = run_trials(
+        "E9-synchronous",
+        functools.partial(_sync_trial, n=n, epsilon=epsilon, parameters=parameters),
+        num_trials=trials,
+        base_seed=base_seed,
+        runner=runner,
+    )
     sync_rounds = sync.mean("rounds")
     sync_messages = sync.mean("messages")
     report.add_row(
@@ -71,14 +103,13 @@ def run(
     num_phases = parameters.stage1.num_phases + parameters.stage2.num_phases
 
     for skew in skews:
-
-        def skew_trial(seed, _index, _skew=skew):
-            result = run_with_bounded_skew(
-                n=n, epsilon=epsilon, max_skew=_skew, seed=seed, parameters=parameters
-            )
-            return {"rounds": result.rounds, "messages": result.messages_sent, "success": result.success}
-
-        skewed = run_trials(f"E9-skew-{skew}", skew_trial, num_trials=trials, base_seed=base_seed)
+        skewed = run_trials(
+            f"E9-skew-{skew}",
+            functools.partial(_skew_trial, n=n, epsilon=epsilon, skew=skew, parameters=parameters),
+            num_trials=trials,
+            base_seed=base_seed,
+            runner=runner,
+        )
         report.add_row(
             variant="bounded-skew",
             skew_D=skew,
@@ -89,16 +120,13 @@ def run(
             success_rate=skewed.rate("success"),
         )
 
-    def clock_free_trial(seed, _index):
-        result = run_clock_free_broadcast(n=n, epsilon=epsilon, seed=seed, parameters=parameters)
-        return {
-            "rounds": result.rounds,
-            "messages": result.messages_sent,
-            "success": result.success,
-            "skew": result.activation.skew if result.activation else 0,
-        }
-
-    clock_free = run_trials("E9-clock-free", clock_free_trial, num_trials=trials, base_seed=base_seed)
+    clock_free = run_trials(
+        "E9-clock-free",
+        functools.partial(_clock_free_trial, n=n, epsilon=epsilon, parameters=parameters),
+        num_trials=trials,
+        base_seed=base_seed,
+        runner=runner,
+    )
     guard = default_guard(n)
     report.add_row(
         variant="clock-free (activation + guards)",

@@ -1,7 +1,7 @@
 """Common report structure shared by all experiment drivers.
 
 Each driver in :mod:`repro.experiments` reproduces one quantitative claim of
-the paper (see DESIGN.md Section 4) and returns an :class:`ExperimentReport`:
+the paper (see the E1–E11 table in README.md) and returns an :class:`ExperimentReport`:
 the claim being tested, the measured rows, and free-form notes.  Benchmarks
 print ``report.render()`` so that running the benchmark suite regenerates
 every "table" of the reproduction.
@@ -25,7 +25,7 @@ class ExperimentReport:
     Attributes
     ----------
     experiment_id:
-        Identifier from the DESIGN.md index (e.g. ``"E1"``).
+        Identifier from the README.md experiment index (e.g. ``"E1"``).
     title:
         Human-readable one-line description.
     claim:

@@ -1,7 +1,7 @@
 """Baseline and comparator protocols.
 
 These are the algorithms the paper's protocol is compared against in the
-experiments (DESIGN.md Section 4): the naive strategies whose failure modes
+experiments (notably E7 and E11, see README.md): the naive strategies whose failure modes
 Section 1.6 discusses, the idealised direct-from-source reference of
 Section 1.4, and the related-work dynamics (noisy voter model, two-choices
 majority, three-state approximate majority).

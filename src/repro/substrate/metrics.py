@@ -1,6 +1,6 @@
 """Run-time metric collection for simulations.
 
-The experiments in this repository (DESIGN.md Section 4) report three kinds
+The experiments in this repository (the E1–E11 table in README.md) report three kinds
 of quantities:
 
 * *complexities* — rounds executed and messages sent, matching the paper's

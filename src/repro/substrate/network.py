@@ -27,7 +27,7 @@ import numpy as np
 from ..errors import ParameterError, ProtocolError
 from .noise import NoiseChannel
 
-__all__ = ["DeliveryReport", "PushGossipNetwork"]
+__all__ = ["DeliveryReport", "BatchDeliveryReport", "PushGossipNetwork"]
 
 
 @dataclass(frozen=True)
@@ -65,6 +65,46 @@ class DeliveryReport:
         empty_i64 = np.empty(0, dtype=np.int64)
         empty_i8 = np.empty(0, dtype=np.int8)
         return DeliveryReport(empty_i64, empty_i8, empty_i64.copy(), 0, 0, 0)
+
+
+@dataclass(frozen=True)
+class BatchDeliveryReport:
+    """Outcome of one push-gossip round executed for ``R`` replicates at once.
+
+    All grids have shape ``(R, n)``: row ``r`` describes replicate ``r`` and
+    column ``j`` describes agent ``j``.  Replicates are fully independent —
+    messages never cross replicate boundaries.
+
+    Attributes
+    ----------
+    accepted:
+        Boolean grid; ``accepted[r, j]`` is true when agent ``j`` of
+        replicate ``r`` accepted a message this round.
+    bits:
+        The accepted bit after channel noise (0 wherever ``accepted`` is
+        false).
+    senders:
+        Index of the sender whose message was accepted (-1 wherever
+        ``accepted`` is false).
+    messages_sent / messages_delivered:
+        Per-replicate message counts, shape ``(R,)``.
+    """
+
+    accepted: np.ndarray
+    bits: np.ndarray
+    senders: np.ndarray
+    messages_sent: np.ndarray
+    messages_delivered: np.ndarray
+
+    @property
+    def messages_dropped(self) -> np.ndarray:
+        """Per-replicate messages lost to collisions."""
+        return self.messages_sent - self.messages_delivered
+
+    @property
+    def num_replicates(self) -> int:
+        """Number of replicates ``R`` in the batch."""
+        return int(self.accepted.shape[0])
 
 
 @dataclass
@@ -155,6 +195,118 @@ class PushGossipNetwork:
             messages_sent=sent,
             messages_delivered=delivered,
             messages_dropped=sent - delivered,
+        )
+
+    def deliver_batch(
+        self,
+        send_mask: np.ndarray,
+        bits: np.ndarray,
+        channel: NoiseChannel,
+        rng: np.random.Generator,
+    ) -> BatchDeliveryReport:
+        """Execute one push-gossip round for ``R`` independent replicates at once.
+
+        This is the batch-aware entry point used by
+        :mod:`repro.exec.batching`: instead of one engine (and one Python-level
+        round loop) per Monte-Carlo trial, ``R`` replicates of the round are
+        simulated with a handful of array operations on ``(R, n)`` grids.
+        Per replicate the semantics are exactly those of :meth:`deliver` —
+        uniform recipient choice, single-accept with a uniformly random winner
+        among colliding messages, channel noise on accepted bits — and
+        replicates never interact.  The collision winner is selected by
+        assigning each message an i.i.d. uniform priority and keeping the
+        minimum per (replicate, recipient) pair, which is an unbiased
+        implementation of the uniform-winner rule.
+
+        Randomness is drawn from the single ``rng`` for the whole batch, so
+        results are deterministic given the generator state but not
+        bit-identical to ``R`` separate :meth:`deliver` calls; the
+        differential tests in ``tests/unit/exec`` pin down the statistical
+        equivalence.
+
+        Parameters
+        ----------
+        send_mask:
+            ``(R, n)`` boolean grid: which agents speak this round in each
+            replicate.
+        bits:
+            ``(R, n)`` integer grid with the bit each agent would push
+            (entries outside ``send_mask`` are ignored).
+        channel:
+            Noise channel applied to accepted messages via
+            :meth:`NoiseChannel.transmit_batch`.
+        rng:
+            Randomness for target selection and collision resolution.
+        """
+        send_mask = np.asarray(send_mask, dtype=bool)
+        bits = np.asarray(bits)
+        if send_mask.ndim != 2:
+            raise ProtocolError("send_mask must be a 2-D (replicates, agents) grid")
+        if send_mask.shape != bits.shape:
+            raise ProtocolError("send_mask and bits must have the same shape")
+        num_replicates, size = send_mask.shape
+        if size != self.size:
+            raise ProtocolError(
+                f"batch is over {size} agents but the network has {self.size}"
+            )
+        masked_bits = bits[send_mask]
+        if masked_bits.size and (masked_bits.min() < 0 or masked_bits.max() > 1):
+            raise ProtocolError("message bits must be 0 or 1")
+
+        self.rounds_executed += 1
+        sent = send_mask.sum(axis=1).astype(np.int64)
+        accepted = np.zeros((num_replicates, size), dtype=bool)
+        accepted_bits = np.zeros((num_replicates, size), dtype=np.int8)
+        accepted_senders = np.full((num_replicates, size), -1, dtype=np.int64)
+
+        rows, cols = np.nonzero(send_mask)
+        if rows.size:
+            # One flat bucket per (replicate, recipient) pair keeps the
+            # replicates independent while resolving every collision in a
+            # single sort.
+            if self.allow_self_messages:
+                targets = rng.integers(0, size, size=rows.size)
+            else:
+                draws = rng.integers(0, size - 1, size=rows.size)
+                targets = draws + (draws >= cols)
+            priorities = rng.random(rows.size)
+            buckets = rows * size + targets
+            # Sorting by bucket with random tie-breaking picks a uniform
+            # winner per (replicate, recipient).  A single combined float key
+            # (integer bucket + fractional priority) is an order of magnitude
+            # faster than np.lexsort and exact while bucket ids fit the
+            # 53-bit float64 mantissa; batches anywhere near that size are
+            # unreachable in practice.
+            if num_replicates * size < 2**52:
+                order = np.argsort(buckets + priorities)
+            else:  # pragma: no cover - astronomically large batches
+                order = np.lexsort((priorities, buckets))
+            sorted_buckets = buckets[order]
+            is_first = np.empty(rows.size, dtype=bool)
+            is_first[0] = True
+            is_first[1:] = sorted_buckets[1:] != sorted_buckets[:-1]
+            winners = order[is_first]
+
+            winning_buckets = buckets[winners]
+            accepted.reshape(-1)[winning_buckets] = True
+            accepted_senders.reshape(-1)[winning_buckets] = cols[winners]
+            # winning_buckets is ascending (one winner per sorted bucket), so
+            # noising the winner bits directly consumes the channel stream in
+            # the same replicate-major, recipient-ascending order as
+            # NoiseChannel.transmit_batch — bit-identical, minus a grid copy.
+            noisy = channel.transmit(bits[rows[winners], cols[winners]], rng)
+            accepted_bits.reshape(-1)[winning_buckets] = noisy
+
+        delivered = accepted.sum(axis=1).astype(np.int64)
+        self.messages_sent_total += int(sent.sum())
+        self.messages_delivered_total += int(delivered.sum())
+        self.messages_dropped_total += int((sent - delivered).sum())
+        return BatchDeliveryReport(
+            accepted=accepted,
+            bits=accepted_bits.astype(np.int8),
+            senders=accepted_senders,
+            messages_sent=sent,
+            messages_delivered=delivered,
         )
 
     def deliver_all(

@@ -73,6 +73,43 @@ class NoiseChannel(abc.ABC):
             Generator supplying the channel's randomness.
         """
 
+    def transmit_batch(
+        self, bits: np.ndarray, accept_mask: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Apply noise to the accepted entries of a batch of delivery grids.
+
+        The batched execution path (:mod:`repro.exec.batching`) represents the
+        messages accepted in one round of ``R`` independent replicates as an
+        ``(R, n)`` bit grid plus an ``(R, n)`` acceptance mask.  This helper
+        noises exactly the accepted entries, in row-major (replicate-major,
+        recipient-ascending) order, by delegating to :meth:`transmit` on the
+        flattened masked values — so every concrete channel's semantics
+        (including stateful ones such as
+        :class:`AdversarialFlipBudgetChannel`) carry over to the batch path
+        unchanged, bit for bit.
+
+        Parameters
+        ----------
+        bits:
+            ``(R, n)`` integer grid; entries outside ``accept_mask`` are
+            passed through untouched.
+        accept_mask:
+            ``(R, n)`` boolean grid marking which entries carry an accepted
+            message this round.
+        rng:
+            Generator supplying the channel's randomness.
+        """
+        grid = np.asarray(bits)
+        mask = np.asarray(accept_mask, dtype=bool)
+        if grid.shape != mask.shape:
+            raise ParameterError(
+                f"bits and accept_mask must have the same shape, got {grid.shape} vs {mask.shape}"
+            )
+        output = grid.copy()
+        if mask.any():
+            output[mask] = self.transmit(grid[mask], rng)
+        return output
+
     def flips_applied(self) -> int:
         """Total number of bit flips applied so far (diagnostic counter)."""
         return getattr(self, "_flips", 0)

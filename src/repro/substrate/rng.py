@@ -25,7 +25,7 @@ from typing import Dict, Iterator, Optional
 
 import numpy as np
 
-__all__ = ["RandomSource", "spawn_generator", "derive_seed"]
+__all__ = ["RandomSource", "spawn_generator", "derive_seed", "derive_seeds"]
 
 _MAX_SEED = 2**63 - 1
 
@@ -55,6 +55,35 @@ def derive_seed(root_seed: int, *tokens: object) -> int:
     ).astype(np.uint32)
     seq = np.random.SeedSequence(entropy=int(root_seed) & _MAX_SEED, spawn_key=tuple(token_digest))
     return int(seq.generate_state(1, dtype=np.uint64)[0] & _MAX_SEED)
+
+
+def derive_seeds(root_seed: int, count: int, *tokens: object) -> np.ndarray:
+    """Derive ``count`` independent child seeds, one per index.
+
+    Batch-aware counterpart of :func:`derive_seed` used by the trial runners
+    in :mod:`repro.exec`: element ``i`` equals
+    ``derive_seed(root_seed, *tokens, i)`` exactly, so a batch of trials and a
+    serial loop over the same indices see identical per-trial seeds.
+
+    Parameters
+    ----------
+    root_seed:
+        The experiment-level seed.
+    count:
+        Number of child seeds to derive (indices ``0 .. count - 1``).
+    tokens:
+        Arbitrary labels prefixed to the per-index token tuple.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``count`` non-negative ``int64`` seeds.
+    """
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    return np.asarray(
+        [derive_seed(root_seed, *tokens, index) for index in range(count)], dtype=np.int64
+    )
 
 
 def spawn_generator(root_seed: int, *tokens: object) -> np.random.Generator:

@@ -1,0 +1,217 @@
+"""Unit tests for the batched execution path: gossip rounds and full protocol.
+
+Pins both halves of the determinism contract in ``repro.exec.batching``'s
+module docstring: exact equality wherever the model is deterministic
+(channel semantics, round schedules, seed bookkeeping) and distributional
+agreement with the per-engine path for the stochastic observables.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.broadcast import solve_noisy_broadcast
+from repro.errors import ExperimentError, ProtocolError
+from repro.exec.batching import (
+    batch_to_experiment_result,
+    run_broadcast_batch,
+    run_broadcast_sweep_batched,
+)
+from repro.exec.runner import trial_seed
+from repro.substrate.network import PushGossipNetwork
+from repro.substrate.noise import AdversarialFlipBudgetChannel, BinarySymmetricChannel, PerfectChannel
+
+
+class TestTransmitBatch:
+    def test_equals_per_engine_transmit_seed_for_seed(self):
+        """transmit_batch is bit-identical to transmit on the masked values."""
+        channel = BinarySymmetricChannel(epsilon=0.2)
+        rng_batch = np.random.default_rng(13)
+        rng_flat = np.random.default_rng(13)
+        bits = np.asarray([[1, 0, 1, 1], [0, 0, 1, 0]], dtype=np.int8)
+        mask = np.asarray([[True, False, True, True], [False, True, True, False]])
+
+        batched = channel.transmit_batch(bits, mask, rng_batch)
+        flat = channel.transmit(bits[mask], rng_flat)
+
+        assert np.array_equal(batched[mask], flat)
+        assert np.array_equal(batched[~mask], bits[~mask]), "unaccepted entries pass through"
+
+    def test_stateful_channel_semantics_carry_over(self):
+        """A budgeted adversarial channel spends its budget in batch order."""
+        channel = AdversarialFlipBudgetChannel(epsilon=0.2, budget=3)
+        rng = np.random.default_rng(0)
+        bits = np.ones((2, 4), dtype=np.int8)
+        mask = np.ones((2, 4), dtype=bool)
+        out = channel.transmit_batch(bits, mask, rng)
+        assert int((out == 0).sum()) == 3
+        assert channel.remaining_budget == 0
+
+    def test_shape_mismatch_rejected(self):
+        from repro.errors import ParameterError
+
+        with pytest.raises(ParameterError):
+            PerfectChannel().transmit_batch(
+                np.ones((2, 3), dtype=np.int8), np.ones((3, 2), dtype=bool), np.random.default_rng(0)
+            )
+
+
+class TestDeliverBatch:
+    def test_single_sender_per_replicate_is_exact(self):
+        """With one sender and no noise the model is deterministic: exactly one
+        delivery per replicate, the sent bit survives, no self-delivery."""
+        network = PushGossipNetwork(size=30)
+        rng = np.random.default_rng(3)
+        R = 16
+        mask = np.zeros((R, 30), dtype=bool)
+        mask[:, 4] = True
+        bits = np.ones((R, 30), dtype=np.int8)
+        report = network.deliver_batch(mask, bits, PerfectChannel(), rng)
+        assert np.array_equal(report.messages_sent, np.ones(R, dtype=np.int64))
+        assert np.array_equal(report.messages_delivered, np.ones(R, dtype=np.int64))
+        rows, cols = np.nonzero(report.accepted)
+        assert np.array_equal(rows, np.arange(R)), "exactly one acceptance per replicate"
+        assert np.all(cols != 4), "no self-delivery"
+        assert np.all(report.bits[rows, cols] == 1)
+        assert np.all(report.senders[rows, cols] == 4)
+        assert np.all(report.senders[~report.accepted] == -1)
+
+    def test_statistics_match_per_engine_deliver(self):
+        """Delivered fraction and flip rate agree with the per-engine path."""
+        n, rounds = 400, 30
+        channel = BinarySymmetricChannel(epsilon=0.2)
+        senders = np.arange(n)
+        bits = np.ones(n, dtype=np.int8)
+
+        engine_rng = np.random.default_rng(1)
+        engine_net = PushGossipNetwork(size=n)
+        engine_delivered = engine_flipped = engine_total = 0
+        for _ in range(rounds):
+            report = engine_net.deliver(senders, bits, channel, engine_rng)
+            engine_delivered += report.messages_delivered
+            engine_flipped += int((report.bits == 0).sum())
+            engine_total += report.recipients.size
+
+        batch_rng = np.random.default_rng(2)
+        batch_net = PushGossipNetwork(size=n)
+        batch = batch_net.deliver_batch(
+            np.ones((rounds, n), dtype=bool), np.ones((rounds, n), dtype=np.int8), channel, batch_rng
+        )
+        batch_delivered = int(batch.messages_delivered.sum())
+        batch_flipped = int((batch.bits[batch.accepted] == 0).sum())
+
+        engine_fraction = engine_delivered / (rounds * n)
+        batch_fraction = batch_delivered / (rounds * n)
+        assert engine_fraction == pytest.approx(1 - np.exp(-1), abs=0.02)
+        assert batch_fraction == pytest.approx(engine_fraction, abs=0.02)
+        assert batch_flipped / batch_delivered == pytest.approx(
+            engine_flipped / engine_total, abs=0.02
+        )
+
+    def test_deterministic_for_fixed_seed(self):
+        network = PushGossipNetwork(size=50)
+        mask = np.ones((6, 50), dtype=bool)
+        bits = np.ones((6, 50), dtype=np.int8)
+        first = network.deliver_batch(mask, bits, BinarySymmetricChannel(0.25), np.random.default_rng(9))
+        second = network.deliver_batch(mask, bits, BinarySymmetricChannel(0.25), np.random.default_rng(9))
+        assert np.array_equal(first.accepted, second.accepted)
+        assert np.array_equal(first.bits, second.bits)
+        assert np.array_equal(first.senders, second.senders)
+
+    def test_validation(self):
+        network = PushGossipNetwork(size=10)
+        rng = np.random.default_rng(0)
+        channel = PerfectChannel()
+        with pytest.raises(ProtocolError):
+            network.deliver_batch(np.ones(10, dtype=bool), np.ones(10, dtype=np.int8), channel, rng)
+        with pytest.raises(ProtocolError):
+            network.deliver_batch(
+                np.ones((2, 8), dtype=bool), np.ones((2, 8), dtype=np.int8), channel, rng
+            )
+        bad_bits = np.full((2, 10), 3, dtype=np.int8)
+        with pytest.raises(ProtocolError):
+            network.deliver_batch(np.ones((2, 10), dtype=bool), bad_bits, channel, rng)
+
+
+class TestBatchedBroadcast:
+    def test_round_schedule_exactly_matches_serial(self):
+        """The paper's schedule is deterministic: batch rounds == serial rounds."""
+        serial = solve_noisy_broadcast(n=250, epsilon=0.3, seed=0)
+        batch = run_broadcast_batch(n=250, epsilon=0.3, num_replicates=4, base_seed=0)
+        assert batch.rounds == serial.rounds
+
+    def test_statistical_agreement_with_serial(self):
+        n, epsilon, R = 300, 0.3, 6
+        serial = [solve_noisy_broadcast(n=n, epsilon=epsilon, seed=seed) for seed in range(R)]
+        batch = run_broadcast_batch(n=n, epsilon=epsilon, num_replicates=R, base_seed=0)
+        assert batch.success.mean() >= 0.8
+        assert np.mean([r.success for r in serial]) >= 0.8
+        serial_messages = np.mean([r.messages_sent for r in serial])
+        assert batch.messages_sent.mean() == pytest.approx(serial_messages, rel=0.05)
+        assert batch.final_correct_fraction.mean() == pytest.approx(
+            np.mean([r.final_correct_fraction for r in serial]), abs=0.05
+        )
+
+    def test_deterministic_for_fixed_base_seed(self):
+        first = run_broadcast_batch(n=250, epsilon=0.3, num_replicates=5, base_seed=7)
+        second = run_broadcast_batch(n=250, epsilon=0.3, num_replicates=5, base_seed=7)
+        assert np.array_equal(first.success, second.success)
+        assert np.array_equal(first.messages_sent, second.messages_sent)
+        assert np.array_equal(first.final_correct_fraction, second.final_correct_fraction)
+        different = run_broadcast_batch(n=250, epsilon=0.3, num_replicates=5, base_seed=8)
+        assert not np.array_equal(first.messages_sent, different.messages_sent)
+
+    def test_rejects_zero_replicates(self):
+        with pytest.raises(ExperimentError):
+            run_broadcast_batch(n=250, epsilon=0.3, num_replicates=0)
+
+    def test_measurements_are_trial_compatible(self):
+        batch = run_broadcast_batch(n=250, epsilon=0.3, num_replicates=3, base_seed=1)
+        measurements = batch.measurements(0)
+        assert {"rounds", "messages", "messages_per_agent", "success", "final_correct_fraction"} <= set(
+            measurements
+        )
+        assert measurements["messages_per_agent"] == pytest.approx(measurements["messages"] / 250)
+
+
+class TestBatchAdapters:
+    def test_experiment_result_records_identifying_seeds(self):
+        batch = run_broadcast_batch(n=250, epsilon=0.3, num_replicates=3, base_seed=5)
+        result = batch_to_experiment_result("B", batch, base_seed=5, config={"n": 250})
+        assert result.num_trials == 3
+        assert [t.seed for t in result.trials] == [trial_seed(5, "B", i) for i in range(3)]
+        assert result.mean("rounds") == batch.rounds
+
+    def test_batched_sweep_mirrors_run_sweep_naming(self):
+        sweep = run_broadcast_sweep_batched(
+            name="S",
+            points=[{"n": 250}, {"n": 350}],
+            trials_per_point=2,
+            base_seed=3,
+            defaults={"epsilon": 0.3},
+        )
+        assert [point.as_dict()["n"] for point in sweep.points] == [250, 350]
+        assert [result.name for result in sweep.results] == ["S[n=250]", "S[n=350]"]
+        xs, ys = sweep.series("n", "rounds")
+        assert xs == [250, 350]
+        assert ys[1] > ys[0], "larger n needs more rounds"
+
+    def test_sweep_requires_n_and_epsilon(self):
+        with pytest.raises(ExperimentError):
+            run_broadcast_sweep_batched(
+                name="S", points=[{"n": 250}], trials_per_point=2, base_seed=0
+            )
+
+
+class TestDriverBatchMode:
+    def test_e1_batch_report_matches_serial_schedule(self):
+        """E1 in batch mode reproduces the schedule-determined columns exactly."""
+        from repro.experiments import e1_rounds_vs_n
+
+        serial = e1_rounds_vs_n.run(sizes=(250, 400), epsilon=0.3, trials=2)
+        batched = e1_rounds_vs_n.run(sizes=(250, 400), epsilon=0.3, trials=2, batch=True)
+        assert [row["mean_rounds"] for row in batched.rows] == [
+            row["mean_rounds"] for row in serial.rows
+        ]
+        assert all(row["success_rate"] >= 0.5 for row in batched.rows)

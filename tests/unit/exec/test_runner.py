@@ -1,0 +1,153 @@
+"""Unit tests for repro.exec.runner: serial/parallel equality and fallbacks."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ExperimentError
+from repro.exec.runner import (
+    ParallelTrialRunner,
+    SerialTrialRunner,
+    resolve_runner,
+    trial_seed,
+    trial_seeds,
+)
+from repro.substrate.rng import derive_seed, spawn_generator
+
+
+def _cheap_trial(seed, trial_index):
+    """Deterministic module-level trial function (picklable for the pool)."""
+    rng = spawn_generator(seed, "trial")
+    draws = rng.random(16)
+    return {
+        "seed_echo": seed,
+        "index_echo": trial_index,
+        "mean_draw": float(draws.mean()),
+        "heads": bool(draws[0] < 0.5),
+    }
+
+
+def _bad_trial(seed, trial_index):
+    """A trial function that violates the mapping contract."""
+    return [seed, trial_index]
+
+
+def _sweep_trial(point, seed, index):
+    """Deterministic module-level sweep trial (picklable through _PointBoundTrial)."""
+    rng = spawn_generator(seed, "sweep")
+    return {"value": float(rng.random()) * point["scale"], "index": index}
+
+
+class TestSeedDerivation:
+    def test_trial_seed_matches_historical_derivation(self):
+        """Runners must use the same seeds run_trials always derived."""
+        assert trial_seed(7, "E1", 3) == derive_seed(7, "E1", 3)
+
+    def test_trial_seeds_vector_matches_scalar(self):
+        assert trial_seeds(11, "X", 5) == [trial_seed(11, "X", i) for i in range(5)]
+
+
+class TestSerialRunner:
+    def test_result_structure_and_seeds(self):
+        result = SerialTrialRunner().run("exp", _cheap_trial, 4, base_seed=9, config={"k": 1})
+        assert result.num_trials == 4
+        assert result.config == {"k": 1}
+        for index, trial in enumerate(result.trials):
+            assert trial.trial_index == index
+            assert trial.seed == trial_seed(9, "exp", index)
+            assert trial["seed_echo"] == trial.seed
+
+    def test_rejects_zero_trials(self):
+        with pytest.raises(ExperimentError):
+            SerialTrialRunner().run("exp", _cheap_trial, 0)
+
+    def test_rejects_non_mapping_measurements(self):
+        with pytest.raises(ExperimentError, match="must return a mapping"):
+            SerialTrialRunner().run("exp", _bad_trial, 1)
+
+
+class TestParallelRunner:
+    def test_identical_results_to_serial(self):
+        """The acceptance criterion: equal ExperimentResults for equal seeds."""
+        serial = SerialTrialRunner().run("par", _cheap_trial, 8, base_seed=4, config={"a": 2})
+        runner = ParallelTrialRunner(jobs=3)
+        parallel = runner.run("par", _cheap_trial, 8, base_seed=4, config={"a": 2})
+        assert runner.last_fallback_reason is None, "expected the pool to be used"
+        assert serial.to_dict() == parallel.to_dict()
+
+    def test_unpicklable_trial_falls_back_to_serial_with_equal_results(self):
+        captured = 3
+
+        def closure_trial(seed, trial_index):
+            return {"value": (seed + trial_index) % captured}
+
+        runner = ParallelTrialRunner(jobs=2)
+        parallel = runner.run("fb", closure_trial, 5, base_seed=1)
+        assert runner.last_fallback_reason is not None
+        assert "picklable" in runner.last_fallback_reason
+        serial = SerialTrialRunner().run("fb", closure_trial, 5, base_seed=1)
+        assert serial.to_dict() == parallel.to_dict()
+
+    def test_single_job_short_circuits_without_pool(self):
+        runner = ParallelTrialRunner(jobs=1)
+        result = runner.run("one", _cheap_trial, 3, base_seed=2)
+        assert runner.last_fallback_reason is not None
+        assert result.num_trials == 3
+
+    def test_more_jobs_than_trials_is_fine(self):
+        runner = ParallelTrialRunner(jobs=64)
+        result = runner.run("few", _cheap_trial, 2, base_seed=6)
+        assert result.to_dict() == SerialTrialRunner().run("few", _cheap_trial, 2, base_seed=6).to_dict()
+
+    def test_worker_exception_propagates(self):
+        with pytest.raises(ExperimentError, match="must return a mapping"):
+            ParallelTrialRunner(jobs=2).run("bad", _bad_trial, 4, base_seed=0)
+
+    def test_invalid_jobs_rejected(self):
+        with pytest.raises(ExperimentError):
+            ParallelTrialRunner(jobs=-2)
+
+
+class TestResolveRunner:
+    def test_none_and_one_mean_serial(self):
+        assert isinstance(resolve_runner(None), SerialTrialRunner)
+        assert isinstance(resolve_runner(1), SerialTrialRunner)
+
+    def test_zero_means_all_cpus(self):
+        runner = resolve_runner(0)
+        assert isinstance(runner, ParallelTrialRunner)
+        assert runner.jobs is None
+        assert runner.effective_jobs >= 1
+
+    def test_explicit_worker_count(self):
+        runner = resolve_runner(5)
+        assert isinstance(runner, ParallelTrialRunner)
+        assert runner.jobs == 5
+
+    def test_negative_rejected(self):
+        with pytest.raises(ExperimentError):
+            resolve_runner(-1)
+
+
+class TestRunTrialsIntegration:
+    def test_run_trials_accepts_runner(self):
+        """run_trials(runner=...) routes through the given runner."""
+        from repro.analysis.experiments import run_trials
+
+        default = run_trials("rt", _cheap_trial, 4, base_seed=5)
+        parallel = run_trials("rt", _cheap_trial, 4, base_seed=5, runner=ParallelTrialRunner(jobs=2))
+        assert default.to_dict() == parallel.to_dict()
+
+    def test_run_sweep_accepts_runner(self):
+        """run_sweep(runner=...) produces identical sweeps, through the real pool."""
+        from repro.analysis.sweeps import run_sweep
+
+        points = [{"scale": 1.0}, {"scale": 2.5}]
+        serial = run_sweep("sw", points, _sweep_trial, trials_per_point=3, base_seed=8)
+        runner = ParallelTrialRunner(jobs=2)
+        parallel = run_sweep(
+            "sw", points, _sweep_trial, trials_per_point=3, base_seed=8, runner=runner
+        )
+        assert runner.last_fallback_reason is None, "point-bound trials must be picklable"
+        assert serial.to_dict() == parallel.to_dict()
