@@ -13,8 +13,10 @@ The drivers execute their Monte-Carlo trials through the trial-execution
 subsystem (:mod:`repro.exec`).  By default trials run serially; set
 ``REPRO_BENCH_JOBS`` to fan them out over worker processes (``0`` = one per
 CPU, ``k`` = ``k`` workers) — results are identical either way, only the
-wall-clock changes.  ``benchmarks/bench_exec_speedup.py`` measures the
-speedup of the parallel and batched paths explicitly and records it as JSON.
+wall-clock changes.  ``benchmarks/bench_exec_speedup.py`` and
+``benchmarks/bench_e8_batch_speedup.py`` measure the speedups of the
+parallel, batched and point-parallel paths explicitly and record them as
+JSON under ``benchmarks/results/``.
 """
 
 from __future__ import annotations

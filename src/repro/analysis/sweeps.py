@@ -63,11 +63,10 @@ class SweepResult:
     def __len__(self) -> int:
         return len(self.points)
 
-    def series(self, parameter: str, measurement: str) -> Tuple[List[Any], List[float]]:
-        """Extract ``(parameter values, mean measurement)`` across the sweep.
-
-        Useful for scaling fits: e.g. ``series("n", "rounds")``.
-        """
+    def _extract(
+        self, parameter: str, summarise: Callable[[ExperimentResult], float]
+    ) -> Tuple[List[Any], List[float]]:
+        """Walk the sweep pairing each point's ``parameter`` value with a per-result summary."""
         xs: List[Any] = []
         ys: List[float] = []
         for point, result in self:
@@ -75,17 +74,19 @@ class SweepResult:
             if parameter not in params:
                 raise ExperimentError(f"sweep point {point.label()} has no parameter {parameter!r}")
             xs.append(params[parameter])
-            ys.append(result.mean(measurement))
+            ys.append(summarise(result))
         return xs, ys
+
+    def series(self, parameter: str, measurement: str) -> Tuple[List[Any], List[float]]:
+        """Extract ``(parameter values, mean measurement)`` across the sweep.
+
+        Useful for scaling fits: e.g. ``series("n", "rounds")``.
+        """
+        return self._extract(parameter, lambda result: result.mean(measurement))
 
     def rates(self, parameter: str, flag: str) -> Tuple[List[Any], List[float]]:
         """Extract ``(parameter values, success rates)`` across the sweep."""
-        xs: List[Any] = []
-        ys: List[float] = []
-        for point, result in self:
-            xs.append(point.as_dict()[parameter])
-            ys.append(result.rate(flag))
-        return xs, ys
+        return self._extract(parameter, lambda result: result.rate(flag))
 
     def to_dict(self) -> Dict[str, Any]:
         """JSON-serialisable representation."""
@@ -99,7 +100,7 @@ class SweepResult:
 def parameter_grid(**axes: Sequence[Any]) -> List[Dict[str, Any]]:
     """Cartesian product of named parameter axes, as a list of dicts.
 
-    >>> parameter_grid(n=[100, 200], epsilon=[0.1, 0.2])
+    >>> parameter_grid(n=[100, 200], epsilon=[0.1, 0.2])  # doctest: +NORMALIZE_WHITESPACE
     [{'n': 100, 'epsilon': 0.1}, {'n': 100, 'epsilon': 0.2},
      {'n': 200, 'epsilon': 0.1}, {'n': 200, 'epsilon': 0.2}]
     """
@@ -135,6 +136,7 @@ def run_sweep(
     trials_per_point: int,
     base_seed: int = 0,
     runner: Optional["TrialRunner"] = None,
+    point_jobs: Optional[int] = None,
 ) -> SweepResult:
     """Run ``trials_per_point`` trials of ``trial_fn`` at every grid point.
 
@@ -142,10 +144,56 @@ def run_sweep(
     independently of the other points, so adding points to a sweep never
     changes existing results.  ``runner`` selects the execution strategy for
     each point's trials (see :func:`repro.analysis.experiments.run_trials`).
+
+    ``point_jobs`` instead parallelises *across* grid points: one shared
+    process pool executes whole points concurrently (``0`` = one worker per
+    CPU), each worker running its point's trials serially.  Per-point trial
+    seeds are derived in the parent exactly as the serial path derives them
+    and results are assembled in point order, so the returned sweep is
+    bit-identical to a serial run — the same identical-results contract as
+    :class:`~repro.exec.runner.ParallelTrialRunner`, at point granularity.
+    When ``point_jobs`` is active it takes precedence over ``runner`` (the
+    pool is already saturated by points); unpicklable trial functions fall
+    back to the serial path gracefully.
     """
+    point_list = [SweepPoint.from_mapping(raw_point) for raw_point in points]
+
+    if point_jobs is not None:
+        # Imported late: repro.exec depends on this module for the sweep
+        # containers, so a top-level import either way would be circular.
+        from ..exec import pool as exec_pool
+        from ..exec.runner import TrialRunner as _TrialRunner, trial_seeds
+
+        if trials_per_point < 1:
+            raise ExperimentError("trials_per_point must be at least 1")
+        jobs = exec_pool.resolve_point_jobs(point_jobs, len(point_list))
+        bound_trials = [_PointBoundTrial(trial_fn, point) for point in point_list]
+        # Probe the *bound* trials: the point parameters cross the process
+        # boundary too, so an unpicklable point value must also trigger the
+        # graceful serial fallback (as it does for ParallelTrialRunner).
+        if jobs > 1 and all(
+            exec_pool.picklability_error(bound) is None for bound in bound_trials
+        ):
+            point_names = [f"{name}[{point.label()}]" for point in point_list]
+            seed_lists = [
+                trial_seeds(base_seed, point_name, trials_per_point)
+                for point_name in point_names
+            ]
+            raw_lists = exec_pool.run_point_trials_in_pool(
+                list(zip(bound_trials, seed_lists)), jobs
+            )
+            sweep = SweepResult(name=name)
+            for point, point_name, seeds, raw in zip(
+                point_list, point_names, seed_lists, raw_lists
+            ):
+                sweep.points.append(point)
+                sweep.results.append(
+                    _TrialRunner._package(point_name, point.as_dict(), seeds, raw)
+                )
+            return sweep
+
     sweep = SweepResult(name=name)
-    for raw_point in points:
-        point = SweepPoint.from_mapping(raw_point)
+    for point in point_list:
         result = run_trials(
             name=f"{name}[{point.label()}]",
             trial_fn=_PointBoundTrial(trial_fn, point),

@@ -9,8 +9,11 @@ Installed as ``repro-flip``.  Three subcommands cover the common workflows:
 * ``repro-flip experiment E1 --jobs 4`` — run one of the experiment drivers
   (the E1–E11 table in ``README.md``) with its default settings and print
   its report; ``--jobs`` runs the Monte-Carlo trials across worker
-  processes and ``--batch`` uses the vectorised batch simulator for the
-  broadcast-shaped experiments (see :mod:`repro.exec`).
+  processes and ``--batch`` uses the vectorised batch simulators for the
+  batchable experiments (E1–E3 broadcast-shaped, E8 majority-consensus,
+  E10's sampling grid).  ``--jobs`` composes with ``--batch``: independent
+  sweep points then execute concurrently while each point stays vectorised
+  (see :mod:`repro.exec`).
 """
 
 from __future__ import annotations
@@ -28,6 +31,20 @@ from .exec import resolve_runner
 from .experiments import DRIVERS
 
 __all__ = ["build_parser", "main"]
+
+
+def _batchable_experiment_ids() -> str:
+    """Comma-separated ids of the drivers whose ``run`` accepts ``batch=``.
+
+    Derived from the driver signatures (the same introspection
+    ``_run_experiment`` dispatches on), so help and error text can never
+    drift from what ``--batch`` actually supports.
+    """
+    return ", ".join(
+        experiment_id
+        for experiment_id in sorted(DRIVERS, key=lambda key: int(key[1:]))
+        if "batch" in inspect.signature(DRIVERS[experiment_id].run).parameters
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -67,8 +84,9 @@ def build_parser() -> argparse.ArgumentParser:
         "--batch",
         action="store_true",
         help="simulate all trials of each sweep point at once with the vectorised batch path "
-        "(broadcast-shaped experiments only; deterministic per base seed, but drawn from a "
-        "batch-level random stream instead of per-trial streams)",
+        f"({_batchable_experiment_ids()}; deterministic per base seed, but drawn from a "
+        "batch-level random stream instead of per-trial streams); combine with --jobs to "
+        "additionally run independent sweep points across worker processes",
     )
 
     subparsers.add_parser("list-experiments", help="list available experiment drivers")
@@ -128,14 +146,25 @@ def _run_experiment(args: argparse.Namespace, parser: argparse.ArgumentParser) -
     driver = DRIVERS[args.experiment_id]
     accepted = inspect.signature(driver.run).parameters
     kwargs = {}
+    if args.batch and "batch" not in accepted:
+        parser.error(
+            f"{args.experiment_id} has no vectorised batch path; --batch supports the "
+            f"batchable experiments ({_batchable_experiment_ids()})"
+        )
     if args.jobs is not None:
         if args.jobs < 0:
             parser.error(f"--jobs must be non-negative (0 = one worker per CPU), got {args.jobs}")
         if args.batch:
-            print(
-                "note: --batch is a single-process vectorised path; --jobs is ignored",
-                file=sys.stderr,
-            )
+            # The batch path is vectorised within a sweep point; --jobs
+            # composes with it by running independent points concurrently.
+            if "point_jobs" in accepted:
+                kwargs["point_jobs"] = args.jobs
+            else:
+                print(
+                    f"note: {args.experiment_id} --batch vectorises its whole Monte-Carlo "
+                    "in-process; --jobs has no effect",
+                    file=sys.stderr,
+                )
         elif "runner" not in accepted:
             print(
                 f"note: {args.experiment_id} vectorises its Monte-Carlo in-process rather than "
@@ -145,11 +174,6 @@ def _run_experiment(args: argparse.Namespace, parser: argparse.ArgumentParser) -
         else:
             kwargs["runner"] = resolve_runner(args.jobs)
     if args.batch:
-        if "batch" not in accepted:
-            parser.error(
-                f"{args.experiment_id} has no vectorised batch path; --batch supports the "
-                "broadcast-shaped experiments (E1, E2, E3)"
-            )
         kwargs["batch"] = True
     report = driver.run(**kwargs)
     print(report.render())

@@ -11,13 +11,16 @@ package defines *how* the trials execute:
 * :mod:`repro.exec.pool` — the :class:`concurrent.futures.ProcessPoolExecutor`
   plumbing behind the parallel runner;
 * :mod:`repro.exec.batching` — a vectorised path that simulates ``R``
-  independent replicates of the noisy push-gossip protocol as ``(R, n)``
-  NumPy grids instead of one engine per trial.
+  independent replicates of the noisy push-gossip protocols (broadcast *and*
+  majority consensus) as ``(R, n)`` NumPy grids instead of one engine per
+  trial, plus a generic batched sweep dispatcher with an optional
+  point-parallel mode (one shared pool across independent grid points).
 
 Experiment drivers accept a ``runner=`` argument (surfaced as ``--jobs`` on
-the CLI) and, for the broadcast-shaped experiments, a ``batch=`` flag
-(surfaced as ``--batch``); see ``docs/ARCHITECTURE.md`` for the determinism
-contract of each path.
+the CLI) and, for the batchable experiments (E1–E3, E8, E10), a ``batch=``
+flag (surfaced as ``--batch``; ``--jobs`` composes with it via point
+parallelism); see ``docs/ARCHITECTURE.md`` for the determinism contract of
+each path.
 """
 
 from __future__ import annotations
@@ -27,9 +30,12 @@ from typing import Optional
 
 from .batching import (
     BatchBroadcastResult,
+    BatchMajorityResult,
     batch_to_experiment_result,
     run_broadcast_batch,
     run_broadcast_sweep_batched,
+    run_majority_batch,
+    run_sweep_batched,
 )
 from .runner import (
     ParallelTrialRunner,
@@ -49,8 +55,11 @@ __all__ = [
     "trial_seed",
     "trial_seeds",
     "BatchBroadcastResult",
+    "BatchMajorityResult",
     "run_broadcast_batch",
+    "run_majority_batch",
     "batch_to_experiment_result",
+    "run_sweep_batched",
     "run_broadcast_sweep_batched",
 ]
 

@@ -1,4 +1,4 @@
-"""Vectorised batch execution of the noisy-broadcast protocol.
+"""Vectorised batch execution of the noisy-broadcast and majority protocols.
 
 The serial execution path builds one :class:`~repro.substrate.engine.SimulationEngine`
 per Monte-Carlo trial and pays Python-level bookkeeping (engine wiring,
@@ -9,15 +9,38 @@ replicates can instead be simulated *simultaneously* as ``(R, n)`` NumPy
 grids: one :meth:`~repro.substrate.network.PushGossipNetwork.deliver_batch`
 call per round replaces ``R`` engine rounds.
 
+Both protocol shapes of the paper are covered:
+
+* :func:`run_broadcast_batch` — Theorem 2.17's two-stage broadcast
+  (mirroring :func:`repro.core.broadcast.solve_noisy_broadcast`);
+* :func:`run_majority_batch` — Corollary 2.18's majority-consensus variant
+  (mirroring :func:`repro.core.majority.solve_noisy_majority_consensus`):
+  a random initially-opinionated set per replicate, Stage I entered at the
+  corollary's start phase ``i_A``, then Stage-II boosting.
+
+:func:`run_sweep_batched` dispatches whole sweeps point-by-point onto the
+right batch simulator, forwarding *every* recognised point setting
+(``correct_opinion``, ``allow_self_messages``, ``initial_set_size``,
+``majority_bias``, calibration overrides, ...) and rejecting unrecognised
+ones — the same strictness a serial ``run_sweep`` trial function gets by
+construction.  Independent grid points can additionally execute concurrently
+on a shared process pool (``point_jobs``), composing batch-level
+vectorisation with point-level parallelism.
+
 Determinism contract
 --------------------
 * A batch run is fully determined by ``(n, epsilon, num_replicates,
-  base_seed, parameters)``: two identical calls return identical arrays.
+  base_seed, parameters)`` (plus the instance settings for the majority
+  shape): two identical calls return identical arrays.  Point-parallel
+  sweeps preserve this bit-for-bit: per-point batch seeds are derived in the
+  parent before dispatch and results are assembled in point order, exactly
+  like :class:`~repro.exec.runner.ParallelTrialRunner` does for trials.
 * Per-replicate dynamics are *statistically* equivalent to
-  :func:`repro.core.broadcast.solve_noisy_broadcast` — same protocol, same
-  schedule (the per-replicate round count is exactly equal), same
-  distributions — but **not** bit-identical to serial trials, because the
-  whole batch consumes one random stream instead of one stream tree per
+  :func:`repro.core.broadcast.solve_noisy_broadcast` /
+  :func:`repro.core.majority.solve_noisy_majority_consensus` — same
+  protocol, same schedule (the per-replicate round count is exactly equal),
+  same distributions — but **not** bit-identical to serial trials, because
+  the whole batch consumes one random stream instead of one stream tree per
   engine.  Experiments that must be replayable trial-for-trial (the default)
   use the serial or parallel runners in :mod:`repro.exec.runner`; ``--batch``
   trades that per-trial replayability for a large constant-factor speedup
@@ -31,23 +54,30 @@ observables (success rate, message counts, final bias).
 
 from __future__ import annotations
 
+import inspect
 from dataclasses import dataclass
-from typing import Any, Dict, Iterable, Mapping, Optional
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Tuple
 
 import numpy as np
 
-from ..core.parameters import ProtocolParameters
-from ..errors import ExperimentError, SimulationError
+from ..core.majority import compute_start_phase
+from ..core.opinions import bias_from_counts, counts_from_bias, opposite, validate_opinion
+from ..core.parameters import ProtocolParameters, StageOneParameters, StageTwoParameters
+from ..errors import ExperimentError, ParameterError, SimulationError
 from ..substrate.network import PushGossipNetwork
 from ..substrate.noise import BinarySymmetricChannel, NoiseChannel
 from ..substrate.population import NO_OPINION
 from ..substrate.rng import derive_seed, spawn_generator
+from . import pool
 from .runner import trial_seeds
 
 __all__ = [
     "BatchBroadcastResult",
+    "BatchMajorityResult",
     "run_broadcast_batch",
+    "run_majority_batch",
     "batch_to_experiment_result",
+    "run_sweep_batched",
     "run_broadcast_sweep_batched",
 ]
 
@@ -107,6 +137,205 @@ class BatchBroadcastResult:
         }
 
 
+@dataclass(frozen=True)
+class BatchMajorityResult:
+    """Per-replicate outcomes of a batched majority-consensus run.
+
+    Attributes
+    ----------
+    n, epsilon, majority_opinion:
+        The shared instance parameters (``majority_opinion`` is the
+        ground-truth majority opinion ``B``).
+    initial_set_size, initial_bias:
+        Size of the initially opinionated set ``A`` and the realised
+        majority-bias of its opinion assignment (identical for every
+        replicate: :func:`~repro.core.opinions.counts_from_bias` makes the
+        correct/wrong split deterministic, exactly as
+        :meth:`~repro.core.majority.MajorityInstance.generate` does).
+    start_phase:
+        Corollary 2.18's ``i_A`` — the Stage-I phase the protocol starts
+        from; identical for every replicate because it depends only on the
+        shared ``(parameters, |A|)``.
+    rounds:
+        Round count — identical for every replicate because the schedule is
+        fixed by ``(parameters, start_phase)``; exactly equals the serial
+        :class:`~repro.core.majority.MajorityConsensusResult.rounds`.
+    success:
+        ``(R,)`` boolean vector: did every agent finish holding ``B``?
+    final_correct_fraction:
+        ``(R,)`` fraction of agents holding ``B`` at the end.
+    messages_sent:
+        ``(R,)`` total messages pushed, per replicate.
+    stage1_bias:
+        ``(R,)`` population bias towards ``B`` at the end of Stage I.
+    """
+
+    n: int
+    epsilon: float
+    majority_opinion: int
+    initial_set_size: int
+    initial_bias: float
+    start_phase: int
+    rounds: int
+    success: np.ndarray
+    final_correct_fraction: np.ndarray
+    messages_sent: np.ndarray
+    stage1_bias: np.ndarray
+
+    @property
+    def num_replicates(self) -> int:
+        """Number of replicates ``R`` in the batch."""
+        return int(self.success.size)
+
+    def measurements(self, index: int) -> Dict[str, Any]:
+        """Replicate ``index`` as a trial-measurement mapping.
+
+        The keys form a superset of what the serial E8 driver records
+        (``success``, ``final_fraction``, ``rounds``), so batched and serial
+        majority sweeps produce interchangeable
+        :class:`~repro.analysis.experiments.ExperimentResult` tables.
+        """
+        final_fraction = float(self.final_correct_fraction[index])
+        return {
+            "rounds": int(self.rounds),
+            "messages": int(self.messages_sent[index]),
+            "messages_per_agent": float(self.messages_sent[index] / self.n),
+            "success": bool(self.success[index]),
+            "final_fraction": final_fraction,
+            "final_correct_fraction": final_fraction,
+            "stage1_bias": float(self.stage1_bias[index]),
+            "start_phase": int(self.start_phase),
+        }
+
+
+# ----------------------------------------------------------------------
+# Shared (R, n) protocol machinery
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class _BatchState:
+    """Mutable replicate-grid state shared by the two batched protocols.
+
+    Mirrors :class:`~repro.substrate.population.Population` across ``R``
+    replicates at once: an ``(R, n)`` opinion grid, an ``(R, n)`` activation
+    grid, per-replicate message counters and the global round counter.
+    """
+
+    opinions: np.ndarray
+    activated: np.ndarray
+    messages_sent: np.ndarray
+    rounds: int = 0
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        return self.opinions.shape
+
+
+def _execute_stage_one_batch(
+    state: _BatchState,
+    network: PushGossipNetwork,
+    channel: NoiseChannel,
+    rng: np.random.Generator,
+    stage1: StageOneParameters,
+    start_phase: int = 0,
+) -> None:
+    """Stage I (spreading in synchronized layers, Section 2.1) on ``(R, n)`` grids.
+
+    ``start_phase`` is the first phase to execute: 0 for broadcast, the
+    corollary's ``i_A`` for majority consensus — exactly the parameter
+    :func:`repro.core.stage1.execute_stage_one` takes serially.
+    """
+    R, n = state.shape
+    for phase in range(start_phase, stage1.num_phases):
+        phase_length = stage1.phase_length(phase)
+        # Senders are fixed at phase start: activated and opinionated agents.
+        send_mask = state.activated & (state.opinions != NO_OPINION)
+        bits = np.where(send_mask, state.opinions, 0).astype(np.int8)
+        dormant = ~state.activated
+
+        # Per-agent reservoir sampling over the messages heard this phase,
+        # exactly as ReceptionAccumulator does serially.
+        heard_counts = np.zeros((R, n), dtype=np.int64)
+        chosen = np.full((R, n), NO_OPINION, dtype=np.int8)
+        senders_per_replicate = send_mask.sum(axis=1)
+        for _ in range(phase_length):
+            report = network.deliver_batch(send_mask, bits, channel, rng)
+            rows, cols = np.nonzero(report.accepted & dormant)
+            if rows.size:
+                counts = heard_counts[rows, cols] + 1
+                heard_counts[rows, cols] = counts
+                replace = rng.random(rows.size) < 1.0 / counts
+                keep_rows, keep_cols = rows[replace], cols[replace]
+                chosen[keep_rows, keep_cols] = report.bits[keep_rows, keep_cols]
+            state.messages_sent += senders_per_replicate
+            state.rounds += 1
+
+        newly = (heard_counts > 0) & dormant
+        state.activated |= newly
+        state.opinions = np.where(newly, chosen, state.opinions)
+
+
+def _stage1_bias(opinions: np.ndarray, correct_opinion: int) -> np.ndarray:
+    """Per-replicate population bias towards ``correct_opinion`` (the paper's ``delta_1``)."""
+    correct = (opinions == correct_opinion).sum(axis=1)
+    wrong = ((opinions != correct_opinion) & (opinions != NO_OPINION)).sum(axis=1)
+    opinionated = correct + wrong
+    return np.where(
+        opinionated > 0, (correct - wrong) / np.maximum(2 * opinionated, 1), 0.0
+    ).astype(float)
+
+
+def _execute_stage_two_batch(
+    state: _BatchState,
+    network: PushGossipNetwork,
+    channel: NoiseChannel,
+    rng: np.random.Generator,
+    stage2: StageTwoParameters,
+) -> None:
+    """Stage II (boosting by repeated noisy majorities, Section 2.2) on ``(R, n)`` grids."""
+    R, n = state.shape
+    for phase in range(1, stage2.num_phases + 1):
+        phase_length = stage2.phase_length(phase)
+        subset_size = phase_length // 2
+        # Messages sent during the phase all carry the phase-start opinion.
+        snapshot = state.opinions.copy()
+        send_mask = snapshot != NO_OPINION
+        bits = np.where(send_mask, snapshot, 0).astype(np.int8)
+        senders_per_replicate = send_mask.sum(axis=1)
+
+        totals = np.zeros((R, n), dtype=np.int64)
+        ones = np.zeros((R, n), dtype=np.int64)
+        for _ in range(phase_length):
+            report = network.deliver_batch(send_mask, bits, channel, rng)
+            totals += report.accepted
+            ones += report.bits  # zero wherever nothing was accepted
+            state.messages_sent += senders_per_replicate
+            state.rounds += 1
+
+        successful = totals >= subset_size
+        # Majority of a uniformly random subset of exactly subset_size samples,
+        # simulated exactly by a hypergeometric draw (cf. stage2.majority_of_
+        # random_subset).  Parameters are clamped to a legal configuration at
+        # unsuccessful positions; those draws are discarded below.
+        safe_ones = np.where(successful, ones, subset_size)
+        safe_zeros = np.where(successful, totals - ones, 0)
+        ones_in_subset = rng.hypergeometric(safe_ones, safe_zeros, subset_size)
+        doubled = 2 * ones_in_subset
+        majority = np.where(doubled > subset_size, 1, 0).astype(np.int8)
+        ties = doubled == subset_size
+        if np.any(ties):
+            tie_break = rng.integers(0, 2, size=(R, n)).astype(np.int8)
+            majority = np.where(ties, tie_break, majority)
+        state.opinions = np.where(successful, majority, state.opinions)
+        state.activated |= successful
+
+
+# ----------------------------------------------------------------------
+# The two batched protocol entry points
+# ----------------------------------------------------------------------
+
+
 def run_broadcast_batch(
     n: int,
     epsilon: float,
@@ -147,6 +376,7 @@ def run_broadcast_batch(
     """
     if num_replicates < 1:
         raise ExperimentError("num_replicates must be at least 1")
+    correct_opinion = validate_opinion(correct_opinion)
     if parameters is None:
         parameters = ProtocolParameters.calibrated(n, epsilon, **calibration_overrides)
     if parameters.n != n:
@@ -163,112 +393,157 @@ def run_broadcast_batch(
     activated = np.zeros((R, n), dtype=bool)
     opinions[:, 0] = correct_opinion  # agent 0 is the source in every replicate
     activated[:, 0] = True
-    messages_sent = np.zeros(R, dtype=np.int64)
-    rounds = 0
-
-    # ------------------------------------------------------------------
-    # Stage I — spreading in synchronized layers (Section 2.1).
-    # ------------------------------------------------------------------
-    stage1 = parameters.stage1
-    for phase in range(stage1.num_phases):
-        phase_length = stage1.phase_length(phase)
-        # Senders are fixed at phase start: activated and opinionated agents.
-        send_mask = activated & (opinions != NO_OPINION)
-        bits = np.where(send_mask, opinions, 0).astype(np.int8)
-        dormant = ~activated
-
-        # Per-agent reservoir sampling over the messages heard this phase,
-        # exactly as ReceptionAccumulator does serially.
-        heard_counts = np.zeros((R, n), dtype=np.int64)
-        chosen = np.full((R, n), NO_OPINION, dtype=np.int8)
-        senders_per_replicate = send_mask.sum(axis=1)
-        for _ in range(phase_length):
-            report = network.deliver_batch(send_mask, bits, channel, rng)
-            rows, cols = np.nonzero(report.accepted & dormant)
-            if rows.size:
-                counts = heard_counts[rows, cols] + 1
-                heard_counts[rows, cols] = counts
-                replace = rng.random(rows.size) < 1.0 / counts
-                keep_rows, keep_cols = rows[replace], cols[replace]
-                chosen[keep_rows, keep_cols] = report.bits[keep_rows, keep_cols]
-            messages_sent += senders_per_replicate
-            rounds += 1
-
-        newly = (heard_counts > 0) & dormant
-        activated |= newly
-        opinions = np.where(newly, chosen, opinions)
-
-    correct = (opinions == correct_opinion).sum(axis=1)
-    wrong = ((opinions != correct_opinion) & (opinions != NO_OPINION)).sum(axis=1)
-    opinionated = correct + wrong
-    stage1_bias = np.where(
-        opinionated > 0, (correct - wrong) / np.maximum(2 * opinionated, 1), 0.0
+    state = _BatchState(
+        opinions=opinions, activated=activated, messages_sent=np.zeros(R, dtype=np.int64)
     )
 
-    # ------------------------------------------------------------------
-    # Stage II — boosting by repeated noisy majorities (Section 2.2).
-    # ------------------------------------------------------------------
-    stage2 = parameters.stage2
-    for phase in range(1, stage2.num_phases + 1):
-        phase_length = stage2.phase_length(phase)
-        subset_size = phase_length // 2
-        # Messages sent during the phase all carry the phase-start opinion.
-        snapshot = opinions.copy()
-        send_mask = snapshot != NO_OPINION
-        bits = np.where(send_mask, snapshot, 0).astype(np.int8)
-        senders_per_replicate = send_mask.sum(axis=1)
+    _execute_stage_one_batch(state, network, channel, rng, parameters.stage1)
+    stage1_bias = _stage1_bias(state.opinions, correct_opinion)
+    _execute_stage_two_batch(state, network, channel, rng, parameters.stage2)
 
-        totals = np.zeros((R, n), dtype=np.int64)
-        ones = np.zeros((R, n), dtype=np.int64)
-        for _ in range(phase_length):
-            report = network.deliver_batch(send_mask, bits, channel, rng)
-            totals += report.accepted
-            ones += report.bits  # zero wherever nothing was accepted
-            messages_sent += senders_per_replicate
-            rounds += 1
-
-        successful = totals >= subset_size
-        # Majority of a uniformly random subset of exactly subset_size samples,
-        # simulated exactly by a hypergeometric draw (cf. stage2.majority_of_
-        # random_subset).  Parameters are clamped to a legal configuration at
-        # unsuccessful positions; those draws are discarded below.
-        safe_ones = np.where(successful, ones, subset_size)
-        safe_zeros = np.where(successful, totals - ones, 0)
-        ones_in_subset = rng.hypergeometric(safe_ones, safe_zeros, subset_size)
-        doubled = 2 * ones_in_subset
-        majority = np.where(doubled > subset_size, 1, 0).astype(np.int8)
-        ties = doubled == subset_size
-        if np.any(ties):
-            tie_break = rng.integers(0, 2, size=(R, n)).astype(np.int8)
-            majority = np.where(ties, tie_break, majority)
-        opinions = np.where(successful, majority, opinions)
-        activated |= successful
-
-    correct_final = (opinions == correct_opinion).sum(axis=1)
+    correct_final = (state.opinions == correct_opinion).sum(axis=1)
     return BatchBroadcastResult(
         n=n,
         epsilon=float(epsilon),
         correct_opinion=int(correct_opinion),
-        rounds=rounds,
+        rounds=state.rounds,
         success=correct_final == n,
         final_correct_fraction=correct_final / n,
-        messages_sent=messages_sent,
-        stage1_bias=stage1_bias.astype(float),
+        messages_sent=state.messages_sent,
+        stage1_bias=stage1_bias,
+    )
+
+
+def run_majority_batch(
+    n: int,
+    epsilon: float,
+    num_replicates: int,
+    initial_set_size: int,
+    majority_bias: float,
+    base_seed: int = 0,
+    majority_opinion: int = 1,
+    parameters: Optional[ProtocolParameters] = None,
+    channel: Optional[NoiseChannel] = None,
+    allow_self_messages: bool = False,
+    start_phase: Optional[int] = None,
+    **calibration_overrides: float,
+) -> BatchMajorityResult:
+    """Simulate ``num_replicates`` independent majority-consensus runs at once.
+
+    This is the batched counterpart of
+    :func:`repro.core.majority.solve_noisy_majority_consensus`: every
+    replicate gets its own uniformly random initially opinionated set ``A``
+    (size ``initial_set_size``, majority-bias ``majority_bias`` towards
+    ``majority_opinion``), the protocol enters Stage I at Corollary 2.18's
+    start phase ``i_A`` (so the seeded set plays the role of "the agents
+    activated before phase ``i_A``"), and Stage II boosts as usual — all on
+    ``(R, n)`` grids.
+
+    Parameters
+    ----------
+    n, epsilon:
+        Instance size and noise margin, shared by every replicate.
+    num_replicates:
+        Number of independent replicates ``R``.
+    initial_set_size, majority_bias, majority_opinion:
+        The initial opinionated set ``A``: its size and its majority-bias
+        towards ``majority_opinion``.  The correct/wrong split is the
+        deterministic :func:`~repro.core.opinions.counts_from_bias` split,
+        exactly as in :meth:`~repro.core.majority.MajorityInstance.generate`;
+        the membership of ``A`` is drawn independently per replicate.
+    base_seed:
+        Root seed of the batch stream.
+    parameters:
+        Optional explicit :class:`ProtocolParameters`; the calibrated preset
+        is used when omitted (``calibration_overrides`` are forwarded).
+    channel:
+        Override the default :class:`BinarySymmetricChannel`.
+    allow_self_messages:
+        Allow agents to push messages to themselves.
+    start_phase:
+        Override Corollary 2.18's computed start phase (mirrors the
+        ``start_phase`` argument of
+        :class:`~repro.core.majority.NoisyMajorityConsensusProtocol`).
+    """
+    if num_replicates < 1:
+        raise ExperimentError("num_replicates must be at least 1")
+    majority_opinion = validate_opinion(majority_opinion)
+    if parameters is None:
+        parameters = ProtocolParameters.calibrated(n, epsilon, **calibration_overrides)
+    if parameters.n != n:
+        raise SimulationError(f"parameters were built for n={parameters.n}, not n={n}")
+    if channel is None:
+        channel = BinarySymmetricChannel(epsilon=epsilon)
+    if not 1 <= initial_set_size <= n:
+        raise ParameterError(f"initial set size must be in [1, n], got {initial_set_size}")
+    if majority_bias < 0:
+        raise ParameterError("majority bias must be non-negative")
+
+    rng = spawn_generator(base_seed, "batch-majority", n)
+    network = PushGossipNetwork(size=n, allow_self_messages=allow_self_messages)
+    R = num_replicates
+
+    # Instance generation, one independent instance per replicate: the first
+    # `initial_set_size` columns of a random permutation are a uniformly
+    # random subset in uniformly random order, so giving the first
+    # `correct_count` of them the majority opinion realises the same
+    # distribution as MajorityInstance.generate's shuffle.
+    members = np.argsort(rng.random((R, n)), axis=1)[:, :initial_set_size]
+    correct_count, wrong_count = counts_from_bias(initial_set_size, majority_bias)
+    member_opinions = np.full((R, initial_set_size), opposite(majority_opinion), dtype=np.int8)
+    member_opinions[:, :correct_count] = majority_opinion
+
+    opinions = np.full((R, n), NO_OPINION, dtype=np.int8)
+    activated = np.zeros((R, n), dtype=bool)
+    replicate_rows = np.repeat(np.arange(R), initial_set_size)
+    opinions[replicate_rows, members.ravel()] = member_opinions.ravel()
+    activated[replicate_rows, members.ravel()] = True
+    state = _BatchState(
+        opinions=opinions, activated=activated, messages_sent=np.zeros(R, dtype=np.int64)
+    )
+
+    resolved_start_phase = (
+        start_phase
+        if start_phase is not None
+        else compute_start_phase(parameters, initial_set_size)
+    )
+
+    _execute_stage_one_batch(
+        state, network, channel, rng, parameters.stage1, start_phase=resolved_start_phase
+    )
+    stage1_bias = _stage1_bias(state.opinions, majority_opinion)
+    _execute_stage_two_batch(state, network, channel, rng, parameters.stage2)
+
+    correct_final = (state.opinions == majority_opinion).sum(axis=1)
+    return BatchMajorityResult(
+        n=n,
+        epsilon=float(epsilon),
+        majority_opinion=int(majority_opinion),
+        initial_set_size=int(initial_set_size),
+        initial_bias=bias_from_counts(correct_count, wrong_count),
+        start_phase=int(resolved_start_phase),
+        rounds=state.rounds,
+        success=correct_final == n,
+        final_correct_fraction=correct_final / n,
+        messages_sent=state.messages_sent,
+        stage1_bias=stage1_bias,
     )
 
 
 def batch_to_experiment_result(
     name: str,
-    batch: BatchBroadcastResult,
+    batch: Any,
     base_seed: int = 0,
     config: Optional[Mapping[str, Any]] = None,
 ) -> "Any":
     """Package a batch as an :class:`~repro.analysis.experiments.ExperimentResult`.
 
-    Trial ``i`` records replicate ``i``'s measurements under the same
-    identifying seed ``trial_seed(base_seed, name, i)`` that a serial run
-    would use, so downstream summaries, tables and serialisation treat
-    batched and serial experiments uniformly.  (The seed identifies the
+    ``batch`` is either a :class:`BatchBroadcastResult` or a
+    :class:`BatchMajorityResult` (anything exposing ``num_replicates`` and
+    ``measurements``).  Trial ``i`` records replicate ``i``'s measurements
+    under the same identifying seed ``trial_seed(base_seed, name, i)`` that a
+    serial run would use, so downstream summaries, tables and serialisation
+    treat batched and serial experiments uniformly.  (The seed identifies the
     trial; the batch's randomness comes from the batch stream — see the
     module docstring's determinism contract.)
     """
@@ -283,41 +558,190 @@ def batch_to_experiment_result(
     return result
 
 
-def run_broadcast_sweep_batched(
+# ----------------------------------------------------------------------
+# Sweep dispatch: full settings forwarding plus point-level parallelism
+# ----------------------------------------------------------------------
+
+#: Instance settings understood by the broadcast batch simulator.
+_BROADCAST_SETTINGS = frozenset({"n", "epsilon", "correct_opinion", "allow_self_messages"})
+
+#: Instance settings understood by the majority batch simulator.
+_MAJORITY_SETTINGS = frozenset(
+    {
+        "n",
+        "epsilon",
+        "initial_set_size",
+        "majority_bias",
+        "majority_opinion",
+        "allow_self_messages",
+        "start_phase",
+    }
+)
+
+#: Grid-key aliases used by the serial E8 driver, normalised on dispatch.
+_MAJORITY_ALIASES: Dict[str, str] = {"set_size": "initial_set_size", "bias": "majority_bias"}
+
+#: Calibration overrides forwarded to ProtocolParameters.calibrated, derived
+#: from its signature so the two can never drift apart.
+_CALIBRATION_SETTINGS = frozenset(
+    parameter_name
+    for parameter_name, parameter in inspect.signature(
+        ProtocolParameters.calibrated
+    ).parameters.items()
+    if parameter.kind is inspect.Parameter.KEYWORD_ONLY
+)
+
+_SHAPES = ("auto", "broadcast", "majority")
+
+
+def _normalise_majority_aliases(settings: Dict[str, Any], context: str) -> Dict[str, Any]:
+    """Rewrite the serial E8 grid keys (``set_size``/``bias``) onto the
+    canonical majority settings, in place.
+
+    Applied to ``defaults`` and to each point *before* they are merged, so a
+    point may override a default through either spelling (per-point settings
+    win, as documented); naming both spellings in the *same* mapping is
+    ambiguous and raises.
+    """
+    for alias, canonical in _MAJORITY_ALIASES.items():
+        if alias in settings:
+            if canonical in settings:
+                raise ExperimentError(f"{context} sets both {alias!r} and {canonical!r}")
+            settings[canonical] = settings.pop(alias)
+    return settings
+
+
+def _resolve_batch_task(
+    point_name: str,
+    settings: Dict[str, Any],
+    trials_per_point: int,
+    base_seed: int,
+    shape: str,
+) -> Tuple[Callable[..., Any], Dict[str, Any]]:
+    """Map one grid point's merged (alias-normalised) settings onto
+    ``(batch_fn, kwargs)``.
+
+    Auto-detects the protocol shape when asked, checks required settings,
+    and rejects anything unrecognised so that a typo'd or unsupported
+    setting fails loudly instead of being silently dropped (the regression
+    the serial path never had).
+    """
+    resolved_shape = shape
+    if resolved_shape == "auto":
+        majority_markers = {"initial_set_size", "majority_bias"}
+        resolved_shape = "majority" if majority_markers & set(settings) else "broadcast"
+
+    if resolved_shape == "broadcast":
+        recognised = _BROADCAST_SETTINGS | _CALIBRATION_SETTINGS
+        required = ("n", "epsilon")
+        batch_fn: Callable[..., Any] = run_broadcast_batch
+    else:
+        recognised = _MAJORITY_SETTINGS | _CALIBRATION_SETTINGS
+        required = ("n", "epsilon", "initial_set_size", "majority_bias")
+        batch_fn = run_majority_batch
+
+    missing = [key for key in required if key not in settings]
+    if missing:
+        raise ExperimentError(
+            f"batched {resolved_shape} sweep point {point_name} must define "
+            + ", ".join(missing)
+        )
+    unrecognised = sorted(set(settings) - recognised)
+    if unrecognised:
+        raise ExperimentError(
+            f"batched {resolved_shape} sweep point {point_name} has unrecognised "
+            f"setting(s) {unrecognised}; recognised settings are {sorted(recognised)}"
+        )
+
+    # Coerce the numeric settings exactly as the serial trial functions do
+    # (e.g. E8's int(point["set_size"])), so values a serial sweep accepts —
+    # a float grid axis, a numpy integer — work identically batched.
+    kwargs = dict(settings)
+    kwargs["n"] = int(kwargs["n"])
+    kwargs["epsilon"] = float(kwargs["epsilon"])
+    if "initial_set_size" in kwargs:
+        kwargs["initial_set_size"] = int(kwargs["initial_set_size"])
+    if "majority_bias" in kwargs:
+        kwargs["majority_bias"] = float(kwargs["majority_bias"])
+    if kwargs.get("start_phase") is not None:
+        kwargs["start_phase"] = int(kwargs["start_phase"])
+    kwargs["num_replicates"] = trials_per_point
+    kwargs["base_seed"] = derive_seed(base_seed, point_name, "batch")
+    return batch_fn, kwargs
+
+
+def run_sweep_batched(
     name: str,
     points: Iterable[Mapping[str, Any]],
     trials_per_point: int,
     base_seed: int = 0,
     defaults: Optional[Mapping[str, Any]] = None,
+    shape: str = "auto",
+    point_jobs: Optional[int] = None,
 ) -> "Any":
-    """Batched counterpart of :func:`repro.analysis.sweeps.run_sweep` for broadcast grids.
+    """Batched counterpart of :func:`repro.analysis.sweeps.run_sweep`.
 
-    Every grid point must (together with ``defaults``) provide ``n`` and
-    ``epsilon``; all ``trials_per_point`` replicates of one point run as a
-    single :func:`run_broadcast_batch` call.  Point naming and per-point seed
+    Every grid point (merged over ``defaults``) is dispatched as a single
+    :func:`run_broadcast_batch` or :func:`run_majority_batch` call with *all*
+    its settings forwarded; unrecognised settings raise
+    :class:`~repro.errors.ExperimentError`.  Point naming and per-point seed
     derivation mirror ``run_sweep`` so batched sweeps slot into the existing
     report builders unchanged.
+
+    Parameters
+    ----------
+    name, points, trials_per_point, base_seed, defaults:
+        As in :func:`repro.analysis.sweeps.run_sweep`; ``defaults`` supplies
+        settings shared by every point, with per-point settings winning.
+    shape:
+        ``"broadcast"``, ``"majority"``, or ``"auto"`` (default) which picks
+        the majority simulator whenever a point defines an initial
+        opinionated set and the broadcast simulator otherwise.
+    point_jobs:
+        When set, independent grid points execute concurrently on one shared
+        :class:`~concurrent.futures.ProcessPoolExecutor` (``0`` = one worker
+        per CPU, ``1``/``None`` = in-process).  Per-point batch seeds are
+        derived in the parent before dispatch and results are assembled in
+        point order, so results are bit-identical to ``point_jobs=None``.
     """
     from ..analysis.sweeps import SweepPoint, SweepResult
 
     if trials_per_point < 1:
         raise ExperimentError("trials_per_point must be at least 1")
+    if shape not in _SHAPES:
+        raise ExperimentError(f"shape must be one of {_SHAPES}, got {shape!r}")
+    # Alias keys only mean something to the majority simulator; leaving them
+    # alone on a forced-broadcast sweep keeps "unrecognised setting" errors
+    # pointing at the key the caller actually wrote.
+    normalise = shape != "broadcast"
     merged_defaults = dict(defaults or {})
-    sweep = SweepResult(name=name)
+    if normalise:
+        _normalise_majority_aliases(merged_defaults, f"batched sweep {name!r} defaults")
+
+    sweep_points: List[Any] = []
+    point_names: List[str] = []
+    tasks: List[Tuple[Callable[..., Any], Dict[str, Any]]] = []
     for raw_point in points:
         point = SweepPoint.from_mapping(raw_point)
-        settings = {**merged_defaults, **point.as_dict()}
-        if "n" not in settings or "epsilon" not in settings:
-            raise ExperimentError(
-                f"batched broadcast sweep point {point.label()} must define n and epsilon"
-            )
         point_name = f"{name}[{point.label()}]"
-        batch = run_broadcast_batch(
-            n=int(settings["n"]),
-            epsilon=float(settings["epsilon"]),
-            num_replicates=trials_per_point,
-            base_seed=derive_seed(base_seed, point_name, "batch"),
+        point_settings = point.as_dict()
+        if normalise:
+            _normalise_majority_aliases(point_settings, f"batched sweep point {point_name}")
+        settings = {**merged_defaults, **point_settings}
+        tasks.append(
+            _resolve_batch_task(point_name, settings, trials_per_point, base_seed, shape)
         )
+        sweep_points.append(point)
+        point_names.append(point_name)
+
+    jobs = pool.resolve_point_jobs(point_jobs, len(tasks))
+    if jobs > 1:
+        batches = pool.run_tasks_in_pool(tasks, jobs)
+    else:
+        batches = [batch_fn(**kwargs) for batch_fn, kwargs in tasks]
+
+    sweep = SweepResult(name=name)
+    for point, point_name, batch in zip(sweep_points, point_names, batches):
         sweep.points.append(point)
         sweep.results.append(
             batch_to_experiment_result(
@@ -325,3 +749,29 @@ def run_broadcast_sweep_batched(
             )
         )
     return sweep
+
+
+def run_broadcast_sweep_batched(
+    name: str,
+    points: Iterable[Mapping[str, Any]],
+    trials_per_point: int,
+    base_seed: int = 0,
+    defaults: Optional[Mapping[str, Any]] = None,
+    point_jobs: Optional[int] = None,
+) -> "Any":
+    """Broadcast-shaped convenience wrapper around :func:`run_sweep_batched`.
+
+    Kept as the stable entry point of the broadcast-shaped drivers (E1–E3);
+    every point/default setting is forwarded to :func:`run_broadcast_batch`
+    (``correct_opinion``, ``allow_self_messages``, calibration overrides)
+    and unrecognised settings raise :class:`~repro.errors.ExperimentError`.
+    """
+    return run_sweep_batched(
+        name=name,
+        points=points,
+        trials_per_point=trials_per_point,
+        base_seed=base_seed,
+        defaults=defaults,
+        shape="broadcast",
+        point_jobs=point_jobs,
+    )

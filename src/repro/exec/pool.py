@@ -1,10 +1,15 @@
-"""Process-pool plumbing behind :class:`~repro.exec.runner.ParallelTrialRunner`.
+"""Process-pool plumbing behind :class:`~repro.exec.runner.ParallelTrialRunner`
+and the point-parallel sweep modes.
 
 Monte-Carlo trials are embarrassingly parallel: every trial receives its own
-pre-derived seed and never communicates.  This module owns the mechanics of
-farming trials out to a :class:`concurrent.futures.ProcessPoolExecutor` —
-picklability probing, chunking, ordered collection — so that the runner in
-:mod:`repro.exec.runner` can stay a pure policy object.
+pre-derived seed and never communicates.  So are the grid points of a sweep:
+every point is seeded independently of the others.  This module owns the
+mechanics of farming either granularity out to a
+:class:`concurrent.futures.ProcessPoolExecutor` — picklability probing,
+chunking, ordered collection — so that the runner in
+:mod:`repro.exec.runner` and the sweep dispatchers
+(:func:`repro.analysis.sweeps.run_sweep`,
+:func:`repro.exec.batching.run_sweep_batched`) can stay pure policy objects.
 
 Two properties matter more than raw throughput:
 
@@ -25,7 +30,16 @@ import pickle
 from concurrent.futures import ProcessPoolExecutor
 from typing import Any, Callable, List, Mapping, Optional, Sequence, Tuple
 
-__all__ = ["default_jobs", "picklability_error", "run_trials_in_pool"]
+from ..errors import ExperimentError
+
+__all__ = [
+    "default_jobs",
+    "picklability_error",
+    "resolve_point_jobs",
+    "run_trials_in_pool",
+    "run_point_trials_in_pool",
+    "run_tasks_in_pool",
+]
 
 #: Target number of chunks handed to each worker, to amortise IPC overhead
 #: while keeping the pool load-balanced.
@@ -93,3 +107,73 @@ def run_trials_in_pool(
     tasks = [(trial_fn, int(seed), index) for index, seed in enumerate(seeds)]
     with ProcessPoolExecutor(max_workers=jobs) as pool:
         return list(pool.map(_invoke_trial, tasks, chunksize=_chunksize(len(tasks), jobs)))
+
+
+# ----------------------------------------------------------------------
+# Point-level parallelism (shared pool across sweep grid points)
+# ----------------------------------------------------------------------
+
+
+def resolve_point_jobs(point_jobs: Optional[int], num_points: int) -> int:
+    """Map a ``point_jobs`` option onto an effective worker count.
+
+    Follows the ``--jobs`` convention: ``None`` or ``1`` → in-process,
+    ``0`` → one worker per CPU, ``k > 1`` → ``k`` workers; the result is
+    additionally capped at ``num_points`` (idle workers are pure overhead).
+    Negative values raise :class:`~repro.errors.ExperimentError` so callers
+    surface the same error no matter which sweep dispatcher they use.
+    """
+    if point_jobs is None:
+        return 1
+    if point_jobs < 0:
+        raise ExperimentError(
+            f"point_jobs must be non-negative (0 = one worker per CPU), got {point_jobs}"
+        )
+    jobs = default_jobs() if point_jobs == 0 else point_jobs
+    return max(1, min(jobs, num_points))
+
+
+def _invoke_point(task: Tuple[Callable[[int, int], Mapping[str, Any]], Sequence[int]]) -> List[Any]:
+    """Worker-side shim: run all trials of one grid point, in trial order.
+
+    The seeds were derived in the parent; the worker only loops the trial
+    function over them, so the raw measurement list it sends back is
+    bit-identical to what a serial loop over the same point would produce.
+    """
+    trial_fn, seeds = task
+    return [trial_fn(int(seed), index) for index, seed in enumerate(seeds)]
+
+
+def run_point_trials_in_pool(
+    point_tasks: Sequence[Tuple[Callable[[int, int], Mapping[str, Any]], Sequence[int]]],
+    jobs: int,
+) -> List[List[Any]]:
+    """Run every grid point's trial loop in a shared pool, one point per task.
+
+    Each element of ``point_tasks`` is a ``(trial_fn, seeds)`` pair for one
+    sweep point; the per-point raw measurement lists come back in point order
+    regardless of which worker finished first.
+    """
+    with ProcessPoolExecutor(max_workers=jobs) as pool:
+        return list(pool.map(_invoke_point, point_tasks))
+
+
+def _invoke_task(task: Tuple[Callable[..., Any], Mapping[str, Any]]) -> Any:
+    """Worker-side shim: call ``fn(**kwargs)`` for one pre-resolved task."""
+    fn, kwargs = task
+    return fn(**kwargs)
+
+
+def run_tasks_in_pool(
+    tasks: Sequence[Tuple[Callable[..., Any], Mapping[str, Any]]],
+    jobs: int,
+) -> List[Any]:
+    """Run pre-resolved ``(fn, kwargs)`` tasks across a pool, in task order.
+
+    Used by :func:`repro.exec.batching.run_sweep_batched` to execute one
+    whole-point batch simulation per task; every kwarg (including the
+    per-point batch seed) was resolved in the parent, so the results are
+    bit-identical to an in-process loop over the same tasks.
+    """
+    with ProcessPoolExecutor(max_workers=jobs) as pool:
+        return list(pool.map(_invoke_task, tasks))

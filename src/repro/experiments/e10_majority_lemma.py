@@ -43,8 +43,17 @@ def run(
     r0: float = 8.0,
     monte_carlo_reps: int = 40_000,
     base_seed: int = 1010,
+    batch: bool = False,
 ) -> ExperimentReport:
-    """Run the E10 sampling experiment and return its report."""
+    """Run the E10 sampling experiment and return its report.
+
+    ``batch=True`` draws the Monte-Carlo sample counts for *all* deltas as a
+    single ``(len(deltas), monte_carlo_reps)`` binomial grid instead of one
+    vector per delta — deterministic per ``base_seed`` and statistically
+    equivalent to the per-delta loop, but drawn from a single batch-level
+    stream (the same trade the ``--batch`` simulators make).
+    """
+    deltas = list(deltas)  # iterated twice below; a one-shot iterable must not go empty
     r = int(math.ceil(r0 / (epsilon * epsilon)))
     gamma = 2 * r + 1
     rng = spawn_generator(base_seed, "e10", epsilon, gamma)
@@ -58,14 +67,28 @@ def run(
             "r0": r0,
             "gamma": gamma,
             "monte_carlo_reps": monte_carlo_reps,
+            "batch": batch,
         },
     )
 
-    for delta in deltas:
-        per_sample = correct_probability_after_noise(delta, epsilon)
-        # Monte-Carlo: number of correct samples among gamma, repeated many times.
-        correct_counts = rng.binomial(gamma, per_sample, size=monte_carlo_reps)
-        monte_carlo = float(np.mean(2 * correct_counts > gamma))
+    per_sample_probs = np.asarray(
+        [correct_probability_after_noise(delta, epsilon) for delta in deltas]
+    )
+    if batch:
+        # One draw for the whole sweep: row d holds delta_d's repetitions.
+        batch_counts = rng.binomial(
+            gamma, per_sample_probs[:, None], size=(len(per_sample_probs), monte_carlo_reps)
+        )
+        monte_carlo_by_delta = np.mean(2 * batch_counts > gamma, axis=1)
+
+    for index, delta in enumerate(deltas):
+        per_sample = float(per_sample_probs[index])
+        if batch:
+            monte_carlo = float(monte_carlo_by_delta[index])
+        else:
+            # Monte-Carlo: number of correct samples among gamma, repeated many times.
+            correct_counts = rng.binomial(gamma, per_sample, size=monte_carlo_reps)
+            monte_carlo = float(np.mean(2 * correct_counts > gamma))
         exact = exact_majority_success_probability(gamma, per_sample)
         bound = sample_majority_success_lower_bound(delta)
         if delta <= epsilon / (2**20):

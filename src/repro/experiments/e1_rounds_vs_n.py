@@ -46,13 +46,16 @@ def run(
     base_seed: int = 101,
     runner: Optional["TrialRunner"] = None,
     batch: bool = False,
+    point_jobs: Optional[int] = None,
 ) -> ExperimentReport:
     """Run the E1 sweep and return its report.
 
     ``runner`` selects the trial-execution strategy (serial by default;
     process-parallel when a :class:`~repro.exec.runner.ParallelTrialRunner`
     is passed); ``batch=True`` instead simulates all trials of each grid
-    point simultaneously via :mod:`repro.exec.batching`.
+    point simultaneously via :mod:`repro.exec.batching`.  ``point_jobs``
+    spreads independent grid points over worker processes on either path
+    (taking precedence over ``runner`` where both are given).
     """
     if batch:
         from ..exec.batching import run_broadcast_sweep_batched
@@ -63,6 +66,7 @@ def run(
             trials_per_point=trials,
             base_seed=base_seed,
             defaults={"epsilon": epsilon},
+            point_jobs=point_jobs,
         )
     else:
         sweep = run_sweep(
@@ -72,6 +76,7 @@ def run(
             trials_per_point=trials,
             base_seed=base_seed,
             runner=runner,
+            point_jobs=point_jobs,
         )
 
     report = ExperimentReport(

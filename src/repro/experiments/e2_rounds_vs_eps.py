@@ -42,11 +42,12 @@ def run(
     base_seed: int = 202,
     runner: Optional["TrialRunner"] = None,
     batch: bool = False,
+    point_jobs: Optional[int] = None,
 ) -> ExperimentReport:
     """Run the E2 sweep and return its report.
 
-    ``runner`` and ``batch`` select the execution strategy exactly as in
-    :func:`repro.experiments.e1_rounds_vs_n.run`.
+    ``runner``, ``batch`` and ``point_jobs`` select the execution strategy
+    exactly as in :func:`repro.experiments.e1_rounds_vs_n.run`.
     """
     if batch:
         from ..exec.batching import run_broadcast_sweep_batched
@@ -57,6 +58,7 @@ def run(
             trials_per_point=trials,
             base_seed=base_seed,
             defaults={"n": n},
+            point_jobs=point_jobs,
         )
     else:
         sweep = run_sweep(
@@ -66,6 +68,7 @@ def run(
             trials_per_point=trials,
             base_seed=base_seed,
             runner=runner,
+            point_jobs=point_jobs,
         )
 
     report = ExperimentReport(

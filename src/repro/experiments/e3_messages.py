@@ -47,11 +47,12 @@ def run(
     base_seed: int = 303,
     runner: Optional["TrialRunner"] = None,
     batch: bool = False,
+    point_jobs: Optional[int] = None,
 ) -> ExperimentReport:
     """Run the E3 sweep and return its report.
 
-    ``runner`` and ``batch`` select the execution strategy exactly as in
-    :func:`repro.experiments.e1_rounds_vs_n.run`.
+    ``runner``, ``batch`` and ``point_jobs`` select the execution strategy
+    exactly as in :func:`repro.experiments.e1_rounds_vs_n.run`.
     """
     if batch:
         from ..exec.batching import run_broadcast_sweep_batched
@@ -61,6 +62,7 @@ def run(
             points=parameter_grid(n=list(sizes), epsilon=list(epsilons)),
             trials_per_point=trials,
             base_seed=base_seed,
+            point_jobs=point_jobs,
         )
     else:
         sweep = run_sweep(
@@ -70,6 +72,7 @@ def run(
             trials_per_point=trials,
             base_seed=base_seed,
             runner=runner,
+            point_jobs=point_jobs,
         )
 
     report = ExperimentReport(

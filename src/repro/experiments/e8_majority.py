@@ -55,16 +55,40 @@ def run(
     trials: int = 5,
     base_seed: int = 808,
     runner: Optional["TrialRunner"] = None,
+    batch: bool = False,
+    point_jobs: Optional[int] = None,
 ) -> ExperimentReport:
-    """Run the E8 feasibility sweep and return its report."""
-    sweep = run_sweep(
-        name="E8-majority-consensus",
-        points=parameter_grid(set_size=list(set_sizes), bias=list(biases)),
-        trial_fn=functools.partial(_majority_trial, n=n, epsilon=epsilon),
-        trials_per_point=trials,
-        base_seed=base_seed,
-        runner=runner,
-    )
+    """Run the E8 feasibility sweep and return its report.
+
+    ``runner`` selects the trial-execution strategy (serial by default;
+    process-parallel when a :class:`~repro.exec.runner.ParallelTrialRunner`
+    is passed); ``batch=True`` instead simulates all trials of each grid
+    point simultaneously via :func:`repro.exec.batching.run_majority_batch`.
+    ``point_jobs`` spreads independent grid points over worker processes on
+    either path (taking precedence over ``runner`` where both are given).
+    """
+    if batch:
+        from ..exec.batching import run_sweep_batched
+
+        sweep = run_sweep_batched(
+            name="E8-majority-consensus",
+            points=parameter_grid(set_size=list(set_sizes), bias=list(biases)),
+            trials_per_point=trials,
+            base_seed=base_seed,
+            defaults={"n": n, "epsilon": epsilon},
+            shape="majority",
+            point_jobs=point_jobs,
+        )
+    else:
+        sweep = run_sweep(
+            name="E8-majority-consensus",
+            points=parameter_grid(set_size=list(set_sizes), bias=list(biases)),
+            trial_fn=functools.partial(_majority_trial, n=n, epsilon=epsilon),
+            trials_per_point=trials,
+            base_seed=base_seed,
+            runner=runner,
+            point_jobs=point_jobs,
+        )
 
     report = ExperimentReport(
         experiment_id="E8",

@@ -10,6 +10,11 @@ from repro.analysis.tables import format_cell, render_kv, render_table
 from repro.errors import ExperimentError, ParameterError
 
 
+def _double_trial(point, seed, index):
+    """Module-level sweep trial (picklable, for the point-parallel tests)."""
+    return {"double": point["x"] * 2.0, "ok": True, "seed": seed}
+
+
 class TestRunTrials:
     def test_collects_all_trials_with_distinct_seeds(self):
         seen_seeds = []
@@ -82,8 +87,57 @@ class TestSweeps:
 
     def test_series_with_unknown_parameter_raises(self):
         sweep = run_sweep("demo", [{"x": 1}], lambda p, s, i: {"y": 1.0}, trials_per_point=1)
-        with pytest.raises(ExperimentError):
+        with pytest.raises(ExperimentError, match="has no parameter 'missing'"):
             sweep.series("missing", "y")
+
+    def test_rates_with_unknown_parameter_raises(self):
+        """``rates`` guards a missing parameter exactly like ``series`` does
+        (it used to leak a raw ``KeyError``)."""
+        sweep = run_sweep("demo", [{"x": 1}], lambda p, s, i: {"ok": True}, trials_per_point=1)
+        with pytest.raises(ExperimentError, match="has no parameter 'missing'"):
+            sweep.rates("missing", "ok")
+
+    def test_run_sweep_point_jobs_bit_identical(self):
+        """The shared-pool point-parallel mode returns the same sweep as serial."""
+        serial = run_sweep(
+            "demo", [{"x": 1}, {"x": 5}], _double_trial, trials_per_point=3, base_seed=4
+        )
+        pooled = run_sweep(
+            "demo",
+            [{"x": 1}, {"x": 5}],
+            _double_trial,
+            trials_per_point=3,
+            base_seed=4,
+            point_jobs=2,
+        )
+        assert [r.to_dict() for r in pooled.results] == [r.to_dict() for r in serial.results]
+
+    def test_run_sweep_point_jobs_falls_back_for_unpicklable_trials(self):
+        """A closure cannot cross a process boundary; the sweep still runs."""
+        offset = 3.0
+        sweep = run_sweep(
+            "demo",
+            [{"x": 1}],
+            lambda p, s, i: {"y": p["x"] + offset},
+            trials_per_point=2,
+            point_jobs=2,
+        )
+        assert sweep.results[0].mean("y") == pytest.approx(4.0)
+
+    def test_run_sweep_point_jobs_falls_back_for_unpicklable_point_values(self):
+        """The point parameters cross the process boundary too: an
+        unpicklable point value triggers the same graceful serial fallback
+        as an unpicklable trial function."""
+        import threading
+
+        points = [{"x": 1, "tag": threading.Lock()}, {"x": 5, "tag": None}]
+        sweep = run_sweep("demo", points, _double_trial, trials_per_point=2, point_jobs=2)
+        _, doubles = sweep.series("x", "double")
+        assert doubles == [2.0, 10.0]
+
+    def test_run_sweep_negative_point_jobs_rejected(self):
+        with pytest.raises(ExperimentError):
+            run_sweep("demo", [{"x": 1}], _double_trial, trials_per_point=1, point_jobs=-2)
 
     def test_sweep_point_label(self):
         point = SweepPoint.from_mapping({"n": 100, "eps": 0.1})

@@ -12,11 +12,14 @@ import numpy as np
 import pytest
 
 from repro.core.broadcast import solve_noisy_broadcast
-from repro.errors import ExperimentError, ProtocolError
+from repro.core.majority import solve_noisy_majority_consensus
+from repro.errors import ExperimentError, ParameterError, ProtocolError
 from repro.exec.batching import (
     batch_to_experiment_result,
     run_broadcast_batch,
     run_broadcast_sweep_batched,
+    run_majority_batch,
+    run_sweep_batched,
 )
 from repro.exec.runner import trial_seed
 from repro.substrate.network import PushGossipNetwork
@@ -204,6 +207,227 @@ class TestBatchAdapters:
             )
 
 
+class TestBatchedMajority:
+    def test_round_schedule_and_start_phase_exactly_match_serial(self):
+        """Schedule and start phase are deterministic: batch == serial exactly."""
+        serial = solve_noisy_majority_consensus(
+            n=300, epsilon=0.3, initial_set_size=40, majority_bias=0.25, seed=0
+        )
+        batch = run_majority_batch(
+            n=300, epsilon=0.3, num_replicates=4, initial_set_size=40, majority_bias=0.25
+        )
+        assert batch.rounds == serial.rounds
+        assert batch.start_phase == serial.start_phase
+        assert batch.initial_bias == pytest.approx(serial.initial_bias)
+
+    def test_statistical_agreement_with_serial(self):
+        n, epsilon, R = 300, 0.3, 6
+        kwargs = dict(n=n, epsilon=epsilon, initial_set_size=50, majority_bias=0.3)
+        serial = [solve_noisy_majority_consensus(seed=seed, **kwargs) for seed in range(R)]
+        batch = run_majority_batch(num_replicates=R, base_seed=0, **kwargs)
+        assert batch.success.mean() >= 0.8
+        assert np.mean([r.success for r in serial]) >= 0.8
+        serial_messages = np.mean([r.messages_sent for r in serial])
+        assert batch.messages_sent.mean() == pytest.approx(serial_messages, rel=0.05)
+        assert batch.final_correct_fraction.mean() == pytest.approx(
+            np.mean([r.final_correct_fraction for r in serial]), abs=0.05
+        )
+
+    def test_deterministic_for_fixed_base_seed(self):
+        kwargs = dict(
+            n=250, epsilon=0.3, num_replicates=5, initial_set_size=30, majority_bias=0.3
+        )
+        first = run_majority_batch(base_seed=7, **kwargs)
+        second = run_majority_batch(base_seed=7, **kwargs)
+        assert np.array_equal(first.success, second.success)
+        assert np.array_equal(first.messages_sent, second.messages_sent)
+        assert np.array_equal(first.final_correct_fraction, second.final_correct_fraction)
+        assert np.array_equal(first.stage1_bias, second.stage1_bias)
+        different = run_majority_batch(base_seed=8, **kwargs)
+        assert not np.array_equal(first.stage1_bias, different.stage1_bias)
+
+    def test_start_phase_override_shortens_schedule(self):
+        """A forced late start skips early Stage-I phases, exactly as serially."""
+        base = dict(n=400, epsilon=0.25, num_replicates=2, initial_set_size=60, majority_bias=0.3)
+        default = run_majority_batch(base_seed=1, **base)
+        late = run_majority_batch(base_seed=1, start_phase=default.start_phase + 1, **base)
+        assert late.start_phase == default.start_phase + 1
+        assert late.rounds < default.rounds
+
+    def test_validation(self):
+        with pytest.raises(ExperimentError):
+            run_majority_batch(
+                n=250, epsilon=0.3, num_replicates=0, initial_set_size=30, majority_bias=0.3
+            )
+        with pytest.raises(ParameterError):
+            run_majority_batch(
+                n=250, epsilon=0.3, num_replicates=2, initial_set_size=0, majority_bias=0.3
+            )
+        with pytest.raises(ParameterError):
+            run_majority_batch(
+                n=250, epsilon=0.3, num_replicates=2, initial_set_size=30, majority_bias=-0.1
+            )
+
+    def test_measurements_are_e8_trial_compatible(self):
+        """Batch measurements form a superset of the serial E8 trial keys."""
+        batch = run_majority_batch(
+            n=250, epsilon=0.3, num_replicates=3, initial_set_size=30, majority_bias=0.3
+        )
+        measurements = batch.measurements(0)
+        assert {"success", "final_fraction", "rounds"} <= set(measurements)
+        assert measurements["final_fraction"] == measurements["final_correct_fraction"]
+        assert measurements["start_phase"] == batch.start_phase
+
+
+class TestSweepDispatch:
+    def test_forwards_calibration_overrides_regression(self):
+        """Regression for the drop-through bug: a calibration override in
+        ``defaults`` must reach the batch simulator, exactly as a serial
+        ``run_sweep`` trial function receives the full point settings.  The
+        round schedule is a deterministic function of the override, so the
+        check is exact."""
+        overridden_serial = solve_noisy_broadcast(n=250, epsilon=0.3, seed=0, s0=4.0)
+        plain_serial = solve_noisy_broadcast(n=250, epsilon=0.3, seed=0)
+        assert overridden_serial.rounds != plain_serial.rounds, "override must matter"
+
+        sweep = run_broadcast_sweep_batched(
+            name="S",
+            points=[{"n": 250}],
+            trials_per_point=2,
+            base_seed=0,
+            defaults={"epsilon": 0.3, "s0": 4.0},
+        )
+        assert sweep.results[0].mean("rounds") == overridden_serial.rounds
+
+    def test_forwards_every_recognised_instance_setting(self, monkeypatch):
+        """correct_opinion / allow_self_messages / overrides all reach the simulator."""
+        captured = {}
+
+        def fake_batch(**kwargs):
+            captured.update(kwargs)
+            return run_broadcast_batch(n=kwargs["n"], epsilon=kwargs["epsilon"], num_replicates=2)
+
+        monkeypatch.setattr("repro.exec.batching.run_broadcast_batch", fake_batch)
+        run_sweep_batched(
+            name="S",
+            points=[{"n": 250, "correct_opinion": 0}],
+            trials_per_point=2,
+            base_seed=0,
+            defaults={"epsilon": 0.3, "allow_self_messages": True, "b0": 2.5},
+        )
+        assert captured["correct_opinion"] == 0
+        assert captured["allow_self_messages"] is True
+        assert captured["b0"] == 2.5
+
+    def test_coerces_numeric_settings_like_serial_trials(self):
+        """Float grid values the serial path accepts (int(point['set_size']))
+        work identically batched."""
+        sweep = run_sweep_batched(
+            name="M",
+            points=[{"set_size": 30.0, "bias": 0.3}],
+            trials_per_point=2,
+            base_seed=0,
+            defaults={"n": 250.0, "epsilon": 0.3},
+        )
+        assert sweep.results[0].rate("success") >= 0.0  # ran without TypeError
+
+    def test_point_alias_overrides_canonical_default(self):
+        """Per-point settings win over defaults through either spelling."""
+        sweep = run_sweep_batched(
+            name="M",
+            points=[{"set_size": 50, "bias": 0.3}],
+            trials_per_point=2,
+            base_seed=0,
+            defaults={"n": 250, "epsilon": 0.3, "initial_set_size": 30},
+        )
+        assert sweep.results[0].trials[0].measurements["success"] in (True, False)
+
+    def test_unrecognised_setting_raises(self):
+        with pytest.raises(ExperimentError, match="unrecognised"):
+            run_broadcast_sweep_batched(
+                name="S",
+                points=[{"n": 250, "turbo": True}],
+                trials_per_point=2,
+                base_seed=0,
+                defaults={"epsilon": 0.3},
+            )
+
+    def test_auto_shape_detects_majority_points(self):
+        sweep = run_sweep_batched(
+            name="M",
+            points=[{"set_size": 30, "bias": 0.3}],
+            trials_per_point=2,
+            base_seed=0,
+            defaults={"n": 250, "epsilon": 0.3},
+        )
+        assert "start_phase" in sweep.results[0].trials[0].measurements
+        # The grid keeps the driver's original grid keys.
+        assert sweep.points[0].as_dict() == {"set_size": 30, "bias": 0.3}
+
+    def test_alias_conflict_and_missing_settings_raise(self):
+        with pytest.raises(ExperimentError, match="both"):
+            run_sweep_batched(
+                name="M",
+                points=[{"set_size": 30, "initial_set_size": 30, "bias": 0.3}],
+                trials_per_point=2,
+                defaults={"n": 250, "epsilon": 0.3},
+            )
+        with pytest.raises(ExperimentError, match="must define"):
+            run_sweep_batched(
+                name="M",
+                points=[{"set_size": 30}],
+                trials_per_point=2,
+                defaults={"n": 250, "epsilon": 0.3},
+                shape="majority",
+            )
+        with pytest.raises(ExperimentError, match="shape"):
+            run_sweep_batched(
+                name="M", points=[{"n": 250}], trials_per_point=2, shape="gossip"
+            )
+
+    def test_majority_sweep_mirrors_run_sweep_naming(self):
+        sweep = run_sweep_batched(
+            name="M",
+            points=[{"set_size": 30, "bias": 0.35}, {"set_size": 60, "bias": 0.35}],
+            trials_per_point=2,
+            base_seed=3,
+            defaults={"n": 250, "epsilon": 0.3},
+        )
+        assert [result.name for result in sweep.results] == [
+            "M[set_size=30, bias=0.35]",
+            "M[set_size=60, bias=0.35]",
+        ]
+        xs, ys = sweep.rates("set_size", "success")
+        assert xs == [30, 60]
+        assert all(0.0 <= y <= 1.0 for y in ys)
+
+
+class TestPointParallelBatchedSweep:
+    def test_point_jobs_is_bit_identical_to_in_process(self):
+        kwargs = dict(
+            name="P",
+            points=[{"n": 250}, {"n": 300}],
+            trials_per_point=2,
+            base_seed=5,
+            defaults={"epsilon": 0.3},
+        )
+        in_process = run_broadcast_sweep_batched(**kwargs)
+        pooled = run_broadcast_sweep_batched(point_jobs=2, **kwargs)
+        assert [r.to_dict() for r in pooled.results] == [
+            r.to_dict() for r in in_process.results
+        ]
+
+    def test_negative_point_jobs_rejected(self):
+        with pytest.raises(ExperimentError):
+            run_broadcast_sweep_batched(
+                name="P",
+                points=[{"n": 250}],
+                trials_per_point=2,
+                defaults={"epsilon": 0.3},
+                point_jobs=-1,
+            )
+
+
 class TestDriverBatchMode:
     def test_e1_batch_report_matches_serial_schedule(self):
         """E1 in batch mode reproduces the schedule-determined columns exactly."""
@@ -215,3 +439,52 @@ class TestDriverBatchMode:
             row["mean_rounds"] for row in serial.rows
         ]
         assert all(row["success_rate"] >= 0.5 for row in batched.rows)
+
+    def test_e8_batch_report_matches_serial_schedule(self):
+        """E8 in batch mode is statistically equivalent to the serial driver:
+        the schedule-determined columns match exactly and well-initialised
+        points succeed on both paths."""
+        from repro.experiments import e8_majority
+
+        kwargs = dict(n=400, epsilon=0.3, set_sizes=(40, 100), biases=(0.3,), trials=2)
+        serial = e8_majority.run(**kwargs)
+        batched = e8_majority.run(batch=True, **kwargs)
+        assert [row["mean_rounds"] for row in batched.rows] == [
+            row["mean_rounds"] for row in serial.rows
+        ]
+        assert [row["set_size"] for row in batched.rows] == [
+            row["set_size"] for row in serial.rows
+        ]
+        assert all(row["success_rate"] >= 0.5 for row in batched.rows)
+
+    def test_e8_batch_point_jobs_identical(self):
+        from repro.experiments import e8_majority
+
+        kwargs = dict(n=300, epsilon=0.3, set_sizes=(40,), biases=(0.3, 0.35), trials=2)
+        batched = e8_majority.run(batch=True, **kwargs)
+        pooled = e8_majority.run(batch=True, point_jobs=2, **kwargs)
+        assert batched.rows == pooled.rows
+
+    def test_e8_serial_point_jobs_identical(self):
+        """point_jobs is honoured on the non-batch path too (bit-identical)."""
+        from repro.experiments import e8_majority
+
+        kwargs = dict(n=300, epsilon=0.3, set_sizes=(40,), biases=(0.3, 0.35), trials=2)
+        serial = e8_majority.run(**kwargs)
+        pooled = e8_majority.run(point_jobs=2, **kwargs)
+        assert serial.rows == pooled.rows
+
+    def test_e10_batch_mode_statistically_equivalent(self):
+        """E10's batched Monte-Carlo grid agrees with the per-delta loop."""
+        from repro.experiments import e10_majority_lemma
+
+        kwargs = dict(epsilon=0.25, deltas=(0.02, 0.1), monte_carlo_reps=20_000)
+        serial = e10_majority_lemma.run(**kwargs)
+        batched = e10_majority_lemma.run(batch=True, **kwargs)
+        assert batched.config["batch"] is True
+        for serial_row, batched_row in zip(serial.rows, batched.rows):
+            assert batched_row["exact_majority_prob"] == serial_row["exact_majority_prob"]
+            assert batched_row["monte_carlo_majority_prob"] == pytest.approx(
+                serial_row["monte_carlo_majority_prob"], abs=0.02
+            )
+            assert batched_row["bound_satisfied"] == serial_row["bound_satisfied"]
