@@ -15,7 +15,7 @@ from .estimators import (
     summarize_scalar,
 )
 from .experiments import ExperimentResult, TrialResult, run_trials
-from .resultsio import load_result, save_result, save_sweep, to_jsonable
+from .resultsio import load_result, load_sweep, save_result, save_sweep, to_jsonable
 from .scaling import (
     LinearFit,
     fit_inverse_square_epsilon,
@@ -36,7 +36,7 @@ from .statistics import (
     summarize_bernoulli,
     wilson_interval,
 )
-from .sweeps import SweepPoint, SweepResult, parameter_grid, run_sweep
+from .sweeps import SweepPoint, SweepResult, parameter_grid, run_sweep, sweep_point_names
 from .tables import format_cell, render_kv, render_table
 
 __all__ = [
@@ -54,6 +54,7 @@ __all__ = [
     "TrialResult",
     "run_trials",
     "load_result",
+    "load_sweep",
     "save_result",
     "save_sweep",
     "to_jsonable",
@@ -77,6 +78,7 @@ __all__ = [
     "SweepResult",
     "parameter_grid",
     "run_sweep",
+    "sweep_point_names",
     "format_cell",
     "render_kv",
     "render_table",

@@ -91,6 +91,25 @@ class ExperimentResult:
         """Mean of a numeric measurement."""
         return self.scalar_summary(key).mean
 
+    def mean_or(self, key: str, default: float = float("nan")) -> float:
+        """Mean of a numeric measurement, or ``default`` when every value is ``None``.
+
+        Trials that recorded ``None`` under ``key`` — e.g. a never-converged
+        run's rounds-to-convergence — are excluded from the mean exactly as in
+        :meth:`values`; ``default`` (``NaN`` unless overridden) is returned
+        only when every trial explicitly recorded ``None``.  A ``key`` that no
+        trial recorded at all still raises like :meth:`mean`, so a typo'd or
+        renamed measurement fails loudly instead of degrading to ``default``.
+        Experiment drivers use this to report budget-exhausted trials as
+        "no data" instead of silently counting them at their round budget.
+        """
+        try:
+            return self.mean(key)
+        except ExperimentError:
+            if not any(key in trial.measurements for trial in self.trials):
+                raise
+            return default
+
     def rate(self, key: str) -> float:
         """Observed rate of a boolean measurement."""
         return self.rate_summary(key).rate

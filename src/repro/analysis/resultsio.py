@@ -4,11 +4,21 @@ Benchmarks and examples can save their :class:`ExperimentResult` /
 :class:`SweepResult` objects so that reported numbers can be traced
 back to concrete runs.  JSON is used (rather than pickles) so results remain
 inspectable and diff-able.
+
+Non-finite floats (``NaN``, ``±Infinity``) are mapped to ``null`` on the way
+out: strict JSON has no token for them, and Python's default
+``allow_nan=True`` would happily emit files no strict parser (browsers,
+``jq``, other languages) accepts.  ``NaN`` measurements arise legitimately —
+e.g. a driver reporting "no trial converged" as a ``NaN`` rounds mean — so
+the mapping is done in :func:`to_jsonable` and ``allow_nan=False`` is passed
+to ``json.dumps`` as a regression guard: a non-finite float that slips past
+the conversion fails loudly at save time instead of producing invalid JSON.
 """
 
 from __future__ import annotations
 
 import json
+import math
 from pathlib import Path
 from typing import Any, Union
 
@@ -18,11 +28,16 @@ from ..errors import ExperimentError
 from .experiments import ExperimentResult
 from .sweeps import SweepResult
 
-__all__ = ["to_jsonable", "save_result", "load_result", "save_sweep"]
+__all__ = ["to_jsonable", "save_result", "load_result", "save_sweep", "load_sweep"]
 
 
 def to_jsonable(value: Any) -> Any:
-    """Recursively convert numpy scalars/arrays so ``json`` can serialise them."""
+    """Recursively convert a value so strict ``json`` can serialise it.
+
+    Numpy scalars/arrays become their Python equivalents, and non-finite
+    floats (``NaN``, ``±Infinity`` — numpy or builtin) become ``None``, since
+    strict JSON cannot represent them (see the module docstring).
+    """
     if isinstance(value, dict):
         return {str(key): to_jsonable(item) for key, item in value.items()}
     if isinstance(value, (list, tuple)):
@@ -33,16 +48,19 @@ def to_jsonable(value: Any) -> Any:
         return bool(value)
     if isinstance(value, np.integer):
         return int(value)
-    if isinstance(value, np.floating):
-        return float(value)
+    if isinstance(value, (np.floating, float)):
+        as_float = float(value)
+        return as_float if math.isfinite(as_float) else None
     return value
 
 
 def save_result(result: ExperimentResult, path: Union[str, Path]) -> Path:
-    """Write an :class:`ExperimentResult` to ``path`` as JSON and return the path."""
+    """Write an :class:`ExperimentResult` to ``path`` as strict JSON and return the path."""
     destination = Path(path)
     destination.parent.mkdir(parents=True, exist_ok=True)
-    destination.write_text(json.dumps(to_jsonable(result.to_dict()), indent=2, sort_keys=True))
+    destination.write_text(
+        json.dumps(to_jsonable(result.to_dict()), indent=2, sort_keys=True, allow_nan=False)
+    )
     return destination
 
 
@@ -56,8 +74,19 @@ def load_result(path: Union[str, Path]) -> ExperimentResult:
 
 
 def save_sweep(sweep: SweepResult, path: Union[str, Path]) -> Path:
-    """Write a :class:`SweepResult` to ``path`` as JSON and return the path."""
+    """Write a :class:`SweepResult` to ``path`` as strict JSON and return the path."""
     destination = Path(path)
     destination.parent.mkdir(parents=True, exist_ok=True)
-    destination.write_text(json.dumps(to_jsonable(sweep.to_dict()), indent=2, sort_keys=True))
+    destination.write_text(
+        json.dumps(to_jsonable(sweep.to_dict()), indent=2, sort_keys=True, allow_nan=False)
+    )
     return destination
+
+
+def load_sweep(path: Union[str, Path]) -> SweepResult:
+    """Read a :class:`SweepResult` previously written by :func:`save_sweep`."""
+    source = Path(path)
+    if not source.exists():
+        raise ExperimentError(f"no sweep file at {source}")
+    payload = json.loads(source.read_text())
+    return SweepResult.from_dict(payload)

@@ -14,6 +14,7 @@ parallel.
 from __future__ import annotations
 
 import itertools
+from collections import Counter
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
@@ -23,7 +24,7 @@ from .experiments import ExperimentResult, run_trials
 if TYPE_CHECKING:  # pragma: no cover - avoids an import cycle with repro.exec
     from ..exec.runner import TrialRunner
 
-__all__ = ["SweepPoint", "SweepResult", "parameter_grid", "run_sweep"]
+__all__ = ["SweepPoint", "SweepResult", "parameter_grid", "run_sweep", "sweep_point_names"]
 
 #: Signature of a sweep trial function: ``(point, seed, trial_index) -> measurements``.
 SweepTrialFunction = Callable[[Mapping[str, Any], int, int], Mapping[str, Any]]
@@ -96,6 +97,43 @@ class SweepResult:
             "results": [result.to_dict() for result in self.results],
         }
 
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "SweepResult":
+        """Inverse of :meth:`to_dict` (used by :func:`repro.analysis.resultsio.load_sweep`)."""
+        points = [SweepPoint.from_mapping(entry) for entry in payload.get("points", [])]
+        results = [ExperimentResult.from_dict(entry) for entry in payload.get("results", [])]
+        if len(points) != len(results):
+            raise ExperimentError(
+                f"sweep payload has {len(points)} points but {len(results)} results"
+            )
+        return cls(name=str(payload["name"]), points=points, results=results)
+
+
+def sweep_point_names(name: str, points: Sequence[SweepPoint]) -> List[str]:
+    """Per-point experiment names for a sweep, collision-free by construction.
+
+    Each point's experiment — and therefore its trial-seed derivation — is
+    named ``"{name}[{label}]"``.  Labels are ``str()``-rendered parameter
+    values, so duplicate grid points (or distinct values with identical
+    ``str()``, e.g. ``1`` and ``True``) would otherwise receive byte-identical
+    seed lists and perfectly correlated trials.  Repeat occurrences of a
+    label are therefore suffixed with the point's index in the sweep
+    (``"{name}[{label}]#{index}"``), while the *first* occurrence keeps its
+    historical name — so existing sweeps reproduce identically and appending
+    points (even duplicates) never changes the results of earlier points.
+
+    Shared by the serial, point-parallel and batched sweep paths
+    (:func:`run_sweep` and :func:`repro.exec.batching.run_sweep_batched`), so
+    every path derives the same per-point seeds.
+    """
+    seen: Counter = Counter()
+    names = []
+    for index, point in enumerate(points):
+        label = point.label()
+        names.append(f"{name}[{label}]" if label not in seen else f"{name}[{label}]#{index}")
+        seen[label] += 1
+    return names
+
 
 def parameter_grid(**axes: Sequence[Any]) -> List[Dict[str, Any]]:
     """Cartesian product of named parameter axes, as a list of dicts.
@@ -142,8 +180,11 @@ def run_sweep(
 
     The per-point experiment is named ``"{name}[{point label}]"`` and seeded
     independently of the other points, so adding points to a sweep never
-    changes existing results.  ``runner`` selects the execution strategy for
-    each point's trials (see :func:`repro.analysis.experiments.run_trials`).
+    changes existing results.  Duplicate point labels are disambiguated with
+    the point index (see :func:`sweep_point_names`), so repeated grid points
+    run statistically independent — not byte-identical — trials.  ``runner``
+    selects the execution strategy for each point's trials (see
+    :func:`repro.analysis.experiments.run_trials`).
 
     ``point_jobs`` instead parallelises *across* grid points: one shared
     process pool executes whole points concurrently (``0`` = one worker per
@@ -157,6 +198,7 @@ def run_sweep(
     back to the serial path gracefully.
     """
     point_list = [SweepPoint.from_mapping(raw_point) for raw_point in points]
+    point_names = sweep_point_names(name, point_list)
 
     if point_jobs is not None:
         # Imported late: repro.exec depends on this module for the sweep
@@ -174,7 +216,6 @@ def run_sweep(
         if jobs > 1 and all(
             exec_pool.picklability_error(bound) is None for bound in bound_trials
         ):
-            point_names = [f"{name}[{point.label()}]" for point in point_list]
             seed_lists = [
                 trial_seeds(base_seed, point_name, trials_per_point)
                 for point_name in point_names
@@ -193,9 +234,9 @@ def run_sweep(
             return sweep
 
     sweep = SweepResult(name=name)
-    for point in point_list:
+    for point, point_name in zip(point_list, point_names):
         result = run_trials(
-            name=f"{name}[{point.label()}]",
+            name=point_name,
             trial_fn=_PointBoundTrial(trial_fn, point),
             num_trials=trials_per_point,
             base_seed=base_seed,

@@ -10,10 +10,10 @@ Installed as ``repro-flip``.  Three subcommands cover the common workflows:
   (the E1–E11 table in ``README.md``) with its default settings and print
   its report; ``--jobs`` runs the Monte-Carlo trials across worker
   processes and ``--batch`` uses the vectorised batch simulators for the
-  batchable experiments (E1–E3 broadcast-shaped, E8 majority-consensus,
-  E10's sampling grid).  ``--jobs`` composes with ``--batch``: independent
-  sweep points then execute concurrently while each point stays vectorised
-  (see :mod:`repro.exec`).
+  batchable experiments (E1–E3 broadcast-shaped, E7's baseline-protocol
+  family, E8 majority-consensus, E10's sampling grid).  ``--jobs`` composes
+  with ``--batch``: independent sweep points then execute concurrently
+  while each point stays vectorised (see :mod:`repro.exec`).
 """
 
 from __future__ import annotations

@@ -11,16 +11,17 @@ package defines *how* the trials execute:
 * :mod:`repro.exec.pool` — the :class:`concurrent.futures.ProcessPoolExecutor`
   plumbing behind the parallel runner;
 * :mod:`repro.exec.batching` — a vectorised path that simulates ``R``
-  independent replicates of the noisy push-gossip protocols (broadcast *and*
-  majority consensus) as ``(R, n)`` NumPy grids instead of one engine per
-  trial, plus a generic batched sweep dispatcher with an optional
-  point-parallel mode (one shared pool across independent grid points).
+  independent replicates of the noisy push-gossip protocols (broadcast,
+  majority consensus *and* the Section 1.6 baseline family) as ``(R, n)``
+  NumPy grids instead of one engine per trial, plus a generic batched sweep
+  dispatcher with an optional point-parallel mode (one shared pool across
+  independent grid points).
 
 Experiment drivers accept a ``runner=`` argument (surfaced as ``--jobs`` on
-the CLI) and, for the batchable experiments (E1–E3, E8, E10), a ``batch=``
-flag (surfaced as ``--batch``; ``--jobs`` composes with it via point
-parallelism); see ``docs/ARCHITECTURE.md`` for the determinism contract of
-each path.
+the CLI) and, for the batchable experiments (E1–E3, E7, E8, E10), a
+``batch=`` flag (surfaced as ``--batch``; ``--jobs`` composes with it via
+point parallelism); see ``docs/ARCHITECTURE.md`` for the determinism
+contract of each path.
 """
 
 from __future__ import annotations
@@ -29,9 +30,12 @@ import os
 from typing import Optional
 
 from .batching import (
+    BatchBaselineResult,
     BatchBroadcastResult,
     BatchMajorityResult,
     batch_to_experiment_result,
+    batchable_baselines,
+    run_baseline_batch,
     run_broadcast_batch,
     run_broadcast_sweep_batched,
     run_majority_batch,
@@ -56,8 +60,11 @@ __all__ = [
     "trial_seeds",
     "BatchBroadcastResult",
     "BatchMajorityResult",
+    "BatchBaselineResult",
     "run_broadcast_batch",
     "run_majority_batch",
+    "run_baseline_batch",
+    "batchable_baselines",
     "batch_to_experiment_result",
     "run_sweep_batched",
     "run_broadcast_sweep_batched",

@@ -9,14 +9,21 @@ replicates can instead be simulated *simultaneously* as ``(R, n)`` NumPy
 grids: one :meth:`~repro.substrate.network.PushGossipNetwork.deliver_batch`
 call per round replaces ``R`` engine rounds.
 
-Both protocol shapes of the paper are covered:
+Three protocol shapes are covered:
 
 * :func:`run_broadcast_batch` — Theorem 2.17's two-stage broadcast
   (mirroring :func:`repro.core.broadcast.solve_noisy_broadcast`);
 * :func:`run_majority_batch` — Corollary 2.18's majority-consensus variant
   (mirroring :func:`repro.core.majority.solve_noisy_majority_consensus`):
   a random initially-opinionated set per replicate, Stage I entered at the
-  corollary's start phase ``i_A``, then Stage-II boosting.
+  corollary's start phase ``i_A``, then Stage-II boosting;
+* :func:`run_baseline_batch` — the Section 1.6 / Section 1.4 comparator
+  family experiment E7 argues *against*, dispatched by registry name:
+  immediate forwarding (:class:`~repro.protocols.naive_forward.ImmediateForwardingBroadcast`),
+  the noisy voter dynamics (:class:`~repro.protocols.noisy_voter.NoisyVoterBroadcast`)
+  and the idealised direct-from-source reference
+  (:class:`~repro.protocols.direct_source.DirectSourceReference`), each with
+  a vectorised step rule mirroring its serial class round for round.
 
 :func:`run_sweep_batched` dispatches whole sweeps point-by-point onto the
 right batch simulator, forwarding *every* recognised point setting
@@ -55,7 +62,8 @@ observables (success rate, message counts, final bias).
 from __future__ import annotations
 
 import inspect
-from dataclasses import dataclass
+import math
+from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Tuple
 
 import numpy as np
@@ -64,6 +72,9 @@ from ..core.majority import compute_start_phase
 from ..core.opinions import bias_from_counts, counts_from_bias, opposite, validate_opinion
 from ..core.parameters import ProtocolParameters, StageOneParameters, StageTwoParameters
 from ..errors import ExperimentError, ParameterError, SimulationError
+from ..protocols.direct_source import DirectSourceReference
+from ..protocols.naive_forward import ImmediateForwardingBroadcast
+from ..protocols.noisy_voter import NoisyVoterBroadcast
 from ..substrate.network import PushGossipNetwork
 from ..substrate.noise import BinarySymmetricChannel, NoiseChannel
 from ..substrate.population import NO_OPINION
@@ -74,8 +85,11 @@ from .runner import trial_seeds
 __all__ = [
     "BatchBroadcastResult",
     "BatchMajorityResult",
+    "BatchBaselineResult",
     "run_broadcast_batch",
     "run_majority_batch",
+    "run_baseline_batch",
+    "batchable_baselines",
     "batch_to_experiment_result",
     "run_sweep_batched",
     "run_broadcast_sweep_batched",
@@ -123,16 +137,19 @@ class BatchBroadcastResult:
         """Replicate ``index`` as a trial-measurement mapping.
 
         The keys form a superset of what the broadcast-shaped experiment
-        drivers (E1–E3) record serially, so batched and serial sweeps produce
-        interchangeable :class:`~repro.analysis.experiments.ExperimentResult`
-        tables.
+        drivers (E1–E3, and E7's paper-protocol series, which spells the
+        final fraction ``fraction``) record serially, so batched and serial
+        sweeps produce interchangeable
+        :class:`~repro.analysis.experiments.ExperimentResult` tables.
         """
+        final_fraction = float(self.final_correct_fraction[index])
         return {
             "rounds": int(self.rounds),
             "messages": int(self.messages_sent[index]),
             "messages_per_agent": float(self.messages_sent[index] / self.n),
             "success": bool(self.success[index]),
-            "final_correct_fraction": float(self.final_correct_fraction[index]),
+            "fraction": final_fraction,
+            "final_correct_fraction": final_fraction,
             "stage1_bias": float(self.stage1_bias[index]),
         }
 
@@ -206,6 +223,99 @@ class BatchMajorityResult:
             "stage1_bias": float(self.stage1_bias[index]),
             "start_phase": int(self.start_phase),
         }
+
+
+@dataclass(frozen=True)
+class BatchBaselineResult:
+    """Per-replicate outcomes of a batched baseline-protocol run.
+
+    Unlike the paper's protocol — whose round schedule is fixed by
+    ``(n, epsilon)`` — the baselines stop per replicate: the noisy voter
+    breaks out of its budget when a consensus check passes, and the
+    direct-from-source reference records the first round its running
+    majority went all-correct.  ``rounds`` is therefore a vector here, and
+    ``converged`` separates "stopped by its own rule" from "exhausted the
+    round budget" so downstream reports never conflate the two.
+
+    Attributes
+    ----------
+    protocol:
+        Registry name of the baseline (see :func:`batchable_baselines`).
+    n, epsilon, correct_opinion:
+        The shared instance parameters.
+    rounds:
+        ``(R,)`` rounds actually executed per replicate (the budget for
+        replicates that never met their stopping rule).
+    converged:
+        ``(R,)`` boolean vector: did the replicate meet the protocol's own
+        stopping/convergence rule (as opposed to exhausting its budget)?
+        Mirrors :attr:`~repro.protocols.base.ProtocolResult.converged`.
+    success:
+        ``(R,)`` boolean vector: did every agent finish holding the correct
+        opinion?
+    final_correct_fraction:
+        ``(R,)`` fraction of agents holding the correct opinion at the end.
+    messages_sent:
+        ``(R,)`` total messages pushed, per replicate.
+    extra:
+        Protocol-specific per-replicate vectors (e.g. the direct-source
+        reference's ``rounds_to_all_correct``, ``NaN`` where never reached),
+        mirroring :attr:`~repro.protocols.base.ProtocolResult.extra`.
+    """
+
+    protocol: str
+    n: int
+    epsilon: float
+    correct_opinion: int
+    rounds: np.ndarray
+    converged: np.ndarray
+    success: np.ndarray
+    final_correct_fraction: np.ndarray
+    messages_sent: np.ndarray
+    extra: Dict[str, np.ndarray] = field(default_factory=dict)
+
+    @property
+    def num_replicates(self) -> int:
+        """Number of replicates ``R`` in the batch."""
+        return int(self.success.size)
+
+    def measurements(self, index: int) -> Dict[str, Any]:
+        """Replicate ``index`` as a trial-measurement mapping.
+
+        The keys form a superset of what the serial E7 trial functions
+        record (``fraction``, ``success``, ``rounds``, ``converged``,
+        ``rounds_converged`` plus protocol extras), so batched and serial
+        comparisons produce interchangeable
+        :class:`~repro.analysis.experiments.ExperimentResult` tables.
+        Never-reached round markers (``NaN`` in the ``extra`` vectors) are
+        reported as ``None`` — the explicit "did not happen" convention the
+        result containers exclude from means.
+        """
+        converged = bool(self.converged[index])
+        fraction = float(self.final_correct_fraction[index])
+        measurements: Dict[str, Any] = {
+            "rounds": int(self.rounds[index]),
+            "rounds_converged": int(self.rounds[index]) if converged else None,
+            "messages": int(self.messages_sent[index]),
+            "messages_per_agent": float(self.messages_sent[index] / self.n),
+            "success": bool(self.success[index]),
+            "converged": converged,
+            "fraction": fraction,
+            "final_correct_fraction": fraction,
+        }
+        for key, values in self.extra.items():
+            raw = values[index]
+            if isinstance(raw, (bool, np.bool_)):
+                measurements[key] = bool(raw)
+                continue
+            value = float(raw)
+            if not math.isfinite(value):
+                measurements[key] = None
+            elif value.is_integer():
+                measurements[key] = int(value)
+            else:
+                measurements[key] = value
+        return measurements
 
 
 # ----------------------------------------------------------------------
@@ -530,6 +640,319 @@ def run_majority_batch(
     )
 
 
+# ----------------------------------------------------------------------
+# Batched baseline protocols (the E7 comparator family)
+# ----------------------------------------------------------------------
+
+
+def _run_forwarding_batch(
+    n: int,
+    num_replicates: int,
+    network: PushGossipNetwork,
+    channel: NoiseChannel,
+    rng: np.random.Generator,
+    correct_opinion: int,
+    max_rounds: Optional[int] = None,
+    keep_first_opinion: bool = ImmediateForwardingBroadcast.keep_first_opinion,
+) -> BatchBaselineResult:
+    """Vectorised step rule mirroring
+    :class:`~repro.protocols.naive_forward.ImmediateForwardingBroadcast`
+    (defaults are read from the serial class, never duplicated).
+
+    Every opinionated agent pushes its bit each round; with
+    ``keep_first_opinion`` (Section 1.6's description) a recipient adopts
+    only the first bit it ever hears, otherwise it re-adopts every bit.  The
+    budget always runs to completion (reach is easy — reliability is what
+    the baseline loses), so ``rounds`` equals the budget for every replicate
+    and ``converged`` records whether everyone got informed.
+    """
+    budget = max_rounds
+    if budget is None:
+        budget = ImmediateForwardingBroadcast.default_budget(n)
+
+    R = num_replicates
+    opinions = np.full((R, n), NO_OPINION, dtype=np.int8)
+    activated = np.zeros((R, n), dtype=bool)
+    opinions[:, 0] = correct_opinion  # agent 0 is the source in every replicate
+    activated[:, 0] = True
+    messages = np.zeros(R, dtype=np.int64)
+    all_informed_round = np.full(R, np.nan)
+
+    for round_index in range(budget):
+        send_mask = opinions != NO_OPINION
+        bits = np.where(send_mask, opinions, 0).astype(np.int8)
+        report = network.deliver_batch(send_mask, bits, channel, rng)
+        if keep_first_opinion:
+            adopt = report.accepted & ~activated
+        else:
+            adopt = report.accepted
+        opinions = np.where(adopt, report.bits, opinions)
+        activated |= report.accepted
+        messages += send_mask.sum(axis=1)
+        newly_informed = activated.all(axis=1) & np.isnan(all_informed_round)
+        all_informed_round[newly_informed] = round_index + 1
+
+    correct_final = (opinions == correct_opinion).sum(axis=1)
+    return BatchBaselineResult(
+        protocol="immediate-forwarding",
+        n=n,
+        epsilon=float(channel.epsilon),
+        correct_opinion=int(correct_opinion),
+        rounds=np.full(R, budget, dtype=np.int64),
+        converged=activated.all(axis=1),
+        success=correct_final == n,
+        final_correct_fraction=correct_final / n,
+        messages_sent=messages,
+        extra={"all_informed_round": all_informed_round},
+    )
+
+
+def _run_voter_batch(
+    n: int,
+    num_replicates: int,
+    network: PushGossipNetwork,
+    channel: NoiseChannel,
+    rng: np.random.Generator,
+    correct_opinion: int,
+    max_rounds: int = NoisyVoterBroadcast.max_rounds,
+    check_every: int = NoisyVoterBroadcast.check_every,
+) -> BatchBaselineResult:
+    """Vectorised step rule mirroring
+    :class:`~repro.protocols.noisy_voter.NoisyVoterBroadcast`
+    (defaults are read from the serial class, never duplicated).
+
+    Push voter dynamics with a zealot source: every opinionated agent pushes
+    its opinion, every receiver except the zealot adopts the accepted bit,
+    and every ``check_every`` rounds replicates that reached full correct
+    consensus stop (their rows are frozen and they stop sending or counting
+    rounds, exactly like a serial run breaking out of its loop).  Under
+    channel noise this essentially never happens — the paper's point — so
+    ``rounds`` typically equals the budget with ``converged`` false.
+    """
+    if max_rounds < 1:
+        raise ParameterError(f"max_rounds must be at least 1, got {max_rounds}")
+    if check_every < 1:
+        raise ParameterError(f"check_every must be at least 1, got {check_every}")
+
+    R = num_replicates
+    opinions = np.full((R, n), NO_OPINION, dtype=np.int8)
+    opinions[:, 0] = correct_opinion  # the zealot source never changes opinion
+    messages = np.zeros(R, dtype=np.int64)
+    rounds = np.zeros(R, dtype=np.int64)
+    converged = np.zeros(R, dtype=bool)
+    alive = np.ones(R, dtype=bool)
+
+    for round_index in range(max_rounds):
+        if not alive.any():
+            break
+        send_mask = (opinions != NO_OPINION) & alive[:, None]
+        bits = np.where(send_mask, opinions, 0).astype(np.int8)
+        report = network.deliver_batch(send_mask, bits, channel, rng)
+        adopt = report.accepted.copy()
+        adopt[:, 0] = False  # the zealot keeps its opinion
+        opinions = np.where(adopt, report.bits, opinions)
+        messages += send_mask.sum(axis=1)
+        rounds += alive
+        if (round_index + 1) % check_every == 0:
+            now_correct = alive & (opinions == correct_opinion).all(axis=1)
+            converged |= now_correct
+            alive &= ~now_correct
+
+    correct_final = (opinions == correct_opinion).sum(axis=1)
+    return BatchBaselineResult(
+        protocol="noisy-voter",
+        n=n,
+        epsilon=float(channel.epsilon),
+        correct_opinion=int(correct_opinion),
+        rounds=rounds,
+        converged=converged,
+        success=correct_final == n,
+        final_correct_fraction=correct_final / n,
+        messages_sent=messages,
+    )
+
+
+def _run_direct_source_batch(
+    n: int,
+    num_replicates: int,
+    network: PushGossipNetwork,
+    channel: NoiseChannel,
+    rng: np.random.Generator,
+    correct_opinion: int,
+    rounds: Optional[int] = None,
+) -> BatchBaselineResult:
+    """Vectorised step rule mirroring
+    :class:`~repro.protocols.direct_source.DirectSourceReference`
+    (defaults are read from the serial class, never duplicated).
+
+    Every agent receives one independent noisy source sample per round
+    (applied via :meth:`~repro.substrate.noise.NoiseChannel.transmit_batch`
+    on the full ``(R, n)`` grid); each replicate records the first round at
+    which every agent's running majority was correct.  The extra vector
+    ``rounds_to_all_correct`` is ``NaN`` — reported as ``None`` in
+    measurements — for replicates whose majority never went all-correct
+    within the sampling budget; they are *not* silently counted at the
+    budget.
+    """
+    total_rounds = rounds
+    if total_rounds is None:
+        total_rounds = DirectSourceReference.default_rounds(n, channel.epsilon)
+    if total_rounds < 1:
+        raise ParameterError("rounds must be at least 1")
+
+    R = num_replicates
+    ones = np.zeros((R, n), dtype=np.int64)
+    first_all_correct = np.full(R, np.nan)
+    source_bits = np.full((R, n), correct_opinion, dtype=np.int8)
+    full_mask = np.ones((R, n), dtype=bool)
+
+    for round_index in range(1, total_rounds + 1):
+        noisy = channel.transmit_batch(source_bits, full_mask, rng)
+        ones += noisy.astype(np.int64)
+        pending = np.isnan(first_all_correct)
+        if pending.any():
+            majority_now = _running_majority(ones[pending], round_index, rng)
+            all_correct = (majority_now == correct_opinion).all(axis=1)
+            first_all_correct[np.flatnonzero(pending)[all_correct]] = round_index
+
+    final = _running_majority(ones, total_rounds, rng)
+    correct_final = (final == correct_opinion).sum(axis=1)
+    return BatchBaselineResult(
+        protocol="direct-source-reference",
+        n=n,
+        epsilon=float(channel.epsilon),
+        correct_opinion=int(correct_opinion),
+        rounds=np.full(R, total_rounds, dtype=np.int64),
+        converged=np.ones(R, dtype=bool),
+        success=correct_final == n,
+        final_correct_fraction=correct_final / n,
+        messages_sent=np.full(R, n * total_rounds, dtype=np.int64),
+        extra={
+            "rounds_to_all_correct": first_all_correct,
+            "all_correct": ~np.isnan(first_all_correct),
+        },
+    )
+
+
+def _running_majority(
+    ones: np.ndarray, rounds_so_far: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Per-agent majority of the samples collected so far (random tie-break).
+
+    Grid-shaped transcription of
+    :meth:`~repro.protocols.direct_source.DirectSourceReference._majority`.
+    """
+    doubled = 2 * ones
+    verdict = np.where(doubled > rounds_so_far, 1, 0).astype(np.int8)
+    ties = doubled == rounds_so_far
+    if np.any(ties):
+        verdict[ties] = rng.integers(0, 2, size=int(np.count_nonzero(ties))).astype(np.int8)
+    return verdict
+
+
+#: Vectorised step rule and recognised options per batchable baseline,
+#: keyed by the protocol's registry name (see repro.protocols.registry).
+_BASELINE_BATCH_RULES: Dict[str, Tuple[Callable[..., BatchBaselineResult], frozenset]] = {
+    "immediate-forwarding": (_run_forwarding_batch, frozenset({"max_rounds", "keep_first_opinion"})),
+    "noisy-voter": (_run_voter_batch, frozenset({"max_rounds", "check_every"})),
+    "direct-source-reference": (_run_direct_source_batch, frozenset({"rounds"})),
+}
+
+
+def batchable_baselines() -> List[str]:
+    """Sorted registry names of the baseline protocols with a batched step rule."""
+    return sorted(_BASELINE_BATCH_RULES)
+
+
+def run_baseline_batch(
+    protocol: str,
+    n: int,
+    epsilon: float,
+    num_replicates: int,
+    base_seed: int = 0,
+    correct_opinion: int = 1,
+    channel: Optional[NoiseChannel] = None,
+    allow_self_messages: bool = False,
+    **options: Any,
+) -> BatchBaselineResult:
+    """Simulate ``num_replicates`` independent runs of a baseline protocol at once.
+
+    This is the batched counterpart of running a
+    :class:`~repro.protocols.base.BaselineProtocol` once per trial on its own
+    :class:`~repro.substrate.engine.SimulationEngine`: the protocol is looked
+    up by its registry name (the same names
+    :func:`repro.protocols.registry.make_protocol` accepts) and advanced for
+    all replicates simultaneously on ``(R, n)`` grids, one
+    :meth:`~repro.substrate.network.PushGossipNetwork.deliver_batch` (or
+    :meth:`~repro.substrate.noise.NoiseChannel.transmit_batch`) call per
+    round.  Per-replicate dynamics are statistically equivalent to the serial
+    protocol classes — same step rule, same budgets, same stopping checks —
+    under the batching module's usual determinism contract (one batch-level
+    random stream; see the module docstring).
+
+    Parameters
+    ----------
+    protocol:
+        Registry name of the baseline; see :func:`batchable_baselines` for
+        the names with a vectorised step rule.
+    n, epsilon:
+        Instance size and noise margin, shared by every replicate.
+    num_replicates:
+        Number of independent replicates ``R``.
+    base_seed:
+        Root seed of the batch stream.
+    correct_opinion:
+        The source's (correct) opinion ``B``.
+    channel:
+        Override the default :class:`BinarySymmetricChannel`.
+    allow_self_messages:
+        Allow agents to push messages to themselves.
+    options:
+        Protocol-specific settings mirroring the serial dataclass fields
+        (``max_rounds``/``keep_first_opinion`` for immediate forwarding,
+        ``max_rounds``/``check_every`` for the noisy voter, ``rounds`` for
+        the direct-source reference).  ``None`` values mean "use the
+        protocol's default"; unrecognised names raise
+        :class:`~repro.errors.ExperimentError`.
+    """
+    if num_replicates < 1:
+        raise ExperimentError("num_replicates must be at least 1")
+    correct_opinion = validate_opinion(correct_opinion)
+    try:
+        rule, recognised_options = _BASELINE_BATCH_RULES[protocol]
+    except KeyError:
+        from ..protocols.registry import available_protocols
+
+        known = protocol in available_protocols()
+        reason = "has no batched step rule" if known else "is not a registered protocol"
+        raise ExperimentError(
+            f"protocol {protocol!r} {reason}; batchable baselines are "
+            + ", ".join(batchable_baselines())
+        ) from None
+
+    settings = {key: value for key, value in options.items() if value is not None}
+    unrecognised = sorted(set(settings) - recognised_options)
+    if unrecognised:
+        raise ExperimentError(
+            f"batched baseline {protocol!r} has unrecognised option(s) {unrecognised}; "
+            f"recognised options are {sorted(recognised_options)}"
+        )
+    if channel is None:
+        channel = BinarySymmetricChannel(epsilon=epsilon)
+
+    rng = spawn_generator(base_seed, "batch-baseline", protocol, n)
+    network = PushGossipNetwork(size=n, allow_self_messages=allow_self_messages)
+    return rule(
+        n=n,
+        num_replicates=num_replicates,
+        network=network,
+        channel=channel,
+        rng=rng,
+        correct_opinion=correct_opinion,
+        **settings,
+    )
+
+
 def batch_to_experiment_result(
     name: str,
     batch: Any,
@@ -581,6 +1004,13 @@ _MAJORITY_SETTINGS = frozenset(
 #: Grid-key aliases used by the serial E8 driver, normalised on dispatch.
 _MAJORITY_ALIASES: Dict[str, str] = {"set_size": "initial_set_size", "bias": "majority_bias"}
 
+#: Instance settings understood by the baseline batch simulator: the shared
+#: instance settings plus the union of every per-protocol option (the exact
+#: per-protocol subsets are enforced by run_baseline_batch itself).
+_BASELINE_SETTINGS = frozenset(
+    {"n", "epsilon", "protocol", "correct_opinion", "allow_self_messages"}
+) | frozenset().union(*(options for _, options in _BASELINE_BATCH_RULES.values()))
+
 #: Calibration overrides forwarded to ProtocolParameters.calibrated, derived
 #: from its signature so the two can never drift apart.
 _CALIBRATION_SETTINGS = frozenset(
@@ -591,7 +1021,7 @@ _CALIBRATION_SETTINGS = frozenset(
     if parameter.kind is inspect.Parameter.KEYWORD_ONLY
 )
 
-_SHAPES = ("auto", "broadcast", "majority")
+_SHAPES = ("auto", "broadcast", "majority", "baseline")
 
 
 def _normalise_majority_aliases(settings: Dict[str, Any], context: str) -> Dict[str, Any]:
@@ -629,12 +1059,21 @@ def _resolve_batch_task(
     resolved_shape = shape
     if resolved_shape == "auto":
         majority_markers = {"initial_set_size", "majority_bias"}
-        resolved_shape = "majority" if majority_markers & set(settings) else "broadcast"
+        if "protocol" in settings:
+            resolved_shape = "baseline"
+        elif majority_markers & set(settings):
+            resolved_shape = "majority"
+        else:
+            resolved_shape = "broadcast"
 
     if resolved_shape == "broadcast":
         recognised = _BROADCAST_SETTINGS | _CALIBRATION_SETTINGS
         required = ("n", "epsilon")
         batch_fn: Callable[..., Any] = run_broadcast_batch
+    elif resolved_shape == "baseline":
+        recognised = _BASELINE_SETTINGS
+        required = ("n", "epsilon", "protocol")
+        batch_fn = run_baseline_batch
     else:
         recognised = _MAJORITY_SETTINGS | _CALIBRATION_SETTINGS
         required = ("n", "epsilon", "initial_set_size", "majority_bias")
@@ -665,6 +1104,9 @@ def _resolve_batch_task(
         kwargs["majority_bias"] = float(kwargs["majority_bias"])
     if kwargs.get("start_phase") is not None:
         kwargs["start_phase"] = int(kwargs["start_phase"])
+    for round_setting in ("max_rounds", "check_every", "rounds"):
+        if kwargs.get(round_setting) is not None:
+            kwargs[round_setting] = int(kwargs[round_setting])
     kwargs["num_replicates"] = trials_per_point
     kwargs["base_seed"] = derive_seed(base_seed, point_name, "batch")
     return batch_fn, kwargs
@@ -682,11 +1124,13 @@ def run_sweep_batched(
     """Batched counterpart of :func:`repro.analysis.sweeps.run_sweep`.
 
     Every grid point (merged over ``defaults``) is dispatched as a single
-    :func:`run_broadcast_batch` or :func:`run_majority_batch` call with *all*
-    its settings forwarded; unrecognised settings raise
-    :class:`~repro.errors.ExperimentError`.  Point naming and per-point seed
-    derivation mirror ``run_sweep`` so batched sweeps slot into the existing
-    report builders unchanged.
+    :func:`run_broadcast_batch`, :func:`run_majority_batch` or
+    :func:`run_baseline_batch` call with *all* its settings forwarded;
+    unrecognised settings raise :class:`~repro.errors.ExperimentError`.
+    Point naming and per-point seed derivation mirror ``run_sweep``
+    (including the duplicate-label disambiguation of
+    :func:`repro.analysis.sweeps.sweep_point_names`) so batched sweeps slot
+    into the existing report builders unchanged.
 
     Parameters
     ----------
@@ -694,9 +1138,10 @@ def run_sweep_batched(
         As in :func:`repro.analysis.sweeps.run_sweep`; ``defaults`` supplies
         settings shared by every point, with per-point settings winning.
     shape:
-        ``"broadcast"``, ``"majority"``, or ``"auto"`` (default) which picks
-        the majority simulator whenever a point defines an initial
-        opinionated set and the broadcast simulator otherwise.
+        ``"broadcast"``, ``"majority"``, ``"baseline"``, or ``"auto"``
+        (default) which picks the baseline simulator whenever a point names
+        a ``protocol``, the majority simulator whenever a point defines an
+        initial opinionated set, and the broadcast simulator otherwise.
     point_jobs:
         When set, independent grid points execute concurrently on one shared
         :class:`~concurrent.futures.ProcessPoolExecutor` (``0`` = one worker
@@ -704,7 +1149,7 @@ def run_sweep_batched(
         derived in the parent before dispatch and results are assembled in
         point order, so results are bit-identical to ``point_jobs=None``.
     """
-    from ..analysis.sweeps import SweepPoint, SweepResult
+    from ..analysis.sweeps import SweepPoint, SweepResult, sweep_point_names
 
     if trials_per_point < 1:
         raise ExperimentError("trials_per_point must be at least 1")
@@ -713,17 +1158,15 @@ def run_sweep_batched(
     # Alias keys only mean something to the majority simulator; leaving them
     # alone on a forced-broadcast sweep keeps "unrecognised setting" errors
     # pointing at the key the caller actually wrote.
-    normalise = shape != "broadcast"
+    normalise = shape not in ("broadcast", "baseline")
     merged_defaults = dict(defaults or {})
     if normalise:
         _normalise_majority_aliases(merged_defaults, f"batched sweep {name!r} defaults")
 
-    sweep_points: List[Any] = []
-    point_names: List[str] = []
+    sweep_points = [SweepPoint.from_mapping(raw_point) for raw_point in points]
+    point_names = sweep_point_names(name, sweep_points)
     tasks: List[Tuple[Callable[..., Any], Dict[str, Any]]] = []
-    for raw_point in points:
-        point = SweepPoint.from_mapping(raw_point)
-        point_name = f"{name}[{point.label()}]"
+    for point, point_name in zip(sweep_points, point_names):
         point_settings = point.as_dict()
         if normalise:
             _normalise_majority_aliases(point_settings, f"batched sweep point {point_name}")
@@ -731,8 +1174,6 @@ def run_sweep_batched(
         tasks.append(
             _resolve_batch_task(point_name, settings, trials_per_point, base_seed, shape)
         )
-        sweep_points.append(point)
-        point_names.append(point_name)
 
     jobs = pool.resolve_point_jobs(point_jobs, len(tasks))
     if jobs > 1:

@@ -14,6 +14,17 @@ The driver measures both reference points in the simulator:
 * the silent-wait strategy inside the actual Flip model (only the source
   pushes, one message per round): completing the broadcast takes a factor
   ``~n`` longer, matching ``Theta(n log n / eps^2)``.
+
+Reporting convention (never-converged trials)
+---------------------------------------------
+``mean_rounds`` for the direct-from-source scheme averages
+``rounds_to_all_correct`` only over trials whose running majority actually
+reached the all-correct state (recorded as ``None`` — checked with
+``is None``, never truthiness — when it did not); the column is ``NaN`` when
+no trial converged, and the separate ``all_correct_rate`` column reports how
+often convergence happened.  Budget-exhausted trials are never silently
+counted at their round budget.  The same convention applies in
+:mod:`repro.experiments.e7_baselines`.
 """
 
 from __future__ import annotations
@@ -35,24 +46,35 @@ __all__ = ["run"]
 
 
 def _direct_trial(seed: int, _index: int, n: int, epsilon: float) -> dict:
-    """One direct-from-source reference run (module-level, hence picklable)."""
+    """One direct-from-source reference run (module-level, hence picklable).
+
+    ``rounds_to_all_correct`` is ``None`` (not the sampling budget) when the
+    running majority never went all-correct — see the module docstring.
+    """
     engine = SimulationEngine.create(n=n, epsilon=epsilon, seed=seed)
     result = DirectSourceReference().run(engine, correct_opinion=1)
+    first_all_correct = result.extra["first_all_correct_round"]
     return {
-        "rounds_to_all_correct": result.extra["first_all_correct_round"] or result.rounds,
+        "rounds_to_all_correct": first_all_correct,
+        "all_correct": first_all_correct is not None,
         "success": result.success,
     }
 
 
 def _silent_trial(seed: int, _index: int, n: int, epsilon: float, threshold: int) -> dict:
-    """One listen-only (silent-wait) run (module-level, hence picklable)."""
+    """One listen-only (silent-wait) run (module-level, hence picklable).
+
+    ``first_two_messages_round`` is ``None`` when no agent ever heard two
+    messages (rather than a fake round 0), so it drops out of means instead
+    of dragging them towards zero.
+    """
     engine = SimulationEngine.create(n=n, epsilon=epsilon, seed=seed)
     result = SilentWaitBroadcast(threshold=threshold).run(engine, correct_opinion=1)
     return {
         "rounds": result.rounds,
         "success": result.success,
         "decided_fraction": result.extra["decided_fraction"],
-        "first_two_messages_round": result.extra["first_round_with_two_messages"] or 0,
+        "first_two_messages_round": result.extra["first_round_with_two_messages"],
     }
 
 
@@ -81,11 +103,16 @@ def run(
         base_seed=base_seed,
         runner=runner,
     )
+    # Never-converged trials are excluded from the rounds mean (NaN when no
+    # trial converged) and reported through all_correct_rate instead; see the
+    # module docstring.
+    direct_rounds = direct.mean_or("rounds_to_all_correct")
     report.add_row(
         scheme="direct-from-source (idealised)",
-        mean_rounds=direct.mean("rounds_to_all_correct"),
+        mean_rounds=direct_rounds,
         reference_scale=broadcast_round_bound(n, epsilon),
-        ratio_to_reference=direct.mean("rounds_to_all_correct") / broadcast_round_bound(n, epsilon),
+        ratio_to_reference=direct_rounds / broadcast_round_bound(n, epsilon),
+        all_correct_rate=direct.rate("all_correct"),
         success_rate=direct.rate("success"),
     )
 
@@ -108,10 +135,10 @@ def run(
 
     report.add_note(
         f"listen-only completion is ~n times slower than the direct reference "
-        f"(measured ratio {silent.mean('rounds') / max(direct.mean('rounds_to_all_correct'), 1):.0f}x, n = {n})"
+        f"(measured ratio {silent.mean('rounds') / max(direct_rounds, 1):.0f}x, n = {n})"
     )
     report.add_note(
         f"Section 1.6 birthday-paradox check: the first agent to hear two (source) messages appeared at "
-        f"round ~{silent.mean('first_two_messages_round'):.0f} on average (sqrt(n) = {n ** 0.5:.0f})"
+        f"round ~{silent.mean_or('first_two_messages_round'):.0f} on average (sqrt(n) = {n ** 0.5:.0f})"
     )
     return report

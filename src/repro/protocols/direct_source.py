@@ -42,13 +42,22 @@ class DirectSourceReference(BaselineProtocol):
     rounds: Optional[int] = None
     name: str = "direct-source-reference"
 
+    @staticmethod
+    def default_rounds(n: int, epsilon: float) -> int:
+        """Default sampling budget ``ceil(4 ln n / eps^2)``.
+
+        Single source of truth shared with the batched step rule in
+        :mod:`repro.exec.batching`, so the two paths can never drift apart.
+        """
+        return int(math.ceil(4.0 * math.log(n) / (epsilon**2)))
+
     def run(self, engine: SimulationEngine, correct_opinion: int = 1) -> ProtocolResult:
         correct_opinion = validate_opinion(correct_opinion)
         population = engine.population
         n = engine.n
         total_rounds = self.rounds
         if total_rounds is None:
-            total_rounds = int(math.ceil(4.0 * math.log(n) / (engine.epsilon**2)))
+            total_rounds = self.default_rounds(n, engine.epsilon)
         if total_rounds < 1:
             raise ParameterError("rounds must be at least 1")
 

@@ -51,6 +51,15 @@ class ImmediateForwardingBroadcast(BaselineProtocol):
     keep_first_opinion: bool = True
     name: str = "immediate-forwarding"
 
+    @staticmethod
+    def default_budget(n: int) -> int:
+        """Default round budget ``ceil(4 log2 n) + 8`` (ample for full reach).
+
+        Single source of truth shared with the batched step rule in
+        :mod:`repro.exec.batching`, so the two paths can never drift apart.
+        """
+        return int(math.ceil(4 * math.log2(n))) + 8
+
     def run(self, engine: SimulationEngine, correct_opinion: int = 1) -> ProtocolResult:
         correct_opinion = validate_opinion(correct_opinion)
         population = engine.population
@@ -60,7 +69,7 @@ class ImmediateForwardingBroadcast(BaselineProtocol):
 
         budget = self.max_rounds
         if budget is None:
-            budget = int(math.ceil(4 * math.log2(engine.n))) + 8
+            budget = self.default_budget(engine.n)
 
         messages_before = engine.metrics.messages_sent
         start_round = engine.now

@@ -27,7 +27,12 @@ import numpy as np
 from ..errors import ParameterError, ProtocolError
 from .noise import NoiseChannel
 
-__all__ = ["DeliveryReport", "BatchDeliveryReport", "PushGossipNetwork"]
+__all__ = [
+    "DeliveryReport",
+    "BatchDeliveryReport",
+    "BatchDeliveryAllReport",
+    "PushGossipNetwork",
+]
 
 
 @dataclass(frozen=True)
@@ -105,6 +110,56 @@ class BatchDeliveryReport:
     def num_replicates(self) -> int:
         """Number of replicates ``R`` in the batch."""
         return int(self.accepted.shape[0])
+
+
+@dataclass(frozen=True)
+class BatchDeliveryAllReport:
+    """Outcome of one *multi-accept* round executed for ``R`` replicates at once.
+
+    The multi-accept rule delivers every message, so one recipient may accept
+    several messages in the same round and an ``(R, n)`` "accepted bit" grid
+    cannot represent the outcome.  The report is therefore message-aligned:
+    all arrays have one entry per delivered message, ordered replicate-major
+    by sender index (the order :meth:`PushGossipNetwork.deliver_all_batch`
+    consumes the channel stream in).
+
+    Attributes
+    ----------
+    replicates:
+        Replicate index of each delivered message.
+    recipients:
+        Recipient of each message (duplicates within a replicate are
+        possible — that is the point of multi-accept semantics).
+    senders:
+        Sender of each message.
+    bits:
+        The delivered bit of each message, *after* channel noise.
+    messages_sent:
+        Per-replicate message counts, shape ``(R,)``; with multi-accept
+        semantics every sent message is delivered.
+    """
+
+    replicates: np.ndarray
+    recipients: np.ndarray
+    senders: np.ndarray
+    bits: np.ndarray
+    messages_sent: np.ndarray
+
+    @property
+    def messages_delivered(self) -> np.ndarray:
+        """Per-replicate delivered counts (equal to ``messages_sent``)."""
+        return self.messages_sent
+
+    @property
+    def num_replicates(self) -> int:
+        """Number of replicates ``R`` in the batch."""
+        return int(self.messages_sent.size)
+
+    def delivery_counts(self, size: int) -> np.ndarray:
+        """Per-(replicate, agent) received-message counts as an ``(R, size)`` grid."""
+        counts = np.zeros((self.num_replicates, size), dtype=np.int64)
+        np.add.at(counts, (self.replicates, self.recipients), 1)
+        return counts
 
 
 @dataclass
@@ -343,6 +398,88 @@ class PushGossipNetwork:
             messages_sent=sent,
             messages_delivered=sent,
             messages_dropped=0,
+        )
+
+    def deliver_all_batch(
+        self,
+        send_mask: np.ndarray,
+        bits: np.ndarray,
+        channel: NoiseChannel,
+        rng: np.random.Generator,
+    ) -> BatchDeliveryAllReport:
+        """Deliver *every* message for ``R`` independent replicates at once.
+
+        Batch-aware companion of :meth:`deliver_all`, exactly as
+        :meth:`deliver_batch` is the companion of :meth:`deliver`: per
+        replicate every message reaches a uniformly random recipient and
+        nothing is dropped (no single-accept rule), which is the multi-accept
+        semantics idealised baselines outside the Flip model use.  Targets are
+        drawn for all messages first, then noise is applied through
+        :meth:`NoiseChannel.transmit_batch` on the ``(R, n)`` sender grid —
+        i.e. the channel stream is consumed in replicate-major,
+        sender-ascending order, mirroring how a serial :meth:`deliver_all`
+        call noises its messages in sender order.  Replicates never interact.
+
+        Randomness comes from the single ``rng`` for the whole batch, so
+        results are deterministic given the generator state but not
+        bit-identical to ``R`` separate :meth:`deliver_all` calls; the
+        property tests in ``tests/unit/substrate/test_network.py`` pin the
+        per-replicate marginals (message counts, target uniformity, flip
+        rate) against the serial path.
+
+        Parameters
+        ----------
+        send_mask:
+            ``(R, n)`` boolean grid: which agents speak this round in each
+            replicate.
+        bits:
+            ``(R, n)`` integer grid with the bit each agent would push
+            (entries outside ``send_mask`` are ignored).
+        channel:
+            Noise channel applied to every message via
+            :meth:`NoiseChannel.transmit_batch`.
+        rng:
+            Randomness for target selection and channel noise.
+        """
+        send_mask = np.asarray(send_mask, dtype=bool)
+        bits = np.asarray(bits)
+        if send_mask.ndim != 2:
+            raise ProtocolError("send_mask must be a 2-D (replicates, agents) grid")
+        if send_mask.shape != bits.shape:
+            raise ProtocolError("send_mask and bits must have the same shape")
+        num_replicates, size = send_mask.shape
+        if size != self.size:
+            raise ProtocolError(
+                f"batch is over {size} agents but the network has {self.size}"
+            )
+        masked_bits = bits[send_mask]
+        if masked_bits.size and (masked_bits.min() < 0 or masked_bits.max() > 1):
+            raise ProtocolError("message bits must be 0 or 1")
+
+        self.rounds_executed += 1
+        sent = send_mask.sum(axis=1).astype(np.int64)
+        rows, cols = np.nonzero(send_mask)
+        if rows.size:
+            if self.allow_self_messages:
+                targets = rng.integers(0, size, size=rows.size)
+            else:
+                draws = rng.integers(0, size - 1, size=rows.size)
+                targets = draws + (draws >= cols)
+            noisy_grid = channel.transmit_batch(bits, send_mask, rng)
+            noisy = noisy_grid[send_mask]
+        else:
+            targets = np.empty(0, dtype=np.int64)
+            noisy = np.empty(0, dtype=np.int8)
+
+        total = int(sent.sum())
+        self.messages_sent_total += total
+        self.messages_delivered_total += total
+        return BatchDeliveryAllReport(
+            replicates=rows.astype(np.int64),
+            recipients=targets.astype(np.int64),
+            senders=cols.astype(np.int64),
+            bits=noisy.astype(np.int8),
+            messages_sent=sent,
         )
 
     def deliver_reference(

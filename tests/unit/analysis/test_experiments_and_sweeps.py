@@ -4,8 +4,20 @@ import numpy as np
 import pytest
 
 from repro.analysis.experiments import ExperimentResult, TrialResult, run_trials
-from repro.analysis.resultsio import load_result, save_result, save_sweep, to_jsonable
-from repro.analysis.sweeps import SweepPoint, parameter_grid, run_sweep
+from repro.analysis.resultsio import (
+    load_result,
+    load_sweep,
+    save_result,
+    save_sweep,
+    to_jsonable,
+)
+from repro.analysis.sweeps import (
+    SweepPoint,
+    SweepResult,
+    parameter_grid,
+    run_sweep,
+    sweep_point_names,
+)
 from repro.analysis.tables import format_cell, render_kv, render_table
 from repro.errors import ExperimentError, ParameterError
 
@@ -13,6 +25,11 @@ from repro.errors import ExperimentError, ParameterError
 def _double_trial(point, seed, index):
     """Module-level sweep trial (picklable, for the point-parallel tests)."""
     return {"double": point["x"] * 2.0, "ok": True, "seed": seed}
+
+
+def _seed_echo_trial(point, seed, index):
+    """Module-level sweep trial echoing its seed (for the collision tests)."""
+    return {"seed": seed, "index": index}
 
 
 class TestRunTrials:
@@ -195,3 +212,121 @@ class TestResultsIO:
         path = save_sweep(sweep, tmp_path / "sweep.json")
         assert path.exists()
         assert "demo" in path.read_text()
+
+
+class TestMeanOr:
+    def test_skips_none_and_defaults_when_empty(self):
+        result = ExperimentResult(name="demo")
+        result.trials.append(TrialResult(0, 1, {"rounds": 4, "maybe": None}))
+        result.trials.append(TrialResult(1, 2, {"rounds": 6, "maybe": 10}))
+        assert result.mean_or("maybe") == 10.0
+        result_without = ExperimentResult(name="empty")
+        result_without.trials.append(TrialResult(0, 1, {"maybe": None}))
+        assert np.isnan(result_without.mean_or("maybe"))
+        assert result_without.mean_or("maybe", default=-1.0) == -1.0
+
+    def test_unrecorded_key_still_raises(self):
+        """A key no trial recorded is a caller bug, not "no data": it must
+        fail loudly instead of degrading to the default."""
+        result = ExperimentResult(name="demo")
+        result.trials.append(TrialResult(0, 1, {"rounds": 4}))
+        with pytest.raises(ExperimentError):
+            result.mean_or("rouns")  # typo'd key
+
+
+class TestSweepPointNames:
+    def test_unique_labels_keep_historical_names(self):
+        points = [SweepPoint.from_mapping({"n": 100}), SweepPoint.from_mapping({"n": 200})]
+        assert sweep_point_names("S", points) == ["S[n=100]", "S[n=200]"]
+
+    def test_repeat_occurrences_get_index_suffixes(self):
+        """The first occurrence keeps its historical name (appending points —
+        even duplicates — never reseeds earlier points); repeats get the
+        point index."""
+        points = [SweepPoint.from_mapping({"n": 100})] * 3 + [SweepPoint.from_mapping({"n": 200})]
+        assert sweep_point_names("S", points) == [
+            "S[n=100]",
+            "S[n=100]#1",
+            "S[n=100]#2",
+            "S[n=200]",
+        ]
+
+    def test_duplicate_points_run_independent_trials(self):
+        """Regression: duplicate grid points must not share seed lists (and
+        therefore byte-identical trials)."""
+        sweep = run_sweep(
+            "S", [{"x": 1}, {"x": 1}], _seed_echo_trial, trials_per_point=3, base_seed=7
+        )
+        first_seeds = [trial.seed for trial in sweep.results[0].trials]
+        second_seeds = [trial.seed for trial in sweep.results[1].trials]
+        assert first_seeds != second_seeds
+        assert sweep.results[0].values("seed") != sweep.results[1].values("seed")
+
+    def test_serial_and_point_jobs_agree_on_duplicates(self):
+        kwargs = dict(
+            name="S",
+            points=[{"x": 1}, {"x": 1}],
+            trial_fn=_seed_echo_trial,
+            trials_per_point=2,
+            base_seed=5,
+        )
+        serial = run_sweep(**kwargs)
+        pooled = run_sweep(point_jobs=2, **kwargs)
+        assert [r.to_dict() for r in serial.results] == [r.to_dict() for r in pooled.results]
+
+    def test_batched_sweep_agrees_on_duplicate_seed_derivation(self):
+        """The batched dispatcher derives per-point batch seeds from the same
+        disambiguated names, so duplicate points get independent batches."""
+        from repro.exec.batching import run_sweep_batched
+
+        sweep = run_sweep_batched(
+            name="S",
+            points=[{"n": 250}, {"n": 250}],
+            trials_per_point=2,
+            base_seed=3,
+            defaults={"epsilon": 0.3},
+            shape="broadcast",
+        )
+        assert sweep.results[0].name == "S[n=250]"
+        assert sweep.results[1].name == "S[n=250]#1"
+        first = sweep.results[0].values("final_correct_fraction")
+        second = sweep.results[1].values("final_correct_fraction")
+        messages = (sweep.results[0].values("messages"), sweep.results[1].values("messages"))
+        assert (first, messages[0]) != (second, messages[1])
+
+
+class TestStrictJsonPersistence:
+    def test_non_finite_floats_become_null(self):
+        payload = to_jsonable(
+            {"nan": float("nan"), "inf": np.float64("inf"), "neg": float("-inf"), "ok": 0.5}
+        )
+        assert payload == {"nan": None, "inf": None, "neg": None, "ok": 0.5}
+
+    def test_saved_files_are_strict_json(self, tmp_path):
+        """A NaN measurement (e.g. "no trial converged") must produce a file
+        any strict parser accepts — no bare NaN tokens."""
+        result = ExperimentResult(name="demo")
+        result.trials.append(TrialResult(0, 1, {"rounds": float("nan"), "ok": True}))
+        path = save_result(result, tmp_path / "nan.json")
+        text = path.read_text()
+        assert "NaN" not in text and "Infinity" not in text
+        loaded = load_result(path)
+        assert loaded.trials[0].measurements["rounds"] is None
+
+    def test_sweep_round_trip(self, tmp_path):
+        sweep = run_sweep(
+            "demo", [{"x": 1}, {"x": 2}], _double_trial, trials_per_point=2, base_seed=3
+        )
+        path = save_sweep(sweep, tmp_path / "sweep.json")
+        loaded = load_sweep(path)
+        assert loaded.name == sweep.name
+        assert [p.as_dict() for p in loaded.points] == [p.as_dict() for p in sweep.points]
+        assert [r.to_dict() for r in loaded.results] == [r.to_dict() for r in sweep.results]
+
+    def test_load_sweep_missing_file_raises(self, tmp_path):
+        with pytest.raises(ExperimentError):
+            load_sweep(tmp_path / "absent.json")
+
+    def test_from_dict_rejects_mismatched_lengths(self):
+        with pytest.raises(ExperimentError):
+            SweepResult.from_dict({"name": "bad", "points": [{"x": 1}], "results": []})

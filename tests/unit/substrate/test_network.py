@@ -191,3 +191,84 @@ class TestDeliverBatchNoiseStreamOrder:
         assert np.array_equal(reference, noisy.bits)
         # And the generators end in the same state (no hidden extra draws).
         assert np.array_equal(rng_clean.integers(0, 1 << 30, 8), rng_noisy.integers(0, 1 << 30, 8))
+
+
+class TestDeliverAllBatch:
+    """The batch-aware multi-accept companion: invariants, marginals and the
+    transmit_batch noise-stream reuse it documents."""
+
+    def test_every_message_delivered_per_replicate(self, perfect):
+        network = PushGossipNetwork(size=12)
+        rng = np.random.default_rng(3)
+        mask = np.zeros((4, 12), dtype=bool)
+        mask[:, :5] = True
+        mask[2, :] = False  # a silent replicate stays silent
+        bits = np.ones((4, 12), dtype=np.int8)
+        report = network.deliver_all_batch(mask, bits, perfect, rng)
+        assert np.array_equal(report.messages_sent, mask.sum(axis=1))
+        assert np.array_equal(report.messages_delivered, report.messages_sent)
+        # Message-aligned arrays cover exactly the senders, replicate-major.
+        rows, cols = np.nonzero(mask)
+        assert np.array_equal(report.replicates, rows)
+        assert np.array_equal(report.senders, cols)
+        assert not np.any(report.recipients == report.senders), "no self-delivery"
+        counts = report.delivery_counts(12)
+        assert np.array_equal(counts.sum(axis=1), report.messages_sent)
+
+    def test_noiseless_bits_pass_through(self, perfect):
+        network = PushGossipNetwork(size=10)
+        rng = np.random.default_rng(5)
+        mask = np.ones((3, 10), dtype=bool)
+        bits = (np.arange(30).reshape(3, 10) % 2).astype(np.int8)
+        report = network.deliver_all_batch(mask, bits, perfect, rng)
+        assert np.array_equal(report.bits, bits[mask])
+
+    def test_noise_stream_reuses_transmit_batch_bit_for_bit(self):
+        """Targets are drawn first, then the noise is literally one
+        transmit_batch call over the sender grid — replayable exactly."""
+        from repro.substrate.noise import BinarySymmetricChannel
+
+        n, R, seed = 30, 5, 99
+        mask = np.random.default_rng(0).random((R, n)) < 0.6
+        bits = np.ones((R, n), dtype=np.int8)
+
+        rng = np.random.default_rng(seed)
+        report = PushGossipNetwork(size=n).deliver_all_batch(
+            mask, bits, BinarySymmetricChannel(epsilon=0.2), rng
+        )
+
+        replay = np.random.default_rng(seed)
+        rows, cols = np.nonzero(mask)
+        draws = replay.integers(0, n - 1, size=rows.size)
+        expected_targets = draws + (draws >= cols)
+        expected_noisy = BinarySymmetricChannel(epsilon=0.2).transmit_batch(bits, mask, replay)
+        assert np.array_equal(report.recipients, expected_targets)
+        assert np.array_equal(report.bits, expected_noisy[mask])
+        assert np.array_equal(rng.integers(0, 1 << 30, 8), replay.integers(0, 1 << 30, 8))
+
+    def test_counters_and_empty_round(self, perfect):
+        network = PushGossipNetwork(size=8)
+        rng = np.random.default_rng(1)
+        report = network.deliver_all_batch(
+            np.zeros((2, 8), dtype=bool), np.zeros((2, 8), dtype=np.int8), perfect, rng
+        )
+        assert report.num_replicates == 2
+        assert report.replicates.size == 0
+        assert network.messages_sent_total == 0
+        assert network.rounds_executed == 1
+
+    def test_validation(self, perfect):
+        network = PushGossipNetwork(size=10)
+        rng = np.random.default_rng(0)
+        with pytest.raises(ProtocolError):
+            network.deliver_all_batch(
+                np.ones(10, dtype=bool), np.ones(10, dtype=np.int8), perfect, rng
+            )
+        with pytest.raises(ProtocolError):
+            network.deliver_all_batch(
+                np.ones((2, 8), dtype=bool), np.ones((2, 8), dtype=np.int8), perfect, rng
+            )
+        with pytest.raises(ProtocolError):
+            network.deliver_all_batch(
+                np.ones((2, 10), dtype=bool), np.full((2, 10), 3, dtype=np.int8), perfect, rng
+            )

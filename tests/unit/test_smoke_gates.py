@@ -1,0 +1,104 @@
+"""Smoke gates: result persistence round-trips and benchmark-script imports.
+
+Two things in this repository rot silently: the JSON persistence layer (a
+measurement nobody serialises in the unit suite can break ``save``/``load``
+without any test noticing) and the ``benchmarks/bench_*.py`` scripts (they
+only execute when someone runs the benchmark harness by hand).  This module
+gates both in the tier-1 suite:
+
+* every persistence entry point (``save_result``/``load_result``/
+  ``save_sweep``/``load_sweep``) must round-trip a freshly produced result,
+  including the awkward values (``NaN`` means, numpy scalars, ``None``
+  never-converged markers);
+* every benchmark script must *import* cleanly — a no-op check that catches
+  renamed driver functions, stale imports and syntax errors without paying
+  for a benchmark run — and define at least one test for the harness.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.experiments import run_trials
+from repro.analysis.resultsio import load_result, load_sweep, save_result, save_sweep
+from repro.analysis.sweeps import run_sweep
+
+BENCHMARKS_DIR = Path(__file__).resolve().parents[2] / "benchmarks"
+BENCHMARK_SCRIPTS = sorted(BENCHMARKS_DIR.glob("bench_*.py"))
+
+
+def _awkward_trial(seed: int, index: int) -> dict:
+    """Measurements exercising every serialisation edge the writers guard."""
+    import numpy as np
+
+    return {
+        "rounds": np.int64(10 + index),
+        "fraction": np.float64(0.5),
+        "ok": np.bool_(True),
+        "rounds_converged": None if index == 0 else 12,
+        "mean_estimate": float("nan") if index == 0 else 1.5,
+    }
+
+
+def _awkward_sweep_trial(point, seed: int, index: int) -> dict:
+    """Sweep-shaped wrapper around :func:`_awkward_trial`."""
+    return _awkward_trial(seed, index)
+
+
+class TestPersistenceSmoke:
+    def test_result_round_trip(self, tmp_path):
+        result = run_trials("smoke", _awkward_trial, num_trials=2, base_seed=3)
+        path = save_result(result, tmp_path / "result.json")
+        # Strict JSON: a parser with no NaN/Infinity extension must accept it.
+        payload = json.loads(path.read_text(), parse_constant=_reject_constant)
+        assert payload["name"] == "smoke"
+        loaded = load_result(path)
+        assert loaded.values("rounds") == result.values("rounds")
+        assert loaded.trials[0].measurements["rounds_converged"] is None
+        assert loaded.trials[0].measurements["mean_estimate"] is None  # NaN -> null
+
+    def test_sweep_round_trip(self, tmp_path):
+        sweep = run_sweep(
+            "smoke", [{"x": 1}, {"x": 2}], _awkward_sweep_trial, trials_per_point=2, base_seed=3
+        )
+        path = save_sweep(sweep, tmp_path / "sweep.json")
+        json.loads(path.read_text(), parse_constant=_reject_constant)
+        loaded = load_sweep(path)
+        assert [p.as_dict() for p in loaded.points] == [p.as_dict() for p in sweep.points]
+        assert [r.name for r in loaded.results] == [r.name for r in sweep.results]
+
+
+class TestBenchmarkScriptsImport:
+    def test_benchmark_scripts_exist(self):
+        assert len(BENCHMARK_SCRIPTS) >= 14, "benchmark suite unexpectedly shrank"
+
+    @pytest.mark.parametrize(
+        "script", BENCHMARK_SCRIPTS, ids=[script.stem for script in BENCHMARK_SCRIPTS]
+    )
+    def test_benchmark_script_imports_and_defines_tests(self, script):
+        """Import the script (module-level code only — no benchmark runs) and
+        check it still offers the harness at least one test function."""
+        module_name = f"_bench_smoke_{script.stem}"
+        spec = importlib.util.spec_from_file_location(module_name, script)
+        module = importlib.util.module_from_spec(spec)
+        try:
+            sys.modules[module_name] = module
+            spec.loader.exec_module(module)
+            test_functions = [
+                name
+                for name in vars(module)
+                if name.startswith("test_") and callable(getattr(module, name))
+            ]
+            assert test_functions, f"{script.name} defines no test_* function"
+        finally:
+            sys.modules.pop(module_name, None)
+
+
+def _reject_constant(name: str):
+    """parse_constant hook: fail on any NaN/Infinity token in saved JSON."""
+    raise AssertionError(f"saved JSON contains a non-strict constant: {name}")
