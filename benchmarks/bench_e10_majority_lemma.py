@@ -1,15 +1,22 @@
 """E10 — the noisy-sampling majority lemma (Lemma 2.11)."""
 
-from repro.experiments import e10_majority_lemma
+from repro.api import run_experiment
 
 
-def test_e10_majority_lemma(benchmark, print_report):
-    report = benchmark.pedantic(
-        e10_majority_lemma.run,
-        kwargs={"epsilon": 0.2, "r0": 8.0, "monte_carlo_reps": 40_000},
+def test_e10_majority_lemma(benchmark, print_report, exec_config):
+    artifact = benchmark.pedantic(
+        run_experiment,
+        args=("E10",),
+        kwargs={
+            "config": exec_config,
+            "epsilon": 0.2,
+            "r0": 8.0,
+            "monte_carlo_reps": 40_000,
+        },
         rounds=1,
         iterations=1,
     )
+    report = artifact.report
     print_report(report)
 
     for row in report.rows:

@@ -1,15 +1,22 @@
 """E11 — lower-bound reference points (Section 1.4)."""
 
-from repro.experiments import e11_lower_bounds
+from repro.api import run_experiment
 
 
-def test_e11_lower_bounds(benchmark, print_report, exec_runner):
-    report = benchmark.pedantic(
-        e11_lower_bounds.run,
-        kwargs={"n": 400, "epsilon": 0.25, "trials": 3, "runner": exec_runner},
+def test_e11_lower_bounds(benchmark, print_report, exec_config):
+    artifact = benchmark.pedantic(
+        run_experiment,
+        args=("E11",),
+        kwargs={
+            "config": exec_config,
+            "n": 400,
+            "epsilon": 0.25,
+            "trials": 3,
+        },
         rounds=1,
         iterations=1,
     )
+    report = artifact.report
     print_report(report)
 
     rows = {row["scheme"]: row for row in report.rows}

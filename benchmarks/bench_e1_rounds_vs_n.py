@@ -1,15 +1,22 @@
 """E1 — broadcast round complexity versus n (Theorem 2.17)."""
 
-from repro.experiments import e1_rounds_vs_n
+from repro.api import run_experiment
 
 
-def test_e1_rounds_vs_n(benchmark, print_report, exec_runner):
-    report = benchmark.pedantic(
-        e1_rounds_vs_n.run,
-        kwargs={"sizes": (250, 500, 1000, 2000, 4000), "epsilon": 0.2, "trials": 5, "runner": exec_runner},
+def test_e1_rounds_vs_n(benchmark, print_report, exec_config):
+    artifact = benchmark.pedantic(
+        run_experiment,
+        args=("E1",),
+        kwargs={
+            "config": exec_config,
+            "sizes": (250, 500, 1000, 2000, 4000),
+            "epsilon": 0.2,
+            "trials": 5,
+        },
         rounds=1,
         iterations=1,
     )
+    report = artifact.report
     print_report(report)
 
     # Theorem 2.17: success w.h.p. at every size, and logarithmic growth in n.

@@ -1,15 +1,22 @@
 """E2 — broadcast round complexity versus epsilon (Theorem 2.17)."""
 
-from repro.experiments import e2_rounds_vs_eps
+from repro.api import run_experiment
 
 
-def test_e2_rounds_vs_eps(benchmark, print_report, exec_runner):
-    report = benchmark.pedantic(
-        e2_rounds_vs_eps.run,
-        kwargs={"epsilons": (0.1, 0.15, 0.2, 0.3, 0.4), "n": 1000, "trials": 5, "runner": exec_runner},
+def test_e2_rounds_vs_eps(benchmark, print_report, exec_config):
+    artifact = benchmark.pedantic(
+        run_experiment,
+        args=("E2",),
+        kwargs={
+            "config": exec_config,
+            "epsilons": (0.1, 0.15, 0.2, 0.3, 0.4),
+            "n": 1000,
+            "trials": 5,
+        },
         rounds=1,
         iterations=1,
     )
+    report = artifact.report
     print_report(report)
 
     # Theorem 2.17: success w.h.p. at every noise level, 1/eps^2 growth.

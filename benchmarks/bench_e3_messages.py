@@ -1,15 +1,22 @@
 """E3 — total message/bit complexity (Theorem 2.17)."""
 
-from repro.experiments import e3_messages
+from repro.api import run_experiment
 
 
-def test_e3_message_complexity(benchmark, print_report, exec_runner):
-    report = benchmark.pedantic(
-        e3_messages.run,
-        kwargs={"sizes": (500, 1000, 2000), "epsilons": (0.15, 0.25), "trials": 3, "runner": exec_runner},
+def test_e3_message_complexity(benchmark, print_report, exec_config):
+    artifact = benchmark.pedantic(
+        run_experiment,
+        args=("E3",),
+        kwargs={
+            "config": exec_config,
+            "sizes": (500, 1000, 2000),
+            "epsilons": (0.15, 0.25),
+            "trials": 3,
+        },
         rounds=1,
         iterations=1,
     )
+    report = artifact.report
     print_report(report)
 
     assert all(row["success_rate"] >= 0.8 for row in report.rows)

@@ -1,15 +1,22 @@
 """E4 — Stage I phase 0: activated set size and bias (Claim 2.2)."""
 
-from repro.experiments import e4_phase0
+from repro.api import run_experiment
 
 
-def test_e4_phase0(benchmark, print_report, exec_runner):
-    report = benchmark.pedantic(
-        e4_phase0.run,
-        kwargs={"n": 4000, "epsilons": (0.1, 0.2, 0.3), "trials": 30, "runner": exec_runner},
+def test_e4_phase0(benchmark, print_report, exec_config):
+    artifact = benchmark.pedantic(
+        run_experiment,
+        args=("E4",),
+        kwargs={
+            "config": exec_config,
+            "n": 4000,
+            "epsilons": (0.1, 0.2, 0.3),
+            "trials": 30,
+        },
         rounds=1,
         iterations=1,
     )
+    report = artifact.report
     print_report(report)
 
     for row in report.rows:

@@ -1,15 +1,23 @@
 """E5 — Stage I layer growth and bias deterioration (Claims 2.4/2.8)."""
 
-from repro.experiments import e5_stage1_growth
+from repro.api import run_experiment
 
 
-def test_e5_stage1_growth(benchmark, print_report, exec_runner):
-    report = benchmark.pedantic(
-        e5_stage1_growth.run,
-        kwargs={"n": 8000, "epsilon": 0.35, "beta_override": 8, "trials": 5, "runner": exec_runner},
+def test_e5_stage1_growth(benchmark, print_report, exec_config):
+    artifact = benchmark.pedantic(
+        run_experiment,
+        args=("E5",),
+        kwargs={
+            "config": exec_config,
+            "n": 8000,
+            "epsilon": 0.35,
+            "beta_override": 8,
+            "trials": 5,
+        },
         rounds=1,
         iterations=1,
     )
+    report = artifact.report
     print_report(report)
 
     # Layer sizes X_i must grow monotonically and end with (nearly) everyone activated.

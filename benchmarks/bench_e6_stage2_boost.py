@@ -1,15 +1,22 @@
 """E6 — Stage II bias boosting (Lemmas 2.11/2.14, Corollary 2.15)."""
 
-from repro.experiments import e6_stage2_boost
+from repro.api import run_experiment
 
 
-def test_e6_stage2_boost(benchmark, print_report, exec_runner):
-    report = benchmark.pedantic(
-        e6_stage2_boost.run,
-        kwargs={"n": 4000, "epsilon": 0.2, "trials": 8, "runner": exec_runner},
+def test_e6_stage2_boost(benchmark, print_report, exec_config):
+    artifact = benchmark.pedantic(
+        run_experiment,
+        args=("E6",),
+        kwargs={
+            "config": exec_config,
+            "n": 4000,
+            "epsilon": 0.2,
+            "trials": 8,
+        },
         rounds=1,
         iterations=1,
     )
+    report = artifact.report
     print_report(report)
 
     # The bias trajectory must be (weakly) increasing until it saturates near 1/2.

@@ -1,15 +1,22 @@
 """E7 — the paper's protocol versus naive baselines (Section 1.6)."""
 
-from repro.experiments import e7_baselines
+from repro.api import run_experiment
 
 
-def test_e7_baselines(benchmark, print_report, exec_runner):
-    report = benchmark.pedantic(
-        e7_baselines.run,
-        kwargs={"n": 2000, "epsilons": (0.1, 0.2), "trials": 3, "runner": exec_runner},
+def test_e7_baselines(benchmark, print_report, exec_config):
+    artifact = benchmark.pedantic(
+        run_experiment,
+        args=("E7",),
+        kwargs={
+            "config": exec_config,
+            "n": 2000,
+            "epsilons": (0.1, 0.2),
+            "trials": 3,
+        },
         rounds=1,
         iterations=1,
     )
+    report = artifact.report
     print_report(report)
 
     by_protocol = {}

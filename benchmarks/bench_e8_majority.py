@@ -1,22 +1,24 @@
 """E8 — majority-consensus feasibility region (Corollary 2.18)."""
 
-from repro.experiments import e8_majority
+from repro.api import run_experiment
 
 
-def test_e8_majority_consensus(benchmark, print_report, exec_runner):
-    report = benchmark.pedantic(
-        e8_majority.run,
+def test_e8_majority_consensus(benchmark, print_report, exec_config):
+    artifact = benchmark.pedantic(
+        run_experiment,
+        args=("E8",),
         kwargs={
+            "config": exec_config,
             "n": 2000,
             "epsilon": 0.2,
             "set_sizes": (50, 200, 800),
             "biases": (0.02, 0.05, 0.1, 0.2, 0.35),
             "trials": 4,
-            "runner": exec_runner,
         },
         rounds=1,
         iterations=1,
     )
+    report = artifact.report
     print_report(report)
 
     above = [row for row in report.rows if row["above_threshold"]]

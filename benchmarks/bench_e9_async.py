@@ -1,15 +1,23 @@
 """E9 — removing the global clock (Theorem 3.1)."""
 
-from repro.experiments import e9_async
+from repro.api import run_experiment
 
 
-def test_e9_clock_removal(benchmark, print_report, exec_runner):
-    report = benchmark.pedantic(
-        e9_async.run,
-        kwargs={"n": 1000, "epsilon": 0.25, "skews": (8, 32, 128), "trials": 3, "runner": exec_runner},
+def test_e9_clock_removal(benchmark, print_report, exec_config):
+    artifact = benchmark.pedantic(
+        run_experiment,
+        args=("E9",),
+        kwargs={
+            "config": exec_config,
+            "n": 1000,
+            "epsilon": 0.25,
+            "skews": (8, 32, 128),
+            "trials": 3,
+        },
         rounds=1,
         iterations=1,
     )
+    report = artifact.report
     print_report(report)
 
     # Correctness is preserved in every variant.

@@ -1,7 +1,8 @@
 """Shared configuration for the benchmark harness.
 
 Each ``bench_e*.py`` file regenerates one experiment of the E1–E11 table in
-``README.md`` by running its driver under ``pytest-benchmark`` (so wall-clock
+``README.md`` by running its driver through the unified experiment API
+(:func:`repro.api.run_experiment`) under ``pytest-benchmark`` (so wall-clock
 cost is recorded) and printing the driver's report table.  Run with::
 
     pytest benchmarks/ --benchmark-only -s
@@ -9,11 +10,12 @@ cost is recorded) and printing the driver's report table.  Run with::
 (``-s`` shows the report tables; omit it if you only want the benchmark
 timings and the pass/fail assertions.)
 
-The drivers execute their Monte-Carlo trials through the trial-execution
-subsystem (:mod:`repro.exec`).  By default trials run serially; set
-``REPRO_BENCH_JOBS`` to fan them out over worker processes (``0`` = one per
-CPU, ``k`` = ``k`` workers) — results are identical either way, only the
-wall-clock changes.  ``benchmarks/bench_exec_speedup.py`` and
+Execution strategy comes from one place: the ``exec_config`` fixture builds
+an :class:`repro.api.ExecutionConfig` from the ``REPRO_BENCH_JOBS``
+environment variable (``0`` = one worker per CPU, ``k`` = ``k`` workers,
+unset = serial) — results are identical either way, only the wall-clock
+changes.  ``benchmarks/bench_exec_speedup.py``,
+``benchmarks/bench_e7_batch_speedup.py`` and
 ``benchmarks/bench_e8_batch_speedup.py`` measure the speedups of the
 parallel, batched and point-parallel paths explicitly and record them as
 JSON under ``benchmarks/results/``.
@@ -23,7 +25,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.exec import runner_from_env
+from repro.api import ExecutionConfig
 
 
 @pytest.fixture
@@ -39,6 +41,6 @@ def print_report():
 
 
 @pytest.fixture
-def exec_runner():
-    """Trial runner shared by every benchmark, configured via ``REPRO_BENCH_JOBS``."""
-    return runner_from_env("REPRO_BENCH_JOBS")
+def exec_config() -> ExecutionConfig:
+    """Execution settings shared by every benchmark, from ``REPRO_BENCH_JOBS``."""
+    return ExecutionConfig.from_env("REPRO_BENCH_JOBS")

@@ -8,6 +8,11 @@ noisy push-gossip substrate.  It then prints the per-stage story: how Stage I
 and how Stage II's repeated noisy majorities boost that weak signal to full
 consensus.
 
+It closes with the unified experiment API (:mod:`repro.api`): the same claim
+as a registered experiment, run through ``run_experiment`` with an
+``ExecutionConfig`` — which is how the E1–E11 drivers, the CLI
+(``repro-flip experiment``) and the benchmarks all execute.
+
 Run with::
 
     python examples/quickstart.py [n] [epsilon]
@@ -19,6 +24,7 @@ import sys
 
 from repro import ProtocolParameters, solve_noisy_broadcast
 from repro.analysis import render_kv, render_table
+from repro.api import ExecutionConfig, run_experiment
 
 
 def main() -> int:
@@ -71,6 +77,24 @@ def main() -> int:
         for phase in result.stage2.phases
     ]
     print(render_table(stage2_rows, title="Stage II: boosting by repeated noisy majorities"))
+    print()
+
+    # The same claim through the unified experiment API: experiment E1 sweeps
+    # n and fits the Theorem 2.17 round bound; the vectorised batch path
+    # simulates all trials of a sweep point at once.
+    artifact = run_experiment(
+        "E1",
+        config=ExecutionConfig(batch=True),
+        sizes=(max(n // 4, 100), max(n // 2, 200), n),
+        epsilon=epsilon,
+        trials=3,
+    )
+    print(artifact.report.render())
+    print()
+    print(
+        f"(unified API: repro.api.run_experiment ran spec {artifact.spec_id} "
+        f"in {artifact.wall_time_seconds:.2f}s; save_run(artifact, DIR) persists it)"
+    )
     return 0 if result.success else 1
 
 

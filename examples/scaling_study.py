@@ -1,77 +1,66 @@
 #!/usr/bin/env python
 """Scenario: verifying the O(log n / eps^2) scaling on your own machine.
 
-This example is a condensed version of experiments E1/E2: it sweeps the
-population size at fixed noise and the noise at fixed population size, fits
-the measured round counts against the theoretical shapes, and prints both the
-raw numbers and the fits.  It is the quickest way to see Theorem 2.17's
-scaling with your own eyes (and to check how long larger runs would take on
-your hardware before launching the full benchmark suite).
+This example runs experiments E1 and E2 — round complexity versus population
+size and versus noise margin — through the unified experiment API
+(:func:`repro.api.run_experiment`): one call per experiment, execution
+strategy in an :class:`repro.api.ExecutionConfig` (the vectorised batch path
+here; pass ``jobs=`` to fan sweep points over worker processes), parameter
+overrides as keyword arguments.  Each run comes back as a
+:class:`repro.api.RunArtifact` whose report embeds the Theorem 2.17 scaling
+fits; the artifacts are saved to a directory and reloaded to show the
+round-trip every recorded number supports.
+
+It is the quickest way to see Theorem 2.17's scaling with your own eyes (and
+to check how long larger runs would take on your hardware before launching
+the full benchmark suite).
 
 Run with::
 
-    python examples/scaling_study.py
+    python examples/scaling_study.py [artifact_dir]
 """
 
 from __future__ import annotations
 
-import math
-import time
+import sys
+import tempfile
+from pathlib import Path
 
-from repro import solve_noisy_broadcast
-from repro.analysis import fit_inverse_square_epsilon, fit_log_n_scaling, render_table
-
-
-def sweep_population_sizes() -> None:
-    epsilon = 0.25
-    rows = []
-    sizes = (250, 500, 1000, 2000, 4000)
-    mean_rounds = []
-    for n in sizes:
-        start = time.perf_counter()
-        result = solve_noisy_broadcast(n=n, epsilon=epsilon, seed=97)
-        elapsed = time.perf_counter() - start
-        mean_rounds.append(result.rounds)
-        rows.append(
-            {
-                "n": n,
-                "rounds": result.rounds,
-                "rounds / ln n": result.rounds / math.log(n),
-                "messages": result.messages_sent,
-                "all correct": result.success,
-                "wall time (s)": round(elapsed, 2),
-            }
-        )
-    fit = fit_log_n_scaling(list(sizes), mean_rounds)
-    print(render_table(rows, title=f"Rounds versus n at eps = {epsilon}"))
-    print(f"\nfit: rounds ~ {fit.slope:.1f} * ln(n) + {fit.intercept:.1f}   (R^2 = {fit.r_squared:.3f})\n")
-
-
-def sweep_noise_levels() -> None:
-    n = 1000
-    rows = []
-    epsilons = (0.1, 0.15, 0.2, 0.3, 0.4)
-    mean_rounds = []
-    for epsilon in epsilons:
-        result = solve_noisy_broadcast(n=n, epsilon=epsilon, seed=98)
-        mean_rounds.append(result.rounds)
-        rows.append(
-            {
-                "epsilon": epsilon,
-                "flip probability": round(0.5 - epsilon, 2),
-                "rounds": result.rounds,
-                "rounds * eps^2": result.rounds * epsilon**2,
-                "all correct": result.success,
-            }
-        )
-    fit = fit_inverse_square_epsilon(list(epsilons), mean_rounds)
-    print(render_table(rows, title=f"Rounds versus epsilon at n = {n}"))
-    print(f"\nfit: rounds ~ {fit.slope:.2f} / eps^2 + {fit.intercept:.1f}   (R^2 = {fit.r_squared:.3f})")
+from repro.api import ExecutionConfig, load_run, run_experiment, save_run
 
 
 def main() -> int:
-    sweep_population_sizes()
-    sweep_noise_levels()
+    artifact_root = Path(sys.argv[1]) if len(sys.argv) > 1 else Path(tempfile.mkdtemp(prefix="repro-scaling-"))
+    config = ExecutionConfig(batch=True)  # vectorised trials; add jobs=0 for all CPUs
+
+    study = {
+        "e1-rounds-vs-n": run_experiment(
+            "E1",
+            config=config,
+            sizes=(250, 500, 1000, 2000, 4000),
+            epsilon=0.25,
+            trials=3,
+        ),
+        "e2-rounds-vs-eps": run_experiment(
+            "E2",
+            config=config,
+            epsilons=(0.1, 0.15, 0.2, 0.3, 0.4),
+            n=1000,
+            trials=3,
+        ),
+    }
+
+    for name, artifact in study.items():
+        print(artifact.report.render())
+        print()
+        destination = save_run(artifact, artifact_root / name)
+        reloaded = load_run(destination)
+        assert reloaded.report.render() == artifact.report.render(), "artifact round-trip changed the table"
+        print(
+            f"({artifact.spec_id} took {artifact.wall_time_seconds:.2f}s; "
+            f"artifact saved to {destination} and reloaded identically)"
+        )
+        print()
     return 0
 
 

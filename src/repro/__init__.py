@@ -13,6 +13,11 @@ Quickstart
 >>> result.success
 True
 
+The registered experiments (E1–E11) run through the unified API in
+:mod:`repro.api`: ``run_experiment("E1", config=ExecutionConfig(batch=True))``
+returns a run artifact whose report, resolved settings and provenance can be
+persisted with ``save_run`` and reloaded with ``load_run``.
+
 See ``README.md`` for the experiment index (E1–E11) and
 ``docs/ARCHITECTURE.md`` for the architecture overview.
 """

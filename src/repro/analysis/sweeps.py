@@ -89,11 +89,23 @@ class SweepResult:
         """Extract ``(parameter values, success rates)`` across the sweep."""
         return self._extract(parameter, lambda result: result.rate(flag))
 
+    def point_names(self) -> List[str]:
+        """Collision-free per-point experiment names (the canonical naming).
+
+        Delegates to :func:`sweep_point_names` — the single point-naming
+        rule shared by the serial, point-parallel and batched sweep paths —
+        so consumers (run-artifact manifests, persistence payloads) never
+        re-derive names from the ambiguous :meth:`SweepPoint.label`, which
+        collides on duplicate grid points.
+        """
+        return sweep_point_names(self.name, self.points)
+
     def to_dict(self) -> Dict[str, Any]:
         """JSON-serialisable representation."""
         return {
             "name": self.name,
             "points": [point.as_dict() for point in self.points],
+            "point_names": self.point_names(),
             "results": [result.to_dict() for result in self.results],
         }
 
@@ -106,7 +118,14 @@ class SweepResult:
             raise ExperimentError(
                 f"sweep payload has {len(points)} points but {len(results)} results"
             )
-        return cls(name=str(payload["name"]), points=points, results=results)
+        sweep = cls(name=str(payload["name"]), points=points, results=results)
+        recorded = payload.get("point_names")
+        if recorded is not None and list(recorded) != sweep.point_names():
+            raise ExperimentError(
+                f"sweep payload {sweep.name!r} records point names {list(recorded)!r} "
+                f"but the canonical naming derives {sweep.point_names()!r}"
+            )
+        return sweep
 
 
 def sweep_point_names(name: str, points: Sequence[SweepPoint]) -> List[str]:

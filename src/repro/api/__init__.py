@@ -1,0 +1,66 @@
+"""repro.api — the unified experiment front door.
+
+This package is the declarative entry point to the reproduction's
+experiments (the E1–E11 table in ``README.md``):
+
+* :mod:`repro.api.spec` — the :class:`ExperimentSpec` registry: id, title,
+  paper claim, capability flags (``supports_batch`` /
+  ``supports_point_jobs`` / ``supports_runner``) and declared parameters
+  with defaults, replacing signature introspection everywhere;
+* :mod:`repro.api.config` — the frozen :class:`ExecutionConfig` (jobs,
+  batch, seed/trial overrides) that resolves itself into a runner +
+  batching :class:`ExecutionPlan` exactly once, validated against the spec
+  flags;
+* :mod:`repro.api.run` — :func:`run_experiment`, the single programmatic
+  entry point, returning a :class:`~repro.analysis.resultsio.RunArtifact`
+  that :func:`~repro.analysis.resultsio.save_run` /
+  :func:`~repro.analysis.resultsio.load_run` persist as a per-run directory
+  (manifest + report + raw payloads).
+
+Typical use::
+
+    from repro.api import ExecutionConfig, run_experiment, save_run
+
+    artifact = run_experiment("E8", config=ExecutionConfig(jobs=0, batch=True))
+    print(artifact.report.render())
+    save_run(artifact, "runs/e8-batched")
+
+The canonical sweep point-naming helper
+(:func:`~repro.analysis.sweeps.sweep_point_names`) is re-exported here: it
+is the one rule that disambiguates duplicate grid points, shared by every
+sweep execution path and by the artifact manifests.
+"""
+
+from __future__ import annotations
+
+from ..analysis.resultsio import RunArtifact, load_run, save_run
+from ..analysis.sweeps import sweep_point_names
+from .config import ExecutionConfig, ExecutionPlan, resolve_run_options
+from .run import run_experiment
+from .spec import (
+    REGISTRY,
+    ExperimentSpec,
+    ParameterSpec,
+    batchable_experiment_ids,
+    experiment_ids,
+    get_spec,
+    iter_specs,
+)
+
+__all__ = [
+    "ExperimentSpec",
+    "ParameterSpec",
+    "REGISTRY",
+    "get_spec",
+    "iter_specs",
+    "experiment_ids",
+    "batchable_experiment_ids",
+    "ExecutionConfig",
+    "ExecutionPlan",
+    "resolve_run_options",
+    "run_experiment",
+    "RunArtifact",
+    "save_run",
+    "load_run",
+    "sweep_point_names",
+]

@@ -1,0 +1,229 @@
+"""Execution settings: a frozen :class:`ExecutionConfig` resolved exactly once.
+
+An :class:`ExecutionConfig` captures *how* an experiment should execute —
+worker count, batch mode, seed and trial-count overrides — independently of
+*which* experiment runs.  Calling :meth:`ExecutionConfig.resolve` against an
+:class:`~repro.api.spec.ExperimentSpec` turns it into an
+:class:`ExecutionPlan`: the runner instance, batch flag and point-parallel
+worker count the driver will actually use, validated against the spec's
+capability flags.  This is the one place execution concerns are mapped onto
+driver keyword arguments; the CLI, :func:`repro.api.run_experiment` and the
+benchmark helpers all resolve through it, so a capability error (``--batch``
+on a driver without a batch path) carries the same message everywhere and
+can never drift from the registry.
+
+:func:`resolve_run_options` is the shim the experiment drivers call at the
+top of ``run``: it accepts either the new ``config=`` object (an
+:class:`ExecutionConfig`, or an already-resolved :class:`ExecutionPlan` so
+the resolution genuinely happens once per run) or the legacy ``runner=`` /
+``batch=`` / ``point_jobs=`` keyword arguments, which keep working
+bit-identically but emit a single :class:`DeprecationWarning`.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple, Union
+
+from ..errors import ExperimentError
+from .spec import ExperimentSpec, batchable_experiment_ids, get_spec
+
+if TYPE_CHECKING:  # pragma: no cover - avoids importing the exec layer eagerly
+    from ..exec.runner import TrialRunner
+
+__all__ = ["ExecutionConfig", "ExecutionPlan", "resolve_run_options"]
+
+
+@dataclass(frozen=True)
+class ExecutionConfig:
+    """Frozen, experiment-agnostic execution settings.
+
+    Attributes
+    ----------
+    jobs:
+        Worker-process count with the CLI's ``--jobs`` convention: ``None``
+        (default) = serial, ``0`` = one worker per CPU, ``k`` = ``k``
+        workers.  On the batch path this becomes point parallelism.
+    batch:
+        Use the vectorised batch simulators instead of one engine per trial.
+    base_seed:
+        Override the driver's default root seed (``None`` = keep default).
+    trials:
+        Override the driver's default trial count (``None`` = keep default).
+    """
+
+    jobs: Optional[int] = None
+    batch: bool = False
+    base_seed: Optional[int] = None
+    trials: Optional[int] = None
+
+    @classmethod
+    def from_env(cls, variable: str = "REPRO_JOBS", *, batch: bool = False) -> "ExecutionConfig":
+        """Build a config from an environment variable holding ``--jobs``.
+
+        The single place ``REPRO_BENCH_JOBS``-style knobs are interpreted:
+        unset/empty → serial, ``0`` → one worker per CPU, ``k`` → ``k``
+        workers (exactly the CLI's ``--jobs`` convention).
+        """
+        raw = os.environ.get(variable, "").strip()
+        return cls(jobs=int(raw) if raw else None, batch=batch)
+
+    def resolve(self, spec_or_id: Union[str, ExperimentSpec]) -> "ExecutionPlan":
+        """Resolve into the runner + batching plan for one experiment.
+
+        Validation is driven entirely by the spec's capability flags:
+
+        * ``batch=True`` against a spec without a batch path raises
+          :class:`~repro.errors.ExperimentError` naming the batchable ids;
+        * ``trials`` / ``base_seed`` overrides against a spec that does not
+          declare those parameters raise likewise (E10 counts repetitions
+          with ``monte_carlo_reps``);
+        * ``jobs`` on an experiment that cannot use them resolves to an
+          inert plan carrying an explanatory note (surfaced by the CLI)
+          instead of silently implying parallelism.
+        """
+        from ..exec import resolve_runner
+
+        spec = get_spec(spec_or_id)
+        if self.jobs is not None and self.jobs < 0:
+            raise ExperimentError(
+                f"jobs must be non-negative (0 = one worker per CPU), got {self.jobs}"
+            )
+        if self.batch and not spec.supports_batch:
+            raise ExperimentError(
+                f"{spec.experiment_id} has no vectorised batch path; --batch supports the "
+                f"batchable experiments ({batchable_experiment_ids()})"
+            )
+        for name, value in (("trials", self.trials), ("base_seed", self.base_seed)):
+            if value is not None and name not in spec.parameter_names:
+                raise ExperimentError(
+                    f"{spec.experiment_id} has no {name!r} parameter to override; "
+                    f"settable parameters are: {', '.join(spec.parameter_names)}"
+                )
+
+        runner: Optional["TrialRunner"] = None
+        point_jobs: Optional[int] = None
+        notes: List[str] = []
+        if self.jobs is not None:
+            if self.batch:
+                if spec.supports_point_jobs:
+                    point_jobs = self.jobs
+                else:
+                    notes.append(
+                        f"{spec.experiment_id} --batch vectorises its whole Monte-Carlo "
+                        "in-process; --jobs has no effect"
+                    )
+            elif spec.supports_runner:
+                runner = resolve_runner(self.jobs)
+            else:
+                notes.append(
+                    f"{spec.experiment_id} vectorises its Monte-Carlo in-process rather than "
+                    "running per-trial simulations; --jobs has no effect"
+                )
+
+        return ExecutionPlan(
+            spec=spec,
+            jobs=self.jobs,
+            batch=self.batch,
+            runner=runner,
+            point_jobs=point_jobs,
+            trials=self.trials,
+            base_seed=self.base_seed,
+            notes=tuple(notes),
+        )
+
+
+@dataclass(frozen=True)
+class ExecutionPlan:
+    """A resolved execution strategy for one specific experiment.
+
+    Produced by :meth:`ExecutionConfig.resolve` (or by the legacy-kwarg shim
+    in :func:`resolve_run_options`); drivers read the ``runner`` / ``batch``
+    / ``point_jobs`` triple from it and apply the ``trials`` / ``base_seed``
+    overrides, so the mapping from settings to behaviour lives here once.
+    """
+
+    spec: ExperimentSpec
+    jobs: Optional[int] = None
+    batch: bool = False
+    runner: Optional["TrialRunner"] = None
+    point_jobs: Optional[int] = None
+    trials: Optional[int] = None
+    base_seed: Optional[int] = None
+    notes: Tuple[str, ...] = field(default_factory=tuple)
+
+    def describe(self) -> Dict[str, Any]:
+        """JSON-friendly summary of the plan (stored in run manifests)."""
+        if self.runner is None:
+            runner_label = "batch" if self.batch else "serial"
+        else:
+            runner_label = type(self.runner).__name__
+        return {
+            "jobs": self.jobs,
+            "batch": self.batch,
+            "runner": runner_label,
+            "point_jobs": self.point_jobs,
+            "trials": self.trials,
+            "base_seed": self.base_seed,
+            "notes": list(self.notes),
+        }
+
+
+def resolve_run_options(
+    experiment_id: str,
+    *,
+    config: Optional[Union[ExecutionConfig, ExecutionPlan]] = None,
+    runner: Optional["TrialRunner"] = None,
+    batch: bool = False,
+    point_jobs: Optional[int] = None,
+) -> ExecutionPlan:
+    """Resolve a driver's execution arguments into one :class:`ExecutionPlan`.
+
+    Called at the top of every driver ``run``.  Exactly one of the two
+    styles may be used:
+
+    * ``config=`` — an :class:`ExecutionConfig` (resolved here against the
+      registry spec) or an already-resolved :class:`ExecutionPlan` (passed
+      through, so :func:`repro.api.run_experiment` resolves exactly once);
+    * the legacy ``runner=`` / ``batch=`` / ``point_jobs=`` keywords — kept
+      bit-identical for backwards compatibility, but any use emits a single
+      :class:`DeprecationWarning` pointing at the unified API.
+    """
+    legacy = runner is not None or bool(batch) or point_jobs is not None
+    if config is not None:
+        if legacy:
+            raise ExperimentError(
+                f"{experiment_id}.run() received both config= and legacy execution "
+                "kwargs (runner=/batch=/point_jobs=); pass one or the other"
+            )
+        if isinstance(config, ExecutionPlan):
+            plan = config
+        elif isinstance(config, ExecutionConfig):
+            plan = config.resolve(experiment_id)
+        else:
+            raise ExperimentError(
+                f"config must be an ExecutionConfig or ExecutionPlan, "
+                f"got {type(config).__name__}"
+            )
+        if plan.spec.experiment_id != experiment_id:
+            raise ExperimentError(
+                f"execution plan was resolved for {plan.spec.experiment_id}, "
+                f"not {experiment_id}"
+            )
+        return plan
+
+    if legacy:
+        warnings.warn(
+            f"passing runner=/batch=/point_jobs= directly to {experiment_id}.run() is "
+            "deprecated; use repro.api.run_experiment with an ExecutionConfig",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+    return ExecutionPlan(
+        spec=get_spec(experiment_id),
+        batch=bool(batch),
+        runner=runner,
+        point_jobs=point_jobs,
+    )

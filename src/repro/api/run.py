@@ -1,0 +1,96 @@
+"""The single programmatic entry point: :func:`run_experiment`.
+
+``run_experiment("E8", config=ExecutionConfig(jobs=0, batch=True),
+set_sizes=(50, 200))`` resolves the experiment spec from the registry,
+resolves the execution settings into a plan exactly once, validates the
+parameter overrides against the spec's declared parameters, invokes the
+driver, and wraps the outcome in a
+:class:`~repro.analysis.resultsio.RunArtifact` carrying the fully resolved
+inputs (parameters + execution plan), the report, the package version and
+the wall time — everything :func:`repro.analysis.resultsio.save_run` needs
+to persist a reproducible record of the run.
+
+The CLI (``repro-flip experiment``), the benchmark scripts and the examples
+all call this function; per-driver ``run(...)`` signatures remain available
+but are a deprecation-shimmed compatibility path (see
+:func:`repro.api.config.resolve_run_options`).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Optional, Union
+
+from ..analysis.resultsio import RunArtifact
+from ..errors import ExperimentError
+from .config import ExecutionConfig, ExecutionPlan, resolve_run_options
+from .spec import ExperimentSpec, get_spec
+
+__all__ = ["run_experiment"]
+
+
+def run_experiment(
+    spec_or_id: Union[str, ExperimentSpec],
+    *,
+    config: Optional[Union[ExecutionConfig, ExecutionPlan]] = None,
+    **param_overrides: Any,
+) -> RunArtifact:
+    """Run one experiment through the unified API and return its artifact.
+
+    Parameters
+    ----------
+    spec_or_id:
+        An experiment id (``"E1"``..``"E11"``) or an
+        :class:`~repro.api.spec.ExperimentSpec` from the registry.
+    config:
+        Execution settings; ``None`` means the serial defaults.  An
+        :class:`~repro.api.config.ExecutionConfig` is resolved into a
+        runner + batching plan exactly once, here, and the resolved plan is
+        handed to the driver; an already-resolved
+        :class:`~repro.api.config.ExecutionPlan` for the same experiment is
+        accepted as-is.
+    param_overrides:
+        Overrides for the spec's declared parameters (e.g. ``epsilon=0.3``,
+        ``sizes=(250, 500)``).  Unknown names raise
+        :class:`~repro.errors.ExperimentError` listing the valid ones.
+
+    Returns
+    -------
+    RunArtifact
+        The report plus the fully resolved parameters, execution summary,
+        package version and wall time (persist with
+        :func:`repro.analysis.resultsio.save_run`).
+    """
+    # Imported lazily: repro/__init__ does not pull in the api package, so
+    # the version attribute is always available by the time a run starts.
+    from .. import __version__
+
+    spec = get_spec(spec_or_id)
+    plan = resolve_run_options(spec.experiment_id, config=config or ExecutionConfig())
+    spec.validate_overrides(param_overrides)
+    for name in ("trials", "base_seed"):
+        if name in param_overrides and getattr(plan, name) is not None:
+            raise ExperimentError(
+                f"{name} was set both as a parameter override and on the ExecutionConfig; "
+                "pass it once"
+            )
+
+    parameters = spec.defaults()
+    parameters.update(param_overrides)
+    if plan.trials is not None:
+        parameters["trials"] = plan.trials
+    if plan.base_seed is not None:
+        parameters["base_seed"] = plan.base_seed
+
+    started = time.perf_counter()
+    report = spec.driver().run(config=plan, **param_overrides)
+    wall_time = time.perf_counter() - started
+
+    return RunArtifact(
+        spec_id=spec.experiment_id,
+        parameters=parameters,
+        execution=plan.describe(),
+        report=report,
+        version=__version__,
+        wall_time_seconds=wall_time,
+    )

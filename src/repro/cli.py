@@ -7,44 +7,35 @@ Installed as ``repro-flip``.  Three subcommands cover the common workflows:
 * ``repro-flip majority --n 2000 --epsilon 0.2 --set-size 300 --bias 0.1`` —
   run the noisy majority-consensus protocol once;
 * ``repro-flip experiment E1 --jobs 4`` — run one of the experiment drivers
-  (the E1–E11 table in ``README.md``) with its default settings and print
-  its report; ``--jobs`` runs the Monte-Carlo trials across worker
-  processes and ``--batch`` uses the vectorised batch simulators for the
-  batchable experiments (E1–E3 broadcast-shaped, E7's baseline-protocol
-  family, E8 majority-consensus, E10's sampling grid).  ``--jobs`` composes
-  with ``--batch``: independent sweep points then execute concurrently
-  while each point stays vectorised (see :mod:`repro.exec`).
+  (the E1–E11 table in ``README.md``) and print its report.
+
+The ``experiment`` subcommand is a thin shell over the unified experiment
+API (:mod:`repro.api`): the experiment registry supplies the valid ids,
+capability help/error text (``--batch`` support comes from
+:attr:`~repro.api.spec.ExperimentSpec.supports_batch` flags, never from
+signature introspection) and the parameter names ``--set key=value`` may
+override; :class:`~repro.api.config.ExecutionConfig` resolves ``--jobs`` /
+``--batch`` / ``--trials`` / ``--seed`` into an execution plan; and
+``--save DIR`` persists the returned
+:class:`~repro.analysis.resultsio.RunArtifact` (manifest + report payload)
+for later reloading with :func:`~repro.analysis.resultsio.load_run`.
 """
 
 from __future__ import annotations
 
 import argparse
-import inspect
+import ast
 import sys
-from typing import Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 from .analysis.tables import render_kv
+from .api import ExecutionConfig, batchable_experiment_ids, experiment_ids, get_spec, run_experiment, save_run
 from .core.broadcast import solve_noisy_broadcast
 from .core.majority import solve_noisy_majority_consensus
 from .core.synchronizer import run_clock_free_broadcast
-from .exec import resolve_runner
-from .experiments import DRIVERS
+from .errors import ExperimentError
 
 __all__ = ["build_parser", "main"]
-
-
-def _batchable_experiment_ids() -> str:
-    """Comma-separated ids of the drivers whose ``run`` accepts ``batch=``.
-
-    Derived from the driver signatures (the same introspection
-    ``_run_experiment`` dispatches on), so help and error text can never
-    drift from what ``--batch`` actually supports.
-    """
-    return ", ".join(
-        experiment_id
-        for experiment_id in sorted(DRIVERS, key=lambda key: int(key[1:]))
-        if "batch" in inspect.signature(DRIVERS[experiment_id].run).parameters
-    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -71,7 +62,7 @@ def build_parser() -> argparse.ArgumentParser:
     majority.add_argument("--bias", type=float, default=0.1, help="majority-bias of the initial set")
 
     experiment = subparsers.add_parser("experiment", help="run an experiment driver (E1..E11)")
-    experiment.add_argument("experiment_id", choices=sorted(DRIVERS, key=lambda key: int(key[1:])))
+    experiment.add_argument("experiment_id", choices=experiment_ids())
     experiment.add_argument(
         "--jobs",
         type=int,
@@ -84,12 +75,45 @@ def build_parser() -> argparse.ArgumentParser:
         "--batch",
         action="store_true",
         help="simulate all trials of each sweep point at once with the vectorised batch path "
-        f"({_batchable_experiment_ids()}; deterministic per base seed, but drawn from a "
+        f"({batchable_experiment_ids()}; deterministic per base seed, but drawn from a "
         "batch-level random stream instead of per-trial streams); combine with --jobs to "
         "additionally run independent sweep points across worker processes",
     )
+    experiment.add_argument(
+        "--trials",
+        type=int,
+        default=None,
+        metavar="N",
+        help="override the experiment's default Monte-Carlo trial count",
+    )
+    experiment.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        metavar="N",
+        help="override the experiment's default root random seed",
+    )
+    experiment.add_argument(
+        "--set",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        dest="overrides",
+        help="override one declared experiment parameter (repeatable); values are parsed as "
+        "Python literals where possible, e.g. --set epsilon=0.3 --set 'sizes=(250, 500)'; "
+        "run list-experiments to see each experiment's parameters",
+    )
+    experiment.add_argument(
+        "--save",
+        metavar="DIR",
+        default=None,
+        help="write the run artifact (manifest + report payload) to this directory; "
+        "reload it with repro.api.load_run",
+    )
 
-    subparsers.add_parser("list-experiments", help="list available experiment drivers")
+    subparsers.add_parser(
+        "list-experiments", help="list the registered experiment drivers and their parameters"
+    )
     return parser
 
 
@@ -141,42 +165,67 @@ def _run_majority(args: argparse.Namespace) -> int:
     return 0 if result.success else 1
 
 
+def _parse_overrides(
+    raw_overrides: Sequence[str], parser: argparse.ArgumentParser
+) -> Dict[str, Any]:
+    """Parse repeated ``--set key=value`` flags into parameter overrides.
+
+    Values are parsed as Python literals (numbers, tuples, lists, booleans,
+    ``None``, quoted strings); anything that is not a literal stays a plain
+    string.  Whether a key is a valid parameter of the chosen experiment is
+    validated by :func:`repro.api.run_experiment` against the registry.
+    """
+    overrides: Dict[str, Any] = {}
+    for raw in raw_overrides:
+        key, separator, value = raw.partition("=")
+        key = key.strip()
+        if not separator or not key:
+            parser.error(f"--set expects KEY=VALUE, got {raw!r}")
+        try:
+            overrides[key] = ast.literal_eval(value.strip())
+        except (ValueError, SyntaxError):
+            overrides[key] = value.strip()
+    return overrides
+
+
 def _run_experiment(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
-    """Run one experiment driver with the requested execution strategy."""
-    driver = DRIVERS[args.experiment_id]
-    accepted = inspect.signature(driver.run).parameters
-    kwargs = {}
-    if args.batch and "batch" not in accepted:
-        parser.error(
-            f"{args.experiment_id} has no vectorised batch path; --batch supports the "
-            f"batchable experiments ({_batchable_experiment_ids()})"
+    """Run one experiment through :func:`repro.api.run_experiment`."""
+    config = ExecutionConfig(
+        jobs=args.jobs, batch=args.batch, trials=args.trials, base_seed=args.seed
+    )
+    overrides = _parse_overrides(args.overrides, parser)
+    try:
+        # Validate override names up front: run_experiment would reject them
+        # too, but a reserved name like ``config`` must produce the same
+        # "settable parameters" message instead of a keyword collision.
+        get_spec(args.experiment_id).validate_overrides(overrides)
+        artifact = run_experiment(args.experiment_id, config=config, **overrides)
+    except ExperimentError as error:
+        parser.error(str(error))
+    for note in artifact.execution.get("notes", []):
+        print(f"note: {note}", file=sys.stderr)
+    print(artifact.report.render())
+    if args.save is not None:
+        destination = save_run(artifact, args.save)
+        print(f"run artifact saved to {destination}", file=sys.stderr)
+    return 0
+
+
+def _list_experiments() -> int:
+    """Print the registry: one line per experiment, parameters indented."""
+    for experiment_id in experiment_ids():
+        spec = get_spec(experiment_id)
+        capabilities: List[str] = []
+        if spec.supports_batch:
+            capabilities.append("--batch")
+        if spec.supports_runner or spec.supports_point_jobs:
+            capabilities.append("--jobs")
+        suffix = f"  [{' '.join(capabilities)}]" if capabilities else ""
+        print(f"{experiment_id}: {spec.title}{suffix}")
+        settable = ", ".join(
+            f"{parameter.name}={parameter.default!r}" for parameter in spec.parameters
         )
-    if args.jobs is not None:
-        if args.jobs < 0:
-            parser.error(f"--jobs must be non-negative (0 = one worker per CPU), got {args.jobs}")
-        if args.batch:
-            # The batch path is vectorised within a sweep point; --jobs
-            # composes with it by running independent points concurrently.
-            if "point_jobs" in accepted:
-                kwargs["point_jobs"] = args.jobs
-            else:
-                print(
-                    f"note: {args.experiment_id} --batch vectorises its whole Monte-Carlo "
-                    "in-process; --jobs has no effect",
-                    file=sys.stderr,
-                )
-        elif "runner" not in accepted:
-            print(
-                f"note: {args.experiment_id} vectorises its Monte-Carlo in-process rather than "
-                "running per-trial simulations; --jobs has no effect",
-                file=sys.stderr,
-            )
-        else:
-            kwargs["runner"] = resolve_runner(args.jobs)
-    if args.batch:
-        kwargs["batch"] = True
-    report = driver.run(**kwargs)
-    print(report.render())
+        print(f"    parameters: {settable}")
     return 0
 
 
@@ -192,10 +241,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.command == "experiment":
         return _run_experiment(args, parser)
     if args.command == "list-experiments":
-        for experiment_id in sorted(DRIVERS, key=lambda key: int(key[1:])):
-            driver = DRIVERS[experiment_id]
-            print(f"{experiment_id}: {driver.__doc__.strip().splitlines()[0]}")
-        return 0
+        return _list_experiments()
     parser.error(f"unknown command {args.command!r}")
     return 2
 

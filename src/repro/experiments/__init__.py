@@ -1,9 +1,15 @@
 """Experiment drivers — one module per reproduced claim (the E1–E11 table in README.md).
 
 Each driver exposes a ``run(...)`` function returning an
-:class:`~repro.experiments.report.ExperimentReport`; the benchmark files in
-``benchmarks/`` call these drivers and print the rendered reports;
-``benchmarks/results/`` records representative outputs.
+:class:`~repro.experiments.report.ExperimentReport`.  The preferred way to
+invoke them is the unified API (:func:`repro.api.run_experiment` with an
+:class:`~repro.api.config.ExecutionConfig`), which resolves capabilities and
+defaults from the declarative registry in :mod:`repro.api.spec`; the
+per-driver ``run`` keyword arguments ``runner=`` / ``batch=`` /
+``point_jobs=`` remain as a deprecation-shimmed compatibility path.  The
+benchmark files in ``benchmarks/`` run the drivers through the unified API
+and print the rendered reports; ``benchmarks/results/`` records
+representative outputs.
 """
 
 from . import (
@@ -36,7 +42,10 @@ __all__ = [
     "e11_lower_bounds",
 ]
 
-#: Mapping from experiment id to its driver module (used by the CLI).
+#: Mapping from experiment id to its driver module.  Legacy alias: the
+#: declarative registry (:data:`repro.api.spec.REGISTRY`) is the canonical
+#: index — it additionally carries titles, claims, capability flags and
+#: parameter defaults — and a test pins the two against each other.
 DRIVERS = {
     "E1": e1_rounds_vs_n,
     "E2": e2_rounds_vs_eps,

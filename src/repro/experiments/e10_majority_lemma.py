@@ -23,10 +23,11 @@ count already satisfies the bound.
 from __future__ import annotations
 
 import math
-from typing import Sequence
+from typing import Optional, Sequence, Union
 
 import numpy as np
 
+from ..api.config import ExecutionConfig, ExecutionPlan, resolve_run_options
 from ..core.opinions import correct_probability_after_noise
 from ..core.theory import exact_majority_success_probability, sample_majority_success_lower_bound
 from ..substrate.rng import spawn_generator
@@ -44,24 +45,30 @@ def run(
     monte_carlo_reps: int = 40_000,
     base_seed: int = 1010,
     batch: bool = False,
+    config: Optional[Union[ExecutionConfig, ExecutionPlan]] = None,
 ) -> ExperimentReport:
     """Run the E10 sampling experiment and return its report.
 
-    ``batch=True`` draws the Monte-Carlo sample counts for *all* deltas as a
-    single ``(len(deltas), monte_carlo_reps)`` binomial grid instead of one
-    vector per delta — deterministic per ``base_seed`` and statistically
-    equivalent to the per-delta loop, but drawn from a single batch-level
-    stream (the same trade the ``--batch`` simulators make).
+    ``config`` carries the execution strategy (the ``batch`` keyword is the
+    deprecation-shimmed legacy path).  ``batch=True`` draws the Monte-Carlo
+    sample counts for *all* deltas as a single
+    ``(len(deltas), monte_carlo_reps)`` binomial grid instead of one vector
+    per delta — deterministic per ``base_seed`` and statistically equivalent
+    to the per-delta loop, but drawn from a single batch-level stream (the
+    same trade the ``--batch`` simulators make).
     """
+    plan = resolve_run_options("E10", config=config, batch=batch)
+    batch = plan.batch
+    base_seed = plan.base_seed if plan.base_seed is not None else base_seed
     deltas = list(deltas)  # iterated twice below; a one-shot iterable must not go empty
     r = int(math.ceil(r0 / (epsilon * epsilon)))
     gamma = 2 * r + 1
     rng = spawn_generator(base_seed, "e10", epsilon, gamma)
 
     report = ExperimentReport(
-        experiment_id="E10",
-        title="Majority of gamma noisy samples from a delta-biased population",
-        claim="Lemma 2.11: P(majority correct) >= min(1/2 + 4 delta, 1/2 + 1/100)",
+        experiment_id=plan.spec.experiment_id,
+        title=plan.spec.title,
+        claim=plan.spec.claim,
         config={
             "epsilon": epsilon,
             "r0": r0,

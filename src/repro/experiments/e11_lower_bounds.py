@@ -30,9 +30,10 @@ counted at their round budget.  The same convention applies in
 from __future__ import annotations
 
 import functools
-from typing import TYPE_CHECKING, Optional, Sequence
+from typing import TYPE_CHECKING, Optional, Sequence, Union
 
 from ..analysis.experiments import run_trials
+from ..api.config import ExecutionConfig, ExecutionPlan, resolve_run_options
 from ..core.theory import broadcast_round_bound, silent_wait_round_bound
 from ..protocols.direct_source import DirectSourceReference
 from ..protocols.silent_wait import SilentWaitBroadcast, default_decision_threshold
@@ -84,15 +85,21 @@ def run(
     trials: int = 3,
     base_seed: int = 1111,
     runner: Optional["TrialRunner"] = None,
+    config: Optional[Union[ExecutionConfig, ExecutionPlan]] = None,
 ) -> ExperimentReport:
-    """Run the E11 reference measurements and return its report."""
+    """Run the E11 reference measurements and return its report.
+
+    ``config`` carries the execution strategy; the ``runner`` keyword is the
+    deprecation-shimmed legacy path.
+    """
+    plan = resolve_run_options("E11", config=config, runner=runner)
+    runner = plan.runner
+    trials = plan.trials if plan.trials is not None else trials
+    base_seed = plan.base_seed if plan.base_seed is not None else base_seed
     report = ExperimentReport(
-        experiment_id="E11",
-        title="Lower-bound reference points: direct-from-source versus listen-only",
-        claim=(
-            "Section 1.4: every agent needs Omega(log n / eps^2) source samples, so even the idealised "
-            "direct scheme needs that many rounds, and listen-only broadcast needs Theta(n log n / eps^2) rounds"
-        ),
+        experiment_id=plan.spec.experiment_id,
+        title=plan.spec.title,
+        claim=plan.spec.claim,
         config={"n": n, "epsilon": epsilon, "trials": trials},
     )
 

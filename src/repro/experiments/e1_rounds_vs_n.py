@@ -11,10 +11,11 @@ from __future__ import annotations
 
 import functools
 import math
-from typing import TYPE_CHECKING, Mapping, Optional, Sequence
+from typing import TYPE_CHECKING, Mapping, Optional, Sequence, Union
 
 from ..analysis.scaling import fit_log_n_scaling
 from ..analysis.sweeps import run_sweep
+from ..api.config import ExecutionConfig, ExecutionPlan, resolve_run_options
 from ..core.broadcast import solve_noisy_broadcast
 from ..core.theory import broadcast_round_bound
 from .report import ExperimentReport
@@ -47,16 +48,27 @@ def run(
     runner: Optional["TrialRunner"] = None,
     batch: bool = False,
     point_jobs: Optional[int] = None,
+    config: Optional[Union[ExecutionConfig, ExecutionPlan]] = None,
 ) -> ExperimentReport:
     """Run the E1 sweep and return its report.
 
-    ``runner`` selects the trial-execution strategy (serial by default;
-    process-parallel when a :class:`~repro.exec.runner.ParallelTrialRunner`
-    is passed); ``batch=True`` instead simulates all trials of each grid
-    point simultaneously via :mod:`repro.exec.batching`.  ``point_jobs``
-    spreads independent grid points over worker processes on either path
-    (taking precedence over ``runner`` where both are given).
+    ``config`` carries the execution strategy (see
+    :class:`repro.api.config.ExecutionConfig`); the preferred entry point is
+    :func:`repro.api.run_experiment`.  The legacy keywords remain a
+    deprecation-shimmed path: ``runner`` selects the trial-execution
+    strategy (serial by default; process-parallel when a
+    :class:`~repro.exec.runner.ParallelTrialRunner` is passed);
+    ``batch=True`` instead simulates all trials of each grid point
+    simultaneously via :mod:`repro.exec.batching`; ``point_jobs`` spreads
+    independent grid points over worker processes on either path (taking
+    precedence over ``runner`` where both are given).
     """
+    plan = resolve_run_options(
+        "E1", config=config, runner=runner, batch=batch, point_jobs=point_jobs
+    )
+    runner, batch, point_jobs = plan.runner, plan.batch, plan.point_jobs
+    trials = plan.trials if plan.trials is not None else trials
+    base_seed = plan.base_seed if plan.base_seed is not None else base_seed
     if batch:
         from ..exec.batching import run_broadcast_sweep_batched
 
@@ -80,9 +92,9 @@ def run(
         )
 
     report = ExperimentReport(
-        experiment_id="E1",
-        title="Broadcast round complexity versus n at fixed epsilon",
-        claim="Theorem 2.17: O(log n / eps^2) rounds, all agents correct w.h.p.",
+        experiment_id=plan.spec.experiment_id,
+        title=plan.spec.title,
+        claim=plan.spec.claim,
         config={"sizes": list(sizes), "epsilon": epsilon, "trials": trials},
     )
     for point, result in sweep:

@@ -8,10 +8,11 @@ measures rounds and success, and fits ``rounds ~ a / eps^2 + b``.
 from __future__ import annotations
 
 import functools
-from typing import TYPE_CHECKING, Mapping, Optional, Sequence
+from typing import TYPE_CHECKING, Mapping, Optional, Sequence, Union
 
 from ..analysis.scaling import fit_inverse_square_epsilon
 from ..analysis.sweeps import run_sweep
+from ..api.config import ExecutionConfig, ExecutionPlan, resolve_run_options
 from ..core.broadcast import solve_noisy_broadcast
 from ..core.theory import broadcast_round_bound
 from .report import ExperimentReport
@@ -43,12 +44,20 @@ def run(
     runner: Optional["TrialRunner"] = None,
     batch: bool = False,
     point_jobs: Optional[int] = None,
+    config: Optional[Union[ExecutionConfig, ExecutionPlan]] = None,
 ) -> ExperimentReport:
     """Run the E2 sweep and return its report.
 
-    ``runner``, ``batch`` and ``point_jobs`` select the execution strategy
-    exactly as in :func:`repro.experiments.e1_rounds_vs_n.run`.
+    ``config`` and the deprecation-shimmed ``runner`` / ``batch`` /
+    ``point_jobs`` keywords select the execution strategy exactly as in
+    :func:`repro.experiments.e1_rounds_vs_n.run`.
     """
+    plan = resolve_run_options(
+        "E2", config=config, runner=runner, batch=batch, point_jobs=point_jobs
+    )
+    runner, batch, point_jobs = plan.runner, plan.batch, plan.point_jobs
+    trials = plan.trials if plan.trials is not None else trials
+    base_seed = plan.base_seed if plan.base_seed is not None else base_seed
     if batch:
         from ..exec.batching import run_broadcast_sweep_batched
 
@@ -72,9 +81,9 @@ def run(
         )
 
     report = ExperimentReport(
-        experiment_id="E2",
-        title="Broadcast round complexity versus epsilon at fixed n",
-        claim="Theorem 2.17: O(log n / eps^2) rounds, all agents correct w.h.p.",
+        experiment_id=plan.spec.experiment_id,
+        title=plan.spec.title,
+        claim=plan.spec.claim,
         config={"epsilons": list(epsilons), "n": n, "trials": trials},
     )
     for point, result in sweep:

@@ -13,9 +13,10 @@ activation.
 from __future__ import annotations
 
 import math
-from typing import TYPE_CHECKING, Mapping, Optional, Sequence
+from typing import TYPE_CHECKING, Mapping, Optional, Sequence, Union
 
 from ..analysis.sweeps import parameter_grid, run_sweep
+from ..api.config import ExecutionConfig, ExecutionPlan, resolve_run_options
 from ..core.broadcast import solve_noisy_broadcast
 from ..core.theory import broadcast_message_bound
 from .report import ExperimentReport
@@ -48,12 +49,20 @@ def run(
     runner: Optional["TrialRunner"] = None,
     batch: bool = False,
     point_jobs: Optional[int] = None,
+    config: Optional[Union[ExecutionConfig, ExecutionPlan]] = None,
 ) -> ExperimentReport:
     """Run the E3 sweep and return its report.
 
-    ``runner``, ``batch`` and ``point_jobs`` select the execution strategy
-    exactly as in :func:`repro.experiments.e1_rounds_vs_n.run`.
+    ``config`` and the deprecation-shimmed ``runner`` / ``batch`` /
+    ``point_jobs`` keywords select the execution strategy exactly as in
+    :func:`repro.experiments.e1_rounds_vs_n.run`.
     """
+    plan = resolve_run_options(
+        "E3", config=config, runner=runner, batch=batch, point_jobs=point_jobs
+    )
+    runner, batch, point_jobs = plan.runner, plan.batch, plan.point_jobs
+    trials = plan.trials if plan.trials is not None else trials
+    base_seed = plan.base_seed if plan.base_seed is not None else base_seed
     if batch:
         from ..exec.batching import run_broadcast_sweep_batched
 
@@ -76,9 +85,9 @@ def run(
         )
 
     report = ExperimentReport(
-        experiment_id="E3",
-        title="Total message (bit) complexity of the broadcast protocol",
-        claim="Theorem 2.17: O(n log n / eps^2) messages in total",
+        experiment_id=plan.spec.experiment_id,
+        title=plan.spec.title,
+        claim=plan.spec.claim,
         config={"sizes": list(sizes), "epsilons": list(epsilons), "trials": trials},
     )
     normalised_values = []

@@ -13,9 +13,10 @@ The driver runs phase 0 many times and reports the distribution of ``X0`` and
 from __future__ import annotations
 
 import functools
-from typing import TYPE_CHECKING, Optional, Sequence
+from typing import TYPE_CHECKING, Optional, Sequence, Union
 
 from ..analysis.experiments import run_trials
+from ..api.config import ExecutionConfig, ExecutionPlan, resolve_run_options
 from ..core.parameters import ProtocolParameters, StageOneParameters
 from ..core.stage1 import execute_stage_one
 from ..substrate.engine import SimulationEngine
@@ -65,12 +66,21 @@ def run(
     trials: int = 30,
     base_seed: int = 404,
     runner: Optional["TrialRunner"] = None,
+    config: Optional[Union[ExecutionConfig, ExecutionPlan]] = None,
 ) -> ExperimentReport:
-    """Run the E4 Monte-Carlo and return its report."""
+    """Run the E4 Monte-Carlo and return its report.
+
+    ``config`` carries the execution strategy; the ``runner`` keyword is the
+    deprecation-shimmed legacy path.
+    """
+    plan = resolve_run_options("E4", config=config, runner=runner)
+    runner = plan.runner
+    trials = plan.trials if plan.trials is not None else trials
+    base_seed = plan.base_seed if plan.base_seed is not None else base_seed
     report = ExperimentReport(
-        experiment_id="E4",
-        title="Phase 0: agents activated directly by the source and their bias",
-        claim="Claim 2.2: beta_s/3 <= X0 <= beta_s and eps_0 >= eps/2, w.h.p.",
+        experiment_id=plan.spec.experiment_id,
+        title=plan.spec.title,
+        claim=plan.spec.claim,
         config={"n": n, "epsilons": list(epsilons), "trials": trials},
     )
 

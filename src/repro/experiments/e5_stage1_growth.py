@@ -24,9 +24,10 @@ from __future__ import annotations
 
 import functools
 import math
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING, Optional, Union
 
 from ..analysis.experiments import run_trials
+from ..api.config import ExecutionConfig, ExecutionPlan, resolve_run_options
 from ..core.parameters import ProtocolParameters, StageOneParameters
 from ..core.stage1 import execute_stage_one
 from ..substrate.engine import SimulationEngine
@@ -63,8 +64,17 @@ def run(
     trials: int = 5,
     base_seed: int = 505,
     runner: Optional["TrialRunner"] = None,
+    config: Optional[Union[ExecutionConfig, ExecutionPlan]] = None,
 ) -> ExperimentReport:
-    """Run the E5 per-phase measurement and return its report."""
+    """Run the E5 per-phase measurement and return its report.
+
+    ``config`` carries the execution strategy; the ``runner`` keyword is the
+    deprecation-shimmed legacy path.
+    """
+    plan = resolve_run_options("E5", config=config, runner=runner)
+    runner = plan.runner
+    trials = plan.trials if plan.trials is not None else trials
+    base_seed = plan.base_seed if plan.base_seed is not None else base_seed
     parameters = ProtocolParameters.calibrated(n, epsilon, s0=1.0, beta_override=beta_override)
     stage1_params = parameters.stage1
 
@@ -77,12 +87,9 @@ def run(
     )
 
     report = ExperimentReport(
-        experiment_id="E5",
-        title="Stage I: per-phase layer sizes and bias deterioration",
-        claim=(
-            "Claims 2.4/2.8, Corollaries 2.5-2.7: X_i grows geometrically "
-            "(within [1/16, 1] of (beta+1)^i X_0), eps_i >= eps^(i+1)/2, all agents activated"
-        ),
+        experiment_id=plan.spec.experiment_id,
+        title=plan.spec.title,
+        claim=plan.spec.claim,
         config={
             "n": n,
             "epsilon": epsilon,

@@ -15,12 +15,13 @@ from __future__ import annotations
 
 import functools
 import math
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING, Optional, Union
 
 import numpy as np
 
 from ..analysis.estimators import average_trajectories
 from ..analysis.experiments import run_trials
+from ..api.config import ExecutionConfig, ExecutionPlan, resolve_run_options
 from ..core.majority import MajorityInstance
 from ..core.parameters import ProtocolParameters, StageTwoParameters, initial_bias_target
 from ..core.stage2 import execute_stage_two
@@ -66,8 +67,17 @@ def run(
     trials: int = 10,
     base_seed: int = 606,
     runner: Optional["TrialRunner"] = None,
+    config: Optional[Union[ExecutionConfig, ExecutionPlan]] = None,
 ) -> ExperimentReport:
-    """Run the E6 Stage-II-only measurement and return its report."""
+    """Run the E6 Stage-II-only measurement and return its report.
+
+    ``config`` carries the execution strategy; the ``runner`` keyword is the
+    deprecation-shimmed legacy path.
+    """
+    plan = resolve_run_options("E6", config=config, runner=runner)
+    runner = plan.runner
+    trials = plan.trials if plan.trials is not None else trials
+    base_seed = plan.base_seed if plan.base_seed is not None else base_seed
     if initial_bias is None:
         initial_bias = 2.0 * initial_bias_target(n)
     parameters = ProtocolParameters.calibrated(n, epsilon)
@@ -84,12 +94,9 @@ def run(
     )
 
     report = ExperimentReport(
-        experiment_id="E6",
-        title="Stage II: per-phase bias amplification from delta_1 = Theta(sqrt(log n / n))",
-        claim=(
-            "Lemma 2.14 / Corollary 2.15: each phase multiplies a small bias by >= 1.7 "
-            "(up to a constant), after which the final phase makes all agents correct w.h.p."
-        ),
+        experiment_id=plan.spec.experiment_id,
+        title=plan.spec.title,
+        claim=plan.spec.claim,
         config={
             "n": n,
             "epsilon": epsilon,

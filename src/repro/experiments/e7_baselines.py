@@ -29,9 +29,10 @@ reached at all.  The same convention applies in
 from __future__ import annotations
 
 import functools
-from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..analysis.experiments import ExperimentResult, run_trials
+from ..api.config import ExecutionConfig, ExecutionPlan, resolve_run_options
 from ..core.broadcast import solve_noisy_broadcast
 from ..core.theory import expected_relay_depth, hop_correct_probability
 from ..protocols.direct_source import DirectSourceReference
@@ -238,9 +239,12 @@ def run(
     runner: Optional["TrialRunner"] = None,
     batch: bool = False,
     point_jobs: Optional[int] = None,
+    config: Optional[Union[ExecutionConfig, ExecutionPlan]] = None,
 ) -> ExperimentReport:
     """Run the E7 protocol comparison and return its report.
 
+    ``config`` carries the execution strategy (the keywords below are the
+    deprecation-shimmed legacy path).
     ``runner`` selects the trial-execution strategy for the serial path;
     ``batch=True`` instead simulates all trials of each (epsilon, protocol)
     cell at once via :func:`repro.exec.batching.run_broadcast_batch` (the
@@ -257,14 +261,17 @@ def run(
     from ..exec import pool
     from ..exec.batching import batch_to_experiment_result
 
+    plan = resolve_run_options(
+        "E7", config=config, runner=runner, batch=batch, point_jobs=point_jobs
+    )
+    runner, batch, point_jobs = plan.runner, plan.batch, plan.point_jobs
+    trials = plan.trials if plan.trials is not None else trials
+    base_seed = plan.base_seed if plan.base_seed is not None else base_seed
+
     report = ExperimentReport(
-        experiment_id="E7",
-        title="Noisy broadcast: the paper's protocol versus naive strategies",
-        claim=(
-            "Section 1.6: immediate forwarding leaves the population near a coin flip "
-            "(1/2 + (2 eps)^Theta(log n)); adopt-the-last-bit voter dynamics do not converge; "
-            "the paper's protocol reaches full correct consensus"
-        ),
+        experiment_id=plan.spec.experiment_id,
+        title=plan.spec.title,
+        claim=plan.spec.claim,
         config={
             "n": n,
             "epsilons": list(epsilons),

@@ -15,9 +15,10 @@ transition around the ``sqrt(log n / |A|)`` curve.
 from __future__ import annotations
 
 import functools
-from typing import TYPE_CHECKING, Mapping, Optional, Sequence
+from typing import TYPE_CHECKING, Mapping, Optional, Sequence, Union
 
 from ..analysis.sweeps import parameter_grid, run_sweep
+from ..api.config import ExecutionConfig, ExecutionPlan, resolve_run_options
 from ..core.majority import solve_noisy_majority_consensus
 from ..core.theory import majority_consensus_min_bias, majority_consensus_min_set_size
 from .report import ExperimentReport
@@ -57,16 +58,25 @@ def run(
     runner: Optional["TrialRunner"] = None,
     batch: bool = False,
     point_jobs: Optional[int] = None,
+    config: Optional[Union[ExecutionConfig, ExecutionPlan]] = None,
 ) -> ExperimentReport:
     """Run the E8 feasibility sweep and return its report.
 
-    ``runner`` selects the trial-execution strategy (serial by default;
-    process-parallel when a :class:`~repro.exec.runner.ParallelTrialRunner`
-    is passed); ``batch=True`` instead simulates all trials of each grid
-    point simultaneously via :func:`repro.exec.batching.run_majority_batch`.
+    ``config`` carries the execution strategy (the keywords below are the
+    deprecation-shimmed legacy path).  ``runner`` selects the
+    trial-execution strategy (serial by default; process-parallel when a
+    :class:`~repro.exec.runner.ParallelTrialRunner` is passed);
+    ``batch=True`` instead simulates all trials of each grid point
+    simultaneously via :func:`repro.exec.batching.run_majority_batch`.
     ``point_jobs`` spreads independent grid points over worker processes on
     either path (taking precedence over ``runner`` where both are given).
     """
+    plan = resolve_run_options(
+        "E8", config=config, runner=runner, batch=batch, point_jobs=point_jobs
+    )
+    runner, batch, point_jobs = plan.runner, plan.batch, plan.point_jobs
+    trials = plan.trials if plan.trials is not None else trials
+    base_seed = plan.base_seed if plan.base_seed is not None else base_seed
     if batch:
         from ..exec.batching import run_sweep_batched
 
@@ -91,12 +101,9 @@ def run(
         )
 
     report = ExperimentReport(
-        experiment_id="E8",
-        title="Majority-consensus success rate versus |A| and initial majority-bias",
-        claim=(
-            "Corollary 2.18: success w.h.p. when |A| = Omega(log n / eps^2) and "
-            "bias = Omega(sqrt(log n / |A|)); below the bias threshold the majority is not recoverable"
-        ),
+        experiment_id=plan.spec.experiment_id,
+        title=plan.spec.title,
+        claim=plan.spec.claim,
         config={
             "n": n,
             "epsilon": epsilon,

@@ -77,3 +77,26 @@ class ExperimentReport:
             lines.append("")
             lines.extend(f"note: {note}" for note in self.notes)
         return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serialisable representation (used by the run-artifact store)."""
+        return {
+            "experiment_id": self.experiment_id,
+            "title": self.title,
+            "claim": self.claim,
+            "rows": [dict(row) for row in self.rows],
+            "notes": list(self.notes),
+            "config": dict(self.config),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "ExperimentReport":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            experiment_id=str(payload["experiment_id"]),
+            title=str(payload["title"]),
+            claim=str(payload["claim"]),
+            rows=[dict(row) for row in payload.get("rows", [])],
+            notes=[str(note) for note in payload.get("notes", [])],
+            config=dict(payload.get("config", {})),
+        )

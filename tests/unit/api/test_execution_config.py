@@ -1,0 +1,111 @@
+"""Unit tests for ExecutionConfig resolution into ExecutionPlans."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.api import ExecutionConfig, ExecutionPlan, get_spec, resolve_run_options
+from repro.errors import ExperimentError
+from repro.exec import ParallelTrialRunner, SerialTrialRunner
+
+
+class TestResolution:
+    def test_default_config_is_serial(self):
+        plan = ExecutionConfig().resolve("E1")
+        assert plan.runner is None and not plan.batch and plan.point_jobs is None
+        assert plan.spec is get_spec("E1")
+        assert plan.notes == ()
+
+    def test_jobs_map_to_runners_like_the_cli(self):
+        assert isinstance(ExecutionConfig(jobs=1).resolve("E1").runner, SerialTrialRunner)
+        parallel = ExecutionConfig(jobs=4).resolve("E1").runner
+        assert isinstance(parallel, ParallelTrialRunner) and parallel.jobs == 4
+        all_cpus = ExecutionConfig(jobs=0).resolve("E1").runner
+        assert isinstance(all_cpus, ParallelTrialRunner) and all_cpus.jobs is None
+
+    def test_negative_jobs_rejected(self):
+        with pytest.raises(ExperimentError, match="non-negative"):
+            ExecutionConfig(jobs=-2).resolve("E1")
+
+    def test_batch_with_jobs_becomes_point_parallelism(self):
+        plan = ExecutionConfig(jobs=3, batch=True).resolve("E8")
+        assert plan.batch and plan.point_jobs == 3 and plan.runner is None
+
+    def test_batch_on_unsupported_experiment_names_the_batchable_ones(self):
+        with pytest.raises(ExperimentError, match=r"E1, E2, E3, E7, E8, E10"):
+            ExecutionConfig(batch=True).resolve("E4")
+
+    def test_jobs_on_batch_only_experiment_yield_a_note_not_parallelism(self):
+        plan = ExecutionConfig(jobs=2, batch=True).resolve("E10")
+        assert plan.point_jobs is None and plan.runner is None
+        assert any("--jobs has no effect" in note for note in plan.notes)
+
+    def test_jobs_on_runnerless_experiment_yield_a_note(self):
+        plan = ExecutionConfig(jobs=2).resolve("E10")
+        assert plan.runner is None
+        assert any("--jobs has no effect" in note for note in plan.notes)
+
+    def test_trials_override_requires_a_trials_parameter(self):
+        assert ExecutionConfig(trials=7).resolve("E1").trials == 7
+        with pytest.raises(ExperimentError, match="no 'trials' parameter"):
+            ExecutionConfig(trials=7).resolve("E10")
+
+    def test_config_is_frozen(self):
+        config = ExecutionConfig()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            config.jobs = 3  # type: ignore[misc]
+
+    def test_describe_summarises_the_plan(self):
+        summary = ExecutionConfig(jobs=2, batch=True, trials=3, base_seed=9).resolve("E8").describe()
+        assert summary == {
+            "jobs": 2,
+            "batch": True,
+            "runner": "batch",
+            "point_jobs": 2,
+            "trials": 3,
+            "base_seed": 9,
+            "notes": [],
+        }
+
+
+class TestFromEnv:
+    def test_unset_means_serial(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TEST_JOBS", raising=False)
+        assert ExecutionConfig.from_env("REPRO_TEST_JOBS").jobs is None
+
+    def test_set_value_is_parsed_as_jobs(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TEST_JOBS", " 3 ")
+        config = ExecutionConfig.from_env("REPRO_TEST_JOBS", batch=True)
+        assert config.jobs == 3 and config.batch
+
+
+class TestResolveRunOptions:
+    def test_config_and_legacy_kwargs_are_mutually_exclusive(self):
+        with pytest.raises(ExperimentError, match="both config= and legacy"):
+            resolve_run_options("E1", config=ExecutionConfig(), batch=True)
+
+    def test_resolved_plan_passes_through_unchanged(self):
+        plan = ExecutionConfig(batch=True).resolve("E1")
+        assert resolve_run_options("E1", config=plan) is plan
+
+    def test_plan_for_another_experiment_is_rejected(self):
+        plan = ExecutionConfig(batch=True).resolve("E2")
+        with pytest.raises(ExperimentError, match="resolved for E2"):
+            resolve_run_options("E1", config=plan)
+
+    def test_unexpected_config_type_is_rejected(self):
+        with pytest.raises(ExperimentError, match="ExecutionConfig or ExecutionPlan"):
+            resolve_run_options("E1", config=object())  # type: ignore[arg-type]
+
+    def test_legacy_kwargs_warn_once_and_flow_through(self):
+        with pytest.warns(DeprecationWarning, match="run_experiment"):
+            plan = resolve_run_options("E8", batch=True, point_jobs=2)
+        assert isinstance(plan, ExecutionPlan)
+        assert plan.batch and plan.point_jobs == 2
+
+    def test_no_arguments_neither_warn_nor_resolve_parallelism(self, recwarn):
+        plan = resolve_run_options("E8")
+        assert not plan.batch and plan.runner is None and plan.point_jobs is None
+        assert not [w for w in recwarn.list if w.category is DeprecationWarning]

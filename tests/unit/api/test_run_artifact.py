@@ -1,0 +1,141 @@
+"""Tests for the run-artifact store (save_run / load_run round-trips)."""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+
+from repro.analysis.resultsio import (
+    RunArtifact,
+    decode_nonfinite,
+    encode_nonfinite,
+    load_run,
+    save_run,
+)
+from repro.analysis.sweeps import run_sweep
+from repro.api import ExecutionConfig, run_experiment
+from repro.errors import ExperimentError
+from repro.experiments.report import ExperimentReport
+
+
+def _reject_constant(name: str):
+    """parse_constant hook: fail on any NaN/Infinity token in saved JSON."""
+    raise AssertionError(f"saved JSON contains a non-strict constant: {name}")
+
+
+def _strict_load(path):
+    return json.loads(path.read_text(), parse_constant=_reject_constant)
+
+
+def _sweep_trial(point, seed, index):
+    """Minimal deterministic sweep trial (module-level, picklable)."""
+    return {"value": point["x"] * 10 + index}
+
+
+class TestNonfiniteCodec:
+    def test_nan_inf_and_none_survive_distinctly(self):
+        payload = {"a": float("nan"), "b": float("inf"), "c": float("-inf"), "d": None, "e": 1.5}
+        decoded = decode_nonfinite(json.loads(json.dumps(encode_nonfinite(payload))))
+        assert math.isnan(decoded["a"])
+        assert decoded["b"] == math.inf and decoded["c"] == -math.inf
+        assert decoded["d"] is None and decoded["e"] == 1.5
+
+    def test_reserved_key_rejected(self):
+        with pytest.raises(ExperimentError, match="__nonfinite__"):
+            encode_nonfinite({"__nonfinite__": "boom"})
+
+
+class TestArtifactRoundTrip:
+    def test_run_experiment_artifact_round_trips(self, tmp_path):
+        artifact = run_experiment(
+            "E10", config=ExecutionConfig(batch=True), deltas=(0.01, 0.1), monte_carlo_reps=2000
+        )
+        destination = save_run(artifact, tmp_path / "run")
+        assert artifact.path == destination
+
+        _strict_load(destination / "manifest.json")
+        _strict_load(destination / "report.json")
+
+        loaded = load_run(destination)
+        assert loaded.spec_id == artifact.spec_id
+        assert loaded.version == artifact.version
+        assert loaded.wall_time_seconds == pytest.approx(artifact.wall_time_seconds)
+        assert loaded.execution == artifact.execution
+        assert loaded.report.render() == artifact.report.render()
+
+    def test_nonfinite_report_cells_round_trip_to_identical_tables(self, tmp_path):
+        report = ExperimentReport(experiment_id="EX", title="demo", claim="c")
+        report.add_row(scheme="a", mean_rounds=float("nan"), bound=float("inf"), extra=None)
+        report.add_row(scheme="b", mean_rounds=12.5, bound=float("-inf"), extra=3)
+        artifact = RunArtifact(spec_id="EX", report=report)
+        destination = save_run(artifact, tmp_path / "run")
+        _strict_load(destination / "report.json")
+
+        loaded = load_run(destination)
+        assert loaded.report.render() == report.render()
+        assert math.isnan(loaded.report.rows[0]["mean_rounds"])
+        assert loaded.report.rows[0]["extra"] is None
+        assert loaded.report.rows[1]["bound"] == -math.inf
+
+    def test_artifact_without_report_rejected(self, tmp_path):
+        with pytest.raises(ExperimentError, match="without a report"):
+            save_run(RunArtifact(spec_id="EX"), tmp_path / "run")
+
+    def test_missing_directory_rejected(self, tmp_path):
+        with pytest.raises(ExperimentError, match="run manifest"):
+            load_run(tmp_path / "nowhere")
+
+
+class TestSweepPayloadsAndCanonicalNaming:
+    """The manifest records canonical point names, duplicate grids included."""
+
+    def _artifact_with_duplicate_grid(self):
+        report = ExperimentReport(experiment_id="EX", title="demo", claim="c")
+        report.add_row(ok=True)
+        sweep = run_sweep(
+            "dup", [{"x": 1}, {"x": 1}, {"x": 2}], _sweep_trial, trials_per_point=2, base_seed=5
+        )
+        artifact = RunArtifact(spec_id="EX", report=report)
+        artifact.attach_sweep("grid", sweep)
+        return artifact, sweep
+
+    def test_manifest_point_names_are_disambiguated(self, tmp_path):
+        artifact, sweep = self._artifact_with_duplicate_grid()
+        destination = save_run(artifact, tmp_path / "run")
+
+        manifest = _strict_load(destination / "manifest.json")
+        names = manifest["files"]["sweeps"]["grid"]["point_names"]
+        assert names == ["dup[x=1]", "dup[x=1]#1", "dup[x=2]"]
+        assert len(set(names)) == len(names), "duplicate grid points must stay distinguishable"
+        assert names == sweep.point_names()  # the canonical helper, reused verbatim
+
+        loaded = load_run(destination)
+        assert loaded.sweeps["grid"].point_names() == names
+        assert [r.name for r in loaded.sweeps["grid"].results] == names
+
+    def test_tampered_point_names_fail_loudly_on_load(self, tmp_path):
+        artifact, _ = self._artifact_with_duplicate_grid()
+        destination = save_run(artifact, tmp_path / "run")
+        manifest_path = destination / "manifest.json"
+        manifest = json.loads(manifest_path.read_text())
+        manifest["files"]["sweeps"]["grid"]["point_names"] = ["dup[x=1]", "dup[x=1]", "dup[x=2]"]
+        manifest_path.write_text(json.dumps(manifest))
+        with pytest.raises(ExperimentError, match="payload derives"):
+            load_run(destination)
+
+    def test_unsafe_payload_keys_rejected(self):
+        artifact, sweep = self._artifact_with_duplicate_grid()
+        with pytest.raises(ExperimentError, match="safe file stem"):
+            artifact.attach_sweep("../escape", sweep)
+
+    def test_manifest_file_entries_cannot_escape_the_artifact(self, tmp_path):
+        artifact, _ = self._artifact_with_duplicate_grid()
+        destination = save_run(artifact, tmp_path / "run")
+        manifest_path = destination / "manifest.json"
+        manifest = json.loads(manifest_path.read_text())
+        manifest["files"]["sweeps"]["grid"]["file"] = "/etc/hostname"
+        manifest_path.write_text(json.dumps(manifest))
+        with pytest.raises(ExperimentError, match="outside the artifact layout"):
+            load_run(destination)

@@ -1,0 +1,119 @@
+"""Tests for run_experiment and the drivers' deprecation-shimmed legacy path.
+
+The equivalence class here is the satellite contract of the API redesign:
+calling a driver's ``run`` directly with the legacy ``runner=`` / ``batch=``
+/ ``point_jobs=`` keywords must (a) emit exactly one
+:class:`DeprecationWarning` and (b) return a report bit-identical to
+:func:`repro.api.run_experiment` with the equivalent
+:class:`~repro.api.ExecutionConfig` — for every one of the eleven drivers.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+import repro
+from repro.api import ExecutionConfig, run_experiment
+from repro.errors import ExperimentError
+from repro.exec import SerialTrialRunner
+from repro.experiments import DRIVERS
+
+#: Tiny per-driver configurations (mirroring the integration tests) plus the
+#: legacy execution kwargs each driver supports and the equivalent config.
+SHIM_CASES = {
+    "E1": (dict(sizes=(200, 400), epsilon=0.3, trials=2),
+           dict(batch=True, point_jobs=2), ExecutionConfig(jobs=2, batch=True)),
+    "E2": (dict(epsilons=(0.25, 0.45), n=300, trials=2),
+           dict(batch=True), ExecutionConfig(batch=True)),
+    "E3": (dict(sizes=(300,), epsilons=(0.3,), trials=2),
+           dict(runner=SerialTrialRunner()), ExecutionConfig(jobs=1)),
+    "E4": (dict(n=600, epsilons=(0.3,), trials=4),
+           dict(runner=SerialTrialRunner()), ExecutionConfig(jobs=1)),
+    "E5": (dict(n=1500, epsilon=0.4, beta_override=6, trials=2),
+           dict(runner=SerialTrialRunner()), ExecutionConfig(jobs=1)),
+    "E6": (dict(n=800, epsilon=0.3, trials=2),
+           dict(runner=SerialTrialRunner()), ExecutionConfig(jobs=1)),
+    "E7": (dict(n=250, epsilons=(0.3,), trials=2, voter_rounds=32),
+           dict(batch=True), ExecutionConfig(batch=True)),
+    "E8": (dict(n=400, epsilon=0.3, set_sizes=(120,), biases=(0.05, 0.3), trials=2),
+           dict(batch=True), ExecutionConfig(batch=True)),
+    "E9": (dict(n=250, epsilon=0.3, skews=(4,), trials=2),
+           dict(runner=SerialTrialRunner()), ExecutionConfig(jobs=1)),
+    "E10": (dict(epsilon=0.25, deltas=(0.01, 0.1), monte_carlo_reps=2000),
+            dict(batch=True), ExecutionConfig(batch=True)),
+    "E11": (dict(n=120, epsilon=0.35, trials=2),
+            dict(runner=SerialTrialRunner()), ExecutionConfig(jobs=1)),
+}
+
+
+class TestRunExperiment:
+    def test_returns_a_populated_artifact(self):
+        artifact = run_experiment("E10", deltas=(0.01, 0.1), monte_carlo_reps=2000)
+        assert artifact.spec_id == "E10"
+        assert artifact.report.experiment_id == "E10" and artifact.report.rows
+        assert artifact.version == repro.__version__
+        assert artifact.wall_time_seconds > 0
+        assert artifact.parameters["monte_carlo_reps"] == 2000
+        assert artifact.parameters["base_seed"] == 1010  # spec default resolved in
+        assert artifact.execution["runner"] == "serial"
+
+    def test_config_overrides_are_recorded_in_parameters(self):
+        artifact = run_experiment(
+            "E11",
+            config=ExecutionConfig(trials=2, base_seed=77),
+            n=120,
+            epsilon=0.35,
+        )
+        assert artifact.parameters["trials"] == 2
+        assert artifact.parameters["base_seed"] == 77
+        assert artifact.execution["trials"] == 2 and artifact.execution["base_seed"] == 77
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(ExperimentError, match="unknown experiment"):
+            run_experiment("E99")
+
+    def test_unknown_parameter_override_lists_the_valid_ones(self):
+        with pytest.raises(ExperimentError, match="settable parameters are"):
+            run_experiment("E10", sample_count=5)
+
+    def test_conflicting_trials_specifications_rejected(self):
+        with pytest.raises(ExperimentError, match="pass it once"):
+            run_experiment("E11", config=ExecutionConfig(trials=2), trials=3)
+
+    def test_driver_rejects_config_plus_legacy_kwargs(self):
+        with pytest.raises(ExperimentError, match="both config= and legacy"):
+            DRIVERS["E1"].run(sizes=(200,), trials=1, config=ExecutionConfig(), batch=True)
+
+    def test_accepts_an_already_resolved_plan(self):
+        plan = ExecutionConfig(batch=True).resolve("E10")
+        artifact = run_experiment("E10", config=plan, deltas=(0.01, 0.1), monte_carlo_reps=2000)
+        assert artifact.execution["batch"] is True
+
+    def test_plan_for_another_experiment_rejected(self):
+        plan = ExecutionConfig(batch=True).resolve("E8")
+        with pytest.raises(ExperimentError, match="resolved for E8"):
+            run_experiment("E10", config=plan)
+
+
+@pytest.mark.parametrize("experiment_id", sorted(SHIM_CASES, key=lambda key: int(key[1:])))
+class TestDeprecationShim:
+    def test_legacy_kwargs_bit_identical_and_warn_once(self, experiment_id):
+        tiny, legacy_kwargs, config = SHIM_CASES[experiment_id]
+
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            artifact = run_experiment(experiment_id, config=config, **tiny)
+        assert not [w for w in caught if w.category is DeprecationWarning], (
+            "the unified API must not trip its own deprecation shim"
+        )
+
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            legacy_report = DRIVERS[experiment_id].run(**tiny, **legacy_kwargs)
+        deprecations = [w for w in caught if w.category is DeprecationWarning]
+        assert len(deprecations) == 1, f"expected exactly one DeprecationWarning, got {deprecations}"
+        assert "run_experiment" in str(deprecations[0].message)
+
+        assert legacy_report.render() == artifact.report.render()

@@ -70,7 +70,55 @@ class TestCli:
         assert main(["list-experiments"]) == 0
         out = capsys.readouterr().out
         assert "E1:" in out and "E11:" in out
+        # The listing comes from the registry: titles, parameters, capabilities.
+        assert "parameters:" in out and "--batch" in out
 
     def test_unknown_experiment_rejected(self):
         with pytest.raises(SystemExit):
             main(["experiment", "E99"])
+
+    def test_batch_on_unsupported_experiment_errors_from_spec_flags(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["experiment", "E4", "--batch"])
+        err = capsys.readouterr().err
+        assert "no vectorised batch path" in err
+        assert "E1, E2, E3, E7, E8, E10" in err
+
+    def test_trials_override_rejected_where_not_declared(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["experiment", "E10", "--trials", "2"])
+        assert "no 'trials' parameter" in capsys.readouterr().err
+
+    def test_set_rejects_unknown_parameters(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["experiment", "E10", "--set", "bogus=1"])
+        assert "settable parameters are" in capsys.readouterr().err
+
+    def test_set_rejects_reserved_names_with_the_same_message(self, capsys):
+        # "config" is run_experiment's own keyword; it must fail like any
+        # other undeclared parameter, not crash with a keyword collision.
+        with pytest.raises(SystemExit):
+            main(["experiment", "E10", "--set", "config=1"])
+        assert "settable parameters are" in capsys.readouterr().err
+
+    def test_set_rejects_malformed_overrides(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["experiment", "E10", "--set", "epsilon"])
+        assert "KEY=VALUE" in capsys.readouterr().err
+
+    def test_set_and_seed_flow_into_the_run(self, capsys):
+        exit_code = main(
+            [
+                "experiment",
+                "E10",
+                "--seed",
+                "7",
+                "--set",
+                "deltas=(0.01, 0.1)",
+                "--set",
+                "monte_carlo_reps=2000",
+            ]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "E10" in out and "0.010" in out

@@ -1,15 +1,20 @@
-"""Smoke gates: result persistence round-trips and benchmark-script imports.
+"""Smoke gates: persistence round-trips, CLI artifacts, benchmark imports.
 
-Two things in this repository rot silently: the JSON persistence layer (a
+Three things in this repository rot silently: the JSON persistence layer (a
 measurement nobody serialises in the unit suite can break ``save``/``load``
-without any test noticing) and the ``benchmarks/bench_*.py`` scripts (they
+without any test noticing), the CLI-to-artifact pipeline (the one path an
+end user actually drives), and the ``benchmarks/bench_*.py`` scripts (they
 only execute when someone runs the benchmark harness by hand).  This module
-gates both in the tier-1 suite:
+gates all three in the tier-1 suite:
 
 * every persistence entry point (``save_result``/``load_result``/
   ``save_sweep``/``load_sweep``) must round-trip a freshly produced result,
   including the awkward values (``NaN`` means, numpy scalars, ``None``
   never-converged markers);
+* ``repro-flip experiment ... --batch --save DIR`` must run end to end into
+  an artifact directory whose manifest and report load back through
+  :func:`repro.api.load_run` with identical tables (also an explicit CI
+  step, see ``.github/workflows/ci.yml``);
 * every benchmark script must *import* cleanly — a no-op check that catches
   renamed driver functions, stale imports and syntax errors without paying
   for a benchmark run — and define at least one test for the harness.
@@ -19,6 +24,7 @@ from __future__ import annotations
 
 import importlib.util
 import json
+import math
 import sys
 from pathlib import Path
 
@@ -27,6 +33,8 @@ import pytest
 from repro.analysis.experiments import run_trials
 from repro.analysis.resultsio import load_result, load_sweep, save_result, save_sweep
 from repro.analysis.sweeps import run_sweep
+from repro.api import ExecutionConfig, load_run, run_experiment
+from repro.cli import main as cli_main
 
 BENCHMARKS_DIR = Path(__file__).resolve().parents[2] / "benchmarks"
 BENCHMARK_SCRIPTS = sorted(BENCHMARKS_DIR.glob("bench_*.py"))
@@ -71,6 +79,81 @@ class TestPersistenceSmoke:
         loaded = load_sweep(path)
         assert [p.as_dict() for p in loaded.points] == [p.as_dict() for p in sweep.points]
         assert [r.name for r in loaded.results] == [r.name for r in sweep.results]
+
+
+class TestCliArtifactRoundTrip:
+    """The CI satellite gate: CLI run → artifact directory → loader."""
+
+    def test_cli_batch_run_round_trips_through_the_loader(self, tmp_path, capsys):
+        destination = tmp_path / "e1-run"
+        exit_code = cli_main(
+            [
+                "experiment",
+                "E1",
+                "--trials",
+                "1",
+                "--set",
+                "epsilon=0.3",
+                "--set",
+                "sizes=(250, 500)",
+                "--batch",
+                "--save",
+                str(destination),
+            ]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+
+        artifact = load_run(destination)
+        assert artifact.spec_id == "E1"
+        assert artifact.parameters["epsilon"] == 0.3
+        assert artifact.parameters["trials"] == 1
+        assert artifact.parameters["sizes"] == [250, 500]
+        assert artifact.execution["batch"] is True
+        assert artifact.version
+        # The loaded report renders exactly what the CLI printed.
+        assert artifact.report.render() in captured.out
+        assert str(destination) in captured.err
+        # Strict JSON: a parser with no NaN/Infinity extension must accept it.
+        json.loads((destination / "manifest.json").read_text(), parse_constant=_reject_constant)
+        json.loads((destination / "report.json").read_text(), parse_constant=_reject_constant)
+
+    def test_cli_e7_batch_artifact_has_identical_tables(self, tmp_path):
+        """Acceptance differential: an E7 --batch artifact (NaN rows included)
+        loads back with a bit-identical rendered table."""
+        destination = tmp_path / "e7-run"
+        exit_code = cli_main(
+            [
+                "experiment",
+                "E7",
+                "--batch",
+                "--trials",
+                "2",
+                "--set",
+                "n=250",
+                "--set",
+                "epsilons=(0.3,)",
+                "--set",
+                "voter_rounds=32",
+                "--save",
+                str(destination),
+            ]
+        )
+        assert exit_code == 0
+        loaded = load_run(destination)
+
+        direct = run_experiment(
+            "E7",
+            config=ExecutionConfig(batch=True, trials=2),
+            n=250,
+            epsilons=(0.3,),
+            voter_rounds=32,
+        )
+        assert loaded.report.render() == direct.report.render()
+        # The short voter budget never converges: its NaN rounds cell must
+        # survive the round-trip as NaN, not collapse to None.
+        voter_rows = [row for row in loaded.report.rows if row["protocol"] == "noisy-voter"]
+        assert voter_rows and math.isnan(voter_rows[0]["mean_rounds"])
 
 
 class TestBenchmarkScriptsImport:
