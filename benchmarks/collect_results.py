@@ -1,0 +1,104 @@
+"""Merge the per-family speedup JSONs into one machine-readable summary.
+
+Every speedup benchmark (``bench_exec_speedup.py``,
+``bench_e7_batch_speedup.py``, ``bench_e8_batch_speedup.py``,
+``bench_stage_batch_speedup.py``, ...) records its own file under
+``benchmarks/results/``.  That keeps each benchmark self-contained, but the
+*perf trajectory* of the repository — which execution paths exist, how fast
+each is relative to the serial reference, and how that changes from PR to PR
+— lives scattered across files.  This module flattens all of them into one
+top-level ``BENCH_SUMMARY.json``: one entry per measured workload with its
+serial/batch wall times and speedups, sorted by source, so diffs of the
+summary read as the perf history.
+
+Two source shapes are understood:
+
+* single-workload files (``seconds`` / ``speedup_vs_serial`` at top level),
+* multi-family files (a ``families`` mapping of per-experiment entries, as
+  written by ``bench_stage_batch_speedup.py``).
+
+Run directly (``python benchmarks/collect_results.py``) or let the benchmark
+suite do it: the pytest session-finish hook in ``benchmarks/conftest.py``
+regenerates the summary after every benchmark run.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+RESULTS_DIR = Path(__file__).parent / "results"
+SUMMARY_PATH = Path(__file__).resolve().parents[1] / "BENCH_SUMMARY.json"
+
+
+def _entry(source: str, payload: Dict[str, Any]) -> Dict[str, Any]:
+    """One summary entry: experiment label, wall times, speedups."""
+    workload = payload.get("workload", {})
+    return {
+        "source": source,
+        "experiment": payload.get("description") or workload.get("experiment"),
+        "workload": workload,
+        "seconds": payload.get("seconds", {}),
+        "speedup_vs_serial": payload.get("speedup_vs_serial", {}),
+    }
+
+
+def collect(
+    results_dir: Path = RESULTS_DIR, summary_path: Optional[Path] = SUMMARY_PATH
+) -> Dict[str, Any]:
+    """Aggregate ``results_dir``'s ``*.json`` files; optionally write the summary.
+
+    Returns the summary payload.  ``summary_path=None`` skips writing (used
+    by the smoke gate).  Files that are not valid JSON objects are reported
+    in the ``skipped`` list instead of aborting the aggregation.
+    """
+    entries: List[Dict[str, Any]] = []
+    skipped: List[str] = []
+    for path in sorted(results_dir.glob("*.json")):
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            skipped.append(path.name)
+            continue
+        if not isinstance(payload, dict):
+            skipped.append(path.name)
+            continue
+        families = payload.get("families")
+        if isinstance(families, dict):
+            for family, family_payload in sorted(families.items()):
+                family_entry = _entry(f"{path.name}#{family}", family_payload)
+                entries.append(family_entry)
+        else:
+            entries.append(_entry(path.name, payload))
+
+    repo_root = Path(__file__).resolve().parents[1]
+    try:
+        results_label = str(results_dir.resolve().relative_to(repo_root))
+    except ValueError:
+        results_label = str(results_dir)
+    summary = {
+        "generated_by": "benchmarks/collect_results.py",
+        "results_dir": results_label,
+        "entries": entries,
+        "skipped": skipped,
+    }
+    if summary_path is not None:
+        summary_path.write_text(json.dumps(summary, indent=2) + "\n")
+    return summary
+
+
+def main() -> int:
+    """CLI entry point: regenerate the top-level summary and print a digest."""
+    summary = collect()
+    print(f"wrote {SUMMARY_PATH} ({len(summary['entries'])} entries)")
+    for entry in summary["entries"]:
+        speedups = ", ".join(
+            f"{path} {value}x" for path, value in entry["speedup_vs_serial"].items()
+        )
+        print(f"  {entry['source']}: {speedups or 'no speedup recorded'}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -18,7 +18,7 @@ process pool with an identical-results-for-identical-seeds guarantee.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any, Callable, Dict, List, Mapping, Optional, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Mapping, Optional
 
 from ..errors import ExperimentError
 from .estimators import ScalarSummary, summarize_scalar

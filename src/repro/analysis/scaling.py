@@ -13,7 +13,6 @@ directly with numpy so the library does not depend on scipy.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import Sequence
 

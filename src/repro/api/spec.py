@@ -176,6 +176,8 @@ REGISTRY: Dict[str, ExperimentSpec] = {
             "Phase 0: agents activated directly by the source and their bias",
             "Claim 2.2: beta_s/3 <= X0 <= beta_s and eps_0 >= eps/2, w.h.p.",
             "e4_phase0",
+            supports_batch=True,
+            supports_point_jobs=True,
             parameters=_parameters(
                 ("n", 4000, "population size"),
                 ("epsilons", (0.1, 0.2, 0.3), "noise margins measured"),
@@ -189,6 +191,7 @@ REGISTRY: Dict[str, ExperimentSpec] = {
             "Claims 2.4/2.8, Corollaries 2.5-2.7: X_i grows geometrically "
             "(within [1/16, 1] of (beta+1)^i X_0), eps_i >= eps^(i+1)/2, all agents activated",
             "e5_stage1_growth",
+            supports_batch=True,
             parameters=_parameters(
                 ("n", 8000, "population size"),
                 ("epsilon", 0.35, "noise margin"),
@@ -203,6 +206,7 @@ REGISTRY: Dict[str, ExperimentSpec] = {
             "Lemma 2.14 / Corollary 2.15: each phase multiplies a small bias by >= 1.7 "
             "(up to a constant), after which the final phase makes all agents correct w.h.p.",
             "e6_stage2_boost",
+            supports_batch=True,
             parameters=_parameters(
                 ("n", 4000, "population size"),
                 ("epsilon", 0.2, "noise margin"),
@@ -250,6 +254,8 @@ REGISTRY: Dict[str, ExperimentSpec] = {
             "Cost of removing the global clock (bounded skew and activation phase)",
             "Theorem 3.1: additive O(log^2 n) rounds, unchanged message complexity",
             "e9_async",
+            supports_batch=True,
+            supports_point_jobs=True,
             parameters=_parameters(
                 ("n", 1000, "population size"),
                 ("epsilon", 0.25, "noise margin"),
@@ -279,6 +285,8 @@ REGISTRY: Dict[str, ExperimentSpec] = {
             "Section 1.4: every agent needs Omega(log n / eps^2) source samples, so even the idealised "
             "direct scheme needs that many rounds, and listen-only broadcast needs Theta(n log n / eps^2) rounds",
             "e11_lower_bounds",
+            supports_batch=True,
+            supports_point_jobs=True,
             parameters=_parameters(
                 ("n", 400, "population size"),
                 ("epsilon", 0.25, "noise margin"),

@@ -11,7 +11,6 @@ the algebra (monotonicity, limiting cases) directly.
 from __future__ import annotations
 
 import math
-from typing import Optional
 
 from ..errors import ParameterError
 from ..substrate.noise import validate_epsilon

@@ -12,22 +12,26 @@ package defines *how* the trials execute:
   plumbing behind the parallel runner;
 * :mod:`repro.exec.batching` — a vectorised path that simulates ``R``
   independent replicates of the noisy push-gossip protocols (broadcast,
-  majority consensus *and* the Section 1.6 baseline family) as ``(R, n)``
-  NumPy grids instead of one engine per trial, plus a generic batched sweep
-  dispatcher with an optional point-parallel mode (one shared pool across
-  independent grid points).
+  majority consensus *and* the Section 1.6 / Section 1.4 baseline family)
+  as ``(R, n)`` NumPy grids instead of one engine per trial, plus a generic
+  batched sweep dispatcher with an optional point-parallel mode (one shared
+  pool across independent grid points);
+* :mod:`repro.exec.stage_batching` — the instrumented ``(R, n)`` stage
+  kernels underneath the batched protocols: Stage I / Stage II round loops
+  with per-phase replicate-vector measurements (``X_i`` / ``Y_i`` /
+  ``eps_i`` / ``delta_i``) for the stage-level experiments E4–E6, and the
+  batched Section-3 executors (bounded skew, clock-free) for E9.
 
 Experiment drivers accept a ``runner=`` argument (surfaced as ``--jobs`` on
-the CLI) and, for the batchable experiments (E1–E3, E7, E8, E10), a
-``batch=`` flag (surfaced as ``--batch``; ``--jobs`` composes with it via
-point parallelism); see ``docs/ARCHITECTURE.md`` for the determinism
-contract of each path.
+the CLI) and — every driver, E1–E11 — a ``batch=`` flag (surfaced as
+``--batch``; ``--jobs`` composes with it via point parallelism where the
+driver sweeps independent cells); see ``docs/ARCHITECTURE.md`` for the
+determinism contract of each path.
 """
 
 from __future__ import annotations
 
 import os
-from typing import Optional
 
 from .batching import (
     BatchBaselineResult,
@@ -35,11 +39,23 @@ from .batching import (
     BatchMajorityResult,
     batch_to_experiment_result,
     batchable_baselines,
+    measurements_to_experiment_result,
     run_baseline_batch,
     run_broadcast_batch,
     run_broadcast_sweep_batched,
     run_majority_batch,
     run_sweep_batched,
+)
+from .stage_batching import (
+    BatchWindowedResult,
+    StageOneBatchResult,
+    StageTwoBatchResult,
+    run_bounded_skew_batch,
+    run_clock_free_batch,
+    run_stage1_batch,
+    run_stage1_instrumented,
+    run_stage2_batch,
+    run_stage2_instrumented,
 )
 from .runner import (
     ParallelTrialRunner,
@@ -66,8 +82,18 @@ __all__ = [
     "run_baseline_batch",
     "batchable_baselines",
     "batch_to_experiment_result",
+    "measurements_to_experiment_result",
     "run_sweep_batched",
     "run_broadcast_sweep_batched",
+    "StageOneBatchResult",
+    "StageTwoBatchResult",
+    "BatchWindowedResult",
+    "run_stage1_batch",
+    "run_stage2_batch",
+    "run_stage1_instrumented",
+    "run_stage2_instrumented",
+    "run_bounded_skew_batch",
+    "run_clock_free_batch",
 ]
 
 

@@ -18,12 +18,20 @@ Three protocol shapes are covered:
   a random initially-opinionated set per replicate, Stage I entered at the
   corollary's start phase ``i_A``, then Stage-II boosting;
 * :func:`run_baseline_batch` — the Section 1.6 / Section 1.4 comparator
-  family experiment E7 argues *against*, dispatched by registry name:
-  immediate forwarding (:class:`~repro.protocols.naive_forward.ImmediateForwardingBroadcast`),
-  the noisy voter dynamics (:class:`~repro.protocols.noisy_voter.NoisyVoterBroadcast`)
-  and the idealised direct-from-source reference
-  (:class:`~repro.protocols.direct_source.DirectSourceReference`), each with
+  family experiments E7 and E11 argue *against*, dispatched by registry
+  name: immediate forwarding
+  (:class:`~repro.protocols.naive_forward.ImmediateForwardingBroadcast`),
+  the noisy voter dynamics (:class:`~repro.protocols.noisy_voter.NoisyVoterBroadcast`),
+  the idealised direct-from-source reference
+  (:class:`~repro.protocols.direct_source.DirectSourceReference`) and the
+  listen-only silent-wait strategy
+  (:class:`~repro.protocols.silent_wait.SilentWaitBroadcast`), each with
   a vectorised step rule mirroring its serial class round for round.
+
+The Stage-I/Stage-II round loops underneath :func:`run_broadcast_batch` and
+:func:`run_majority_batch` live in :mod:`repro.exec.stage_batching` (one
+batched transcription of each stage rule, shared with the instrumented
+stage-level experiments E4–E6 and the windowed E9 executors).
 
 :func:`run_sweep_batched` dispatches whole sweeps point-by-point onto the
 right batch simulator, forwarding *every* recognised point setting
@@ -64,23 +72,30 @@ from __future__ import annotations
 import inspect
 import math
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Tuple
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..core.majority import compute_start_phase
-from ..core.opinions import bias_from_counts, counts_from_bias, opposite, validate_opinion
-from ..core.parameters import ProtocolParameters, StageOneParameters, StageTwoParameters
+from ..core.opinions import bias_from_counts, counts_from_bias, validate_opinion
+from ..core.parameters import ProtocolParameters
 from ..errors import ExperimentError, ParameterError, SimulationError
 from ..protocols.direct_source import DirectSourceReference
 from ..protocols.naive_forward import ImmediateForwardingBroadcast
 from ..protocols.noisy_voter import NoisyVoterBroadcast
+from ..protocols.silent_wait import default_decision_threshold
 from ..substrate.network import PushGossipNetwork
 from ..substrate.noise import BinarySymmetricChannel, NoiseChannel
 from ..substrate.population import NO_OPINION
 from ..substrate.rng import derive_seed, spawn_generator
 from . import pool
 from .runner import trial_seeds
+from .stage_batching import (
+    run_stage1_batch,
+    run_stage2_batch,
+    seeded_batch_state,
+    source_batch_state,
+)
 
 __all__ = [
     "BatchBroadcastResult",
@@ -91,6 +106,7 @@ __all__ = [
     "run_baseline_batch",
     "batchable_baselines",
     "batch_to_experiment_result",
+    "measurements_to_experiment_result",
     "run_sweep_batched",
     "run_broadcast_sweep_batched",
 ]
@@ -319,131 +335,16 @@ class BatchBaselineResult:
 
 
 # ----------------------------------------------------------------------
-# Shared (R, n) protocol machinery
-# ----------------------------------------------------------------------
-
-
-@dataclass
-class _BatchState:
-    """Mutable replicate-grid state shared by the two batched protocols.
-
-    Mirrors :class:`~repro.substrate.population.Population` across ``R``
-    replicates at once: an ``(R, n)`` opinion grid, an ``(R, n)`` activation
-    grid, per-replicate message counters and the global round counter.
-    """
-
-    opinions: np.ndarray
-    activated: np.ndarray
-    messages_sent: np.ndarray
-    rounds: int = 0
-
-    @property
-    def shape(self) -> Tuple[int, int]:
-        return self.opinions.shape
-
-
-def _execute_stage_one_batch(
-    state: _BatchState,
-    network: PushGossipNetwork,
-    channel: NoiseChannel,
-    rng: np.random.Generator,
-    stage1: StageOneParameters,
-    start_phase: int = 0,
-) -> None:
-    """Stage I (spreading in synchronized layers, Section 2.1) on ``(R, n)`` grids.
-
-    ``start_phase`` is the first phase to execute: 0 for broadcast, the
-    corollary's ``i_A`` for majority consensus — exactly the parameter
-    :func:`repro.core.stage1.execute_stage_one` takes serially.
-    """
-    R, n = state.shape
-    for phase in range(start_phase, stage1.num_phases):
-        phase_length = stage1.phase_length(phase)
-        # Senders are fixed at phase start: activated and opinionated agents.
-        send_mask = state.activated & (state.opinions != NO_OPINION)
-        bits = np.where(send_mask, state.opinions, 0).astype(np.int8)
-        dormant = ~state.activated
-
-        # Per-agent reservoir sampling over the messages heard this phase,
-        # exactly as ReceptionAccumulator does serially.
-        heard_counts = np.zeros((R, n), dtype=np.int64)
-        chosen = np.full((R, n), NO_OPINION, dtype=np.int8)
-        senders_per_replicate = send_mask.sum(axis=1)
-        for _ in range(phase_length):
-            report = network.deliver_batch(send_mask, bits, channel, rng)
-            rows, cols = np.nonzero(report.accepted & dormant)
-            if rows.size:
-                counts = heard_counts[rows, cols] + 1
-                heard_counts[rows, cols] = counts
-                replace = rng.random(rows.size) < 1.0 / counts
-                keep_rows, keep_cols = rows[replace], cols[replace]
-                chosen[keep_rows, keep_cols] = report.bits[keep_rows, keep_cols]
-            state.messages_sent += senders_per_replicate
-            state.rounds += 1
-
-        newly = (heard_counts > 0) & dormant
-        state.activated |= newly
-        state.opinions = np.where(newly, chosen, state.opinions)
-
-
-def _stage1_bias(opinions: np.ndarray, correct_opinion: int) -> np.ndarray:
-    """Per-replicate population bias towards ``correct_opinion`` (the paper's ``delta_1``)."""
-    correct = (opinions == correct_opinion).sum(axis=1)
-    wrong = ((opinions != correct_opinion) & (opinions != NO_OPINION)).sum(axis=1)
-    opinionated = correct + wrong
-    return np.where(
-        opinionated > 0, (correct - wrong) / np.maximum(2 * opinionated, 1), 0.0
-    ).astype(float)
-
-
-def _execute_stage_two_batch(
-    state: _BatchState,
-    network: PushGossipNetwork,
-    channel: NoiseChannel,
-    rng: np.random.Generator,
-    stage2: StageTwoParameters,
-) -> None:
-    """Stage II (boosting by repeated noisy majorities, Section 2.2) on ``(R, n)`` grids."""
-    R, n = state.shape
-    for phase in range(1, stage2.num_phases + 1):
-        phase_length = stage2.phase_length(phase)
-        subset_size = phase_length // 2
-        # Messages sent during the phase all carry the phase-start opinion.
-        snapshot = state.opinions.copy()
-        send_mask = snapshot != NO_OPINION
-        bits = np.where(send_mask, snapshot, 0).astype(np.int8)
-        senders_per_replicate = send_mask.sum(axis=1)
-
-        totals = np.zeros((R, n), dtype=np.int64)
-        ones = np.zeros((R, n), dtype=np.int64)
-        for _ in range(phase_length):
-            report = network.deliver_batch(send_mask, bits, channel, rng)
-            totals += report.accepted
-            ones += report.bits  # zero wherever nothing was accepted
-            state.messages_sent += senders_per_replicate
-            state.rounds += 1
-
-        successful = totals >= subset_size
-        # Majority of a uniformly random subset of exactly subset_size samples,
-        # simulated exactly by a hypergeometric draw (cf. stage2.majority_of_
-        # random_subset).  Parameters are clamped to a legal configuration at
-        # unsuccessful positions; those draws are discarded below.
-        safe_ones = np.where(successful, ones, subset_size)
-        safe_zeros = np.where(successful, totals - ones, 0)
-        ones_in_subset = rng.hypergeometric(safe_ones, safe_zeros, subset_size)
-        doubled = 2 * ones_in_subset
-        majority = np.where(doubled > subset_size, 1, 0).astype(np.int8)
-        ties = doubled == subset_size
-        if np.any(ties):
-            tie_break = rng.integers(0, 2, size=(R, n)).astype(np.int8)
-            majority = np.where(ties, tie_break, majority)
-        state.opinions = np.where(successful, majority, state.opinions)
-        state.activated |= successful
-
-
-# ----------------------------------------------------------------------
 # The two batched protocol entry points
 # ----------------------------------------------------------------------
+#
+# The (R, n) stage round loops themselves live in
+# :mod:`repro.exec.stage_batching` (run_stage1_batch / run_stage2_batch):
+# one batched transcription of each stage rule, shared between these
+# protocol-level simulators and the instrumented stage-level experiments
+# (E4-E6, E9).  The kernels consume the batch stream in exactly the order
+# the loops formerly inlined here did, so results for a fixed base seed are
+# unchanged.
 
 
 def run_broadcast_batch(
@@ -496,20 +397,11 @@ def run_broadcast_batch(
 
     rng = spawn_generator(base_seed, "batch-broadcast", n)
     network = PushGossipNetwork(size=n, allow_self_messages=allow_self_messages)
-    R = num_replicates
 
     # Replicate state, mirroring Population: opinion grid and activation grid.
-    opinions = np.full((R, n), NO_OPINION, dtype=np.int8)
-    activated = np.zeros((R, n), dtype=bool)
-    opinions[:, 0] = correct_opinion  # agent 0 is the source in every replicate
-    activated[:, 0] = True
-    state = _BatchState(
-        opinions=opinions, activated=activated, messages_sent=np.zeros(R, dtype=np.int64)
-    )
-
-    _execute_stage_one_batch(state, network, channel, rng, parameters.stage1)
-    stage1_bias = _stage1_bias(state.opinions, correct_opinion)
-    _execute_stage_two_batch(state, network, channel, rng, parameters.stage2)
+    state = source_batch_state(n, num_replicates, correct_opinion)
+    stage1 = run_stage1_batch(state, network, channel, rng, parameters.stage1, correct_opinion)
+    run_stage2_batch(state, network, channel, rng, parameters.stage2, correct_opinion)
 
     correct_final = (state.opinions == correct_opinion).sum(axis=1)
     return BatchBroadcastResult(
@@ -520,7 +412,7 @@ def run_broadcast_batch(
         success=correct_final == n,
         final_correct_fraction=correct_final / n,
         messages_sent=state.messages_sent,
-        stage1_bias=stage1_bias,
+        stage1_bias=stage1.final_bias,
     )
 
 
@@ -591,26 +483,13 @@ def run_majority_batch(
 
     rng = spawn_generator(base_seed, "batch-majority", n)
     network = PushGossipNetwork(size=n, allow_self_messages=allow_self_messages)
-    R = num_replicates
 
-    # Instance generation, one independent instance per replicate: the first
-    # `initial_set_size` columns of a random permutation are a uniformly
-    # random subset in uniformly random order, so giving the first
-    # `correct_count` of them the majority opinion realises the same
-    # distribution as MajorityInstance.generate's shuffle.
-    members = np.argsort(rng.random((R, n)), axis=1)[:, :initial_set_size]
-    correct_count, wrong_count = counts_from_bias(initial_set_size, majority_bias)
-    member_opinions = np.full((R, initial_set_size), opposite(majority_opinion), dtype=np.int8)
-    member_opinions[:, :correct_count] = majority_opinion
-
-    opinions = np.full((R, n), NO_OPINION, dtype=np.int8)
-    activated = np.zeros((R, n), dtype=bool)
-    replicate_rows = np.repeat(np.arange(R), initial_set_size)
-    opinions[replicate_rows, members.ravel()] = member_opinions.ravel()
-    activated[replicate_rows, members.ravel()] = True
-    state = _BatchState(
-        opinions=opinions, activated=activated, messages_sent=np.zeros(R, dtype=np.int64)
+    # Instance generation, one independent instance per replicate, realising
+    # the same distribution as MajorityInstance.generate's shuffle.
+    state = seeded_batch_state(
+        n, num_replicates, initial_set_size, majority_bias, majority_opinion, rng
     )
+    correct_count, wrong_count = counts_from_bias(initial_set_size, majority_bias)
 
     resolved_start_phase = (
         start_phase
@@ -618,11 +497,16 @@ def run_majority_batch(
         else compute_start_phase(parameters, initial_set_size)
     )
 
-    _execute_stage_one_batch(
-        state, network, channel, rng, parameters.stage1, start_phase=resolved_start_phase
+    stage1 = run_stage1_batch(
+        state,
+        network,
+        channel,
+        rng,
+        parameters.stage1,
+        majority_opinion,
+        start_phase=resolved_start_phase,
     )
-    stage1_bias = _stage1_bias(state.opinions, majority_opinion)
-    _execute_stage_two_batch(state, network, channel, rng, parameters.stage2)
+    run_stage2_batch(state, network, channel, rng, parameters.stage2, majority_opinion)
 
     correct_final = (state.opinions == majority_opinion).sum(axis=1)
     return BatchMajorityResult(
@@ -636,12 +520,12 @@ def run_majority_batch(
         success=correct_final == n,
         final_correct_fraction=correct_final / n,
         messages_sent=state.messages_sent,
-        stage1_bias=stage1_bias,
+        stage1_bias=stage1.final_bias,
     )
 
 
 # ----------------------------------------------------------------------
-# Batched baseline protocols (the E7 comparator family)
+# Batched baseline protocols (the E7 / E11 comparator family)
 # ----------------------------------------------------------------------
 
 
@@ -834,6 +718,110 @@ def _run_direct_source_batch(
     )
 
 
+def _run_silent_wait_batch(
+    n: int,
+    num_replicates: int,
+    network: PushGossipNetwork,
+    channel: NoiseChannel,
+    rng: np.random.Generator,
+    correct_opinion: int,
+    threshold: Optional[int] = None,
+    max_rounds: Optional[int] = None,
+) -> BatchBaselineResult:
+    """Vectorised step rule mirroring
+    :class:`~repro.protocols.silent_wait.SilentWaitBroadcast`
+    (defaults are read from the serial module, never duplicated).
+
+    Only the source ever speaks — one message per round per replicate — so
+    the per-round work is a single uniform target draw plus one noisy bit per
+    replicate instead of a full ``(R, n)`` delivery grid; every other agent
+    accumulates the noisy source bits it happens to receive and decides by
+    majority once it has collected ``threshold`` of them (re-deciding on
+    every later receipt, exactly as the serial class does).  Replicates stop
+    as soon as every agent has decided; ``rounds`` is therefore a vector and
+    budget exhaustion shows up as ``converged`` false.  The extra vector
+    ``first_round_with_two_messages`` reproduces the Section 1.6 birthday
+    observation (``NaN`` — reported as ``None`` — when no agent ever heard
+    two messages).
+    """
+    if threshold is None:
+        threshold = default_decision_threshold(n, channel.epsilon)
+    if threshold < 1:
+        raise ParameterError("threshold must be at least 1")
+    budget = max_rounds if max_rounds is not None else 8 * n * threshold
+    if budget < 1:
+        raise ParameterError("max_rounds must be at least 1")
+
+    R = num_replicates
+    received = np.zeros((R, n), dtype=np.int64)
+    ones = np.zeros((R, n), dtype=np.int64)
+    decided = np.zeros((R, n), dtype=bool)
+    decided[:, 0] = True  # agent 0 is the source in every replicate
+    opinions = np.full((R, n), NO_OPINION, dtype=np.int8)
+    opinions[:, 0] = correct_opinion
+    rounds = np.zeros(R, dtype=np.int64)
+    messages = np.zeros(R, dtype=np.int64)
+    first_double = np.full(R, np.nan)
+    alive = np.ones(R, dtype=bool)
+    alive_rows = np.flatnonzero(alive)
+
+    for round_index in range(budget):
+        if alive_rows.size == 0:
+            break
+        # One message per replicate: the source (agent 0) pushes its bit to a
+        # uniformly random (other, unless the network allows self-messages)
+        # agent; no collisions are possible, so the single-accept rule of
+        # PushGossipNetwork.deliver is trivial here — but the target
+        # distribution mirrors PushGossipNetwork._draw_targets exactly.
+        if network.allow_self_messages:
+            targets = rng.integers(0, n, size=alive_rows.size)
+        else:
+            draws = rng.integers(0, n - 1, size=alive_rows.size)
+            targets = draws + 1  # skip over the source's own index
+        bits = channel.transmit(
+            np.full(alive_rows.size, correct_opinion, dtype=np.int8), rng
+        )
+        received[alive_rows, targets] += 1
+        ones[alive_rows, targets] += bits.astype(np.int64)
+        rounds[alive_rows] += 1
+        messages[alive_rows] += 1
+
+        counts_now = received[alive_rows, targets]
+        fresh_double = (counts_now >= 2) & np.isnan(first_double[alive_rows])
+        first_double[alive_rows[fresh_double]] = round_index + 1
+
+        ready = counts_now >= threshold
+        if ready.any():
+            ready_rows = alive_rows[ready]
+            ready_cols = targets[ready]
+            decided[ready_rows, ready_cols] = True
+            opinions[ready_rows, ready_cols] = (
+                2 * ones[ready_rows, ready_cols] > received[ready_rows, ready_cols]
+            ).astype(np.int8)
+            done = decided[ready_rows].all(axis=1)
+            if done.any():
+                alive[ready_rows[done]] = False
+                alive_rows = np.flatnonzero(alive)
+
+    correct_final = (opinions == correct_opinion).sum(axis=1)
+    return BatchBaselineResult(
+        protocol="silent-wait",
+        n=n,
+        epsilon=float(channel.epsilon),
+        correct_opinion=int(correct_opinion),
+        rounds=rounds,
+        converged=decided.all(axis=1),
+        success=correct_final == n,
+        final_correct_fraction=correct_final / n,
+        messages_sent=messages,
+        extra={
+            "threshold": np.full(R, threshold, dtype=np.int64),
+            "decided_fraction": decided.sum(axis=1) / n,
+            "first_round_with_two_messages": first_double,
+        },
+    )
+
+
 def _running_majority(
     ones: np.ndarray, rounds_so_far: int, rng: np.random.Generator
 ) -> np.ndarray:
@@ -856,6 +844,7 @@ _BASELINE_BATCH_RULES: Dict[str, Tuple[Callable[..., BatchBaselineResult], froze
     "immediate-forwarding": (_run_forwarding_batch, frozenset({"max_rounds", "keep_first_opinion"})),
     "noisy-voter": (_run_voter_batch, frozenset({"max_rounds", "check_every"})),
     "direct-source-reference": (_run_direct_source_batch, frozenset({"rounds"})),
+    "silent-wait": (_run_silent_wait_batch, frozenset({"threshold", "max_rounds"})),
 }
 
 
@@ -953,6 +942,34 @@ def run_baseline_batch(
     )
 
 
+def measurements_to_experiment_result(
+    name: str,
+    measurements: Sequence[Mapping[str, Any]],
+    base_seed: int = 0,
+    config: Optional[Mapping[str, Any]] = None,
+) -> "Any":
+    """Package per-replicate measurement mappings as an ``ExperimentResult``.
+
+    Replicate ``i``'s measurements are recorded under the same identifying
+    seed ``trial_seed(base_seed, name, i)`` that a serial run would use, so
+    downstream summaries, tables and serialisation treat batched and serial
+    experiments uniformly.  (The seed identifies the trial; the batch's
+    randomness comes from the batch stream — see the module docstring's
+    determinism contract.)  This is the assembly step shared by
+    :func:`batch_to_experiment_result` and the stage-instrumented drivers
+    (E4–E6), whose measurement keys are driver-specific.
+    """
+    from ..analysis.experiments import ExperimentResult, TrialResult
+
+    seeds = trial_seeds(base_seed, name, len(measurements))
+    result = ExperimentResult(name=name, config=dict(config or {}))
+    for index, (seed, trial_measurements) in enumerate(zip(seeds, measurements)):
+        result.trials.append(
+            TrialResult(trial_index=index, seed=seed, measurements=dict(trial_measurements))
+        )
+    return result
+
+
 def batch_to_experiment_result(
     name: str,
     batch: Any,
@@ -961,24 +978,18 @@ def batch_to_experiment_result(
 ) -> "Any":
     """Package a batch as an :class:`~repro.analysis.experiments.ExperimentResult`.
 
-    ``batch`` is either a :class:`BatchBroadcastResult` or a
-    :class:`BatchMajorityResult` (anything exposing ``num_replicates`` and
-    ``measurements``).  Trial ``i`` records replicate ``i``'s measurements
-    under the same identifying seed ``trial_seed(base_seed, name, i)`` that a
-    serial run would use, so downstream summaries, tables and serialisation
-    treat batched and serial experiments uniformly.  (The seed identifies the
-    trial; the batch's randomness comes from the batch stream — see the
-    module docstring's determinism contract.)
+    ``batch`` is any batch result exposing ``num_replicates`` and
+    ``measurements`` (:class:`BatchBroadcastResult`,
+    :class:`BatchMajorityResult`, :class:`BatchBaselineResult`, or the E9
+    :class:`~repro.exec.stage_batching.BatchWindowedResult`); see
+    :func:`measurements_to_experiment_result` for the seed contract.
     """
-    from ..analysis.experiments import ExperimentResult, TrialResult
-
-    seeds = trial_seeds(base_seed, name, batch.num_replicates)
-    result = ExperimentResult(name=name, config=dict(config or {}))
-    for index, seed in enumerate(seeds):
-        result.trials.append(
-            TrialResult(trial_index=index, seed=seed, measurements=batch.measurements(index))
-        )
-    return result
+    return measurements_to_experiment_result(
+        name,
+        [batch.measurements(index) for index in range(batch.num_replicates)],
+        base_seed=base_seed,
+        config=config,
+    )
 
 
 # ----------------------------------------------------------------------
@@ -1104,7 +1115,7 @@ def _resolve_batch_task(
         kwargs["majority_bias"] = float(kwargs["majority_bias"])
     if kwargs.get("start_phase") is not None:
         kwargs["start_phase"] = int(kwargs["start_phase"])
-    for round_setting in ("max_rounds", "check_every", "rounds"):
+    for round_setting in ("max_rounds", "check_every", "rounds", "threshold"):
         if kwargs.get(round_setting) is not None:
             kwargs[round_setting] = int(kwargs[round_setting])
     kwargs["num_replicates"] = trials_per_point

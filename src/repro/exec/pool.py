@@ -28,7 +28,7 @@ from __future__ import annotations
 import os
 import pickle
 from concurrent.futures import ProcessPoolExecutor
-from typing import Any, Callable, List, Mapping, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..errors import ExperimentError
 
@@ -39,6 +39,7 @@ __all__ = [
     "run_trials_in_pool",
     "run_point_trials_in_pool",
     "run_tasks_in_pool",
+    "run_point_tasks",
 ]
 
 #: Target number of chunks handed to each worker, to amortise IPC overhead
@@ -177,3 +178,27 @@ def run_tasks_in_pool(
     """
     with ProcessPoolExecutor(max_workers=jobs) as pool:
         return list(pool.map(_invoke_task, tasks))
+
+
+def run_point_tasks(
+    tasks: Sequence[Tuple[Callable[..., Any], Dict[str, Any]]],
+    point_jobs: Optional[int],
+    runner: Optional[Any] = None,
+) -> List[Any]:
+    """Run per-cell ``(fn, kwargs)`` tasks in cell order, pooled or in-process.
+
+    The one dispatch rule shared by the cell-structured experiment drivers
+    (E4, E7, E9, E11): resolve ``point_jobs`` with
+    :func:`resolve_point_jobs`; when a pool is warranted, execute the tasks
+    on it (every kwarg — including per-cell seeds — was resolved in the
+    parent, so results are bit-identical to the in-process loop); otherwise
+    run in-process, injecting ``runner=runner`` into each task when a serial
+    trial runner was given (batch-path callers pass ``runner=None``).
+    """
+    jobs = resolve_point_jobs(point_jobs, len(tasks))
+    if jobs > 1:
+        return run_tasks_in_pool(tasks, jobs)
+    if runner is not None:
+        for _, kwargs in tasks:
+            kwargs["runner"] = runner
+    return [fn(**kwargs) for fn, kwargs in tasks]

@@ -1,0 +1,1037 @@
+"""Vectorised, *instrumented* stage kernels for the two-stage protocol.
+
+:mod:`repro.exec.batching` batches whole protocol runs — Theorem 2.17's
+broadcast, Corollary 2.18's majority consensus, the Section 1.6 baselines —
+as ``(R, n)`` array programs, but until this module existed the *stage-level*
+experiments (E4's phase-0 dissemination, E5's per-phase layer growth, E6's
+per-phase bias boosting, E9's clock-free variants) could only run serially:
+their drivers need the per-phase observables ``X_i`` / ``Y_i`` / ``eps_i``
+(Claims 2.2–2.8) and ``delta_i`` (Lemma 2.14) that the protocol-level batch
+kernels deliberately do not record.
+
+This module closes that gap.  It hosts the single implementation of the
+batched Stage-I and Stage-II round loops — :func:`run_stage1_batch`
+mirroring :func:`repro.core.stage1.execute_stage_one` (sender masks fixed at
+phase start, :class:`~repro.core.stage1.ReceptionAccumulator` reservoir
+semantics, newly-activated measurement per phase) and
+:func:`run_stage2_batch` mirroring
+:func:`repro.core.stage2.execute_stage_two`
+(:class:`~repro.core.stage2.SampleAccumulator` counting plus the
+hypergeometric simulation of
+:func:`~repro.core.stage2.majority_of_random_subset`) — and returns
+replicate-vector phase summaries shaped exactly like the serial
+:class:`~repro.core.stage1.StageOnePhaseSummary` /
+:class:`~repro.core.stage2.StageTwoPhaseSummary`.  The protocol-level
+simulators in :mod:`repro.exec.batching` delegate their stage loops here, so
+there is exactly one batched transcription of each stage rule in the
+repository.
+
+On top of the synchronous kernels, the module batches the Section-3
+executors used by experiment E9: :func:`run_bounded_skew_batch` (Section 3.1
+guard windows) and :func:`run_clock_free_batch` (Section 3.2 activation
+phase followed by guarded stages), both mirroring
+:mod:`repro.core.synchronizer` with per-replicate clock offsets, schedules
+and guards.
+
+Determinism contract
+--------------------
+Identical to :mod:`repro.exec.batching` (see that module's docstring): a
+batch is fully determined by its ``(n, epsilon, num_replicates, base_seed,
+parameters)`` inputs — two identical calls return bit-identical arrays — and
+per-replicate dynamics are statistically equivalent to the serial executors,
+with every *deterministic* observable (the phase schedule, per-phase round
+counts, phase-0 sender counts, message counts of schedule-fixed phases, the
+``SimulationError`` raised on unopinionated populations) bit-identical to
+the serial path.  Stochastic observables come from one batch-level stream
+rather than one stream tree per engine, which is what makes a single
+:meth:`~repro.substrate.network.PushGossipNetwork.deliver_batch` call per
+round possible in the first place; ``docs/ARCHITECTURE.md`` spells out why
+that is the only part of serial/batch bit-identity that is *not* attainable.
+The differential tests in ``tests/unit/exec/test_stage_batching.py`` pin
+both halves phase by phase.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..core.parameters import (
+    ProtocolParameters,
+    StageOneParameters,
+    StageTwoParameters,
+)
+from ..core.opinions import counts_from_bias, opposite, validate_opinion
+from ..core.schedule import PhaseSchedule, build_stage1_schedule, build_stage2_schedule
+from ..core.synchronizer import default_guard
+from ..errors import ExperimentError, ParameterError, SimulationError
+from ..substrate.network import PushGossipNetwork
+from ..substrate.noise import BinarySymmetricChannel, NoiseChannel
+from ..substrate.population import NO_OPINION
+from ..substrate.rng import spawn_generator
+
+__all__ = [
+    "BatchState",
+    "StageOnePhaseBatchSummary",
+    "StageOneBatchResult",
+    "StageTwoPhaseBatchSummary",
+    "StageTwoBatchResult",
+    "BatchWindowedResult",
+    "population_bias_grid",
+    "source_batch_state",
+    "seeded_batch_state",
+    "run_stage1_batch",
+    "run_stage2_batch",
+    "run_stage1_instrumented",
+    "run_stage2_instrumented",
+    "run_bounded_skew_batch",
+    "run_clock_free_batch",
+]
+
+
+@dataclass
+class BatchState:
+    """Mutable replicate-grid state shared by every batched protocol.
+
+    Mirrors :class:`~repro.substrate.population.Population` across ``R``
+    replicates at once: an ``(R, n)`` opinion grid, an ``(R, n)`` activation
+    grid, per-replicate message counters and the shared round counter.
+    """
+
+    opinions: np.ndarray
+    activated: np.ndarray
+    messages_sent: np.ndarray
+    rounds: int = 0
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        """The replicate-grid shape ``(R, n)``."""
+        return self.opinions.shape
+
+
+@dataclass(frozen=True)
+class StageOnePhaseBatchSummary:
+    """Replicate-vector counterpart of :class:`~repro.core.stage1.StageOnePhaseSummary`.
+
+    Scalar fields (``phase``, ``rounds``) are shared by every replicate
+    because the paper's schedule is deterministic; the array fields hold one
+    entry per replicate, in replicate order — ``activated_total`` is the
+    paper's ``X_i``, ``newly_activated`` is ``Y_i``, ``newly_correct`` is
+    ``Z_i`` and ``bias_of_new`` is ``eps_i``.
+    """
+
+    phase: int
+    rounds: int
+    senders: np.ndarray
+    activated_total: np.ndarray
+    newly_activated: np.ndarray
+    newly_correct: np.ndarray
+    bias_of_new: np.ndarray
+    messages_sent: np.ndarray
+
+
+@dataclass(frozen=True)
+class StageOneBatchResult:
+    """Replicate-vector counterpart of :class:`~repro.core.stage1.StageOneResult`."""
+
+    phases: Tuple[StageOnePhaseBatchSummary, ...]
+    rounds: int
+    messages_sent: np.ndarray
+    all_activated: np.ndarray
+    initially_correct: np.ndarray
+    initially_correct_fraction: np.ndarray
+    final_bias: np.ndarray
+
+    @property
+    def num_replicates(self) -> int:
+        """Number of replicates ``R`` in the batch."""
+        return int(self.messages_sent.size)
+
+    def phase(self, index: int) -> StageOnePhaseBatchSummary:
+        """Return the summary of phase ``index``."""
+        for summary in self.phases:
+            if summary.phase == index:
+                return summary
+        raise KeyError(f"no Stage-I phase {index} in this result")
+
+
+@dataclass(frozen=True)
+class StageTwoPhaseBatchSummary:
+    """Replicate-vector counterpart of :class:`~repro.core.stage2.StageTwoPhaseSummary`.
+
+    ``bias_before`` / ``bias_after`` are the population biases ``delta_i``
+    and ``delta_{i+1}`` that the analysis of Lemma 2.14 tracks, one entry
+    per replicate.
+    """
+
+    phase: int
+    rounds: int
+    successful_agents: np.ndarray
+    bias_before: np.ndarray
+    bias_after: np.ndarray
+    correct_fraction_after: np.ndarray
+    messages_sent: np.ndarray
+
+
+@dataclass(frozen=True)
+class StageTwoBatchResult:
+    """Replicate-vector counterpart of :class:`~repro.core.stage2.StageTwoResult`."""
+
+    phases: Tuple[StageTwoPhaseBatchSummary, ...]
+    rounds: int
+    messages_sent: np.ndarray
+    final_correct_fraction: np.ndarray
+    final_bias: np.ndarray
+    consensus_reached: np.ndarray
+
+    @property
+    def num_replicates(self) -> int:
+        """Number of replicates ``R`` in the batch."""
+        return int(self.messages_sent.size)
+
+    def phase(self, index: int) -> StageTwoPhaseBatchSummary:
+        """Return the summary of phase ``index`` (1-based, as in the paper)."""
+        for summary in self.phases:
+            if summary.phase == index:
+                return summary
+        raise KeyError(f"no Stage-II phase {index} in this result")
+
+
+# ----------------------------------------------------------------------
+# State builders
+# ----------------------------------------------------------------------
+
+
+def source_batch_state(n: int, num_replicates: int, correct_opinion: int) -> BatchState:
+    """Broadcast-shaped initial state: agent 0 is the opinionated source.
+
+    Mirrors :meth:`~repro.substrate.engine.SimulationEngine.create` followed
+    by :meth:`~repro.substrate.population.Population.set_source_opinion`,
+    replicated ``R`` times.
+    """
+    correct_opinion = validate_opinion(correct_opinion)
+    opinions = np.full((num_replicates, n), NO_OPINION, dtype=np.int8)
+    activated = np.zeros((num_replicates, n), dtype=bool)
+    opinions[:, 0] = correct_opinion  # agent 0 is the source in every replicate
+    activated[:, 0] = True
+    return BatchState(
+        opinions=opinions,
+        activated=activated,
+        messages_sent=np.zeros(num_replicates, dtype=np.int64),
+    )
+
+
+def seeded_batch_state(
+    n: int,
+    num_replicates: int,
+    initial_set_size: int,
+    majority_bias: float,
+    majority_opinion: int,
+    rng: np.random.Generator,
+) -> BatchState:
+    """Majority-shaped initial state: a random opinionated set per replicate.
+
+    One independent instance per replicate: the first ``initial_set_size``
+    columns of a random permutation are a uniformly random subset in
+    uniformly random order, so giving the first ``correct_count`` of them
+    the majority opinion realises the same distribution as
+    :meth:`~repro.core.majority.MajorityInstance.generate`'s shuffle.  The
+    correct/wrong split is the deterministic
+    :func:`~repro.core.opinions.counts_from_bias` split, exactly as in the
+    serial generator.
+    """
+    majority_opinion = validate_opinion(majority_opinion)
+    if not 1 <= initial_set_size <= n:
+        raise ParameterError(f"initial set size must be in [1, n], got {initial_set_size}")
+    if majority_bias < 0:
+        raise ParameterError("majority bias must be non-negative")
+    R = num_replicates
+    members = np.argsort(rng.random((R, n)), axis=1)[:, :initial_set_size]
+    correct_count, _wrong_count = counts_from_bias(initial_set_size, majority_bias)
+    member_opinions = np.full((R, initial_set_size), opposite(majority_opinion), dtype=np.int8)
+    member_opinions[:, :correct_count] = majority_opinion
+
+    opinions = np.full((R, n), NO_OPINION, dtype=np.int8)
+    activated = np.zeros((R, n), dtype=bool)
+    replicate_rows = np.repeat(np.arange(R), initial_set_size)
+    opinions[replicate_rows, members.ravel()] = member_opinions.ravel()
+    activated[replicate_rows, members.ravel()] = True
+    return BatchState(
+        opinions=opinions, activated=activated, messages_sent=np.zeros(R, dtype=np.int64)
+    )
+
+
+def population_bias_grid(opinions: np.ndarray, correct_opinion: int) -> np.ndarray:
+    """Per-replicate majority-bias of the opinionated agents (Section 1.3.1).
+
+    Grid-shaped transcription of
+    :meth:`~repro.substrate.population.Population.bias`: ``(correct - wrong)
+    / (2 * opinionated)``, ``0.0`` for replicates where nobody holds an
+    opinion yet.
+    """
+    correct = (opinions == correct_opinion).sum(axis=1)
+    wrong = ((opinions != correct_opinion) & (opinions != NO_OPINION)).sum(axis=1)
+    opinionated = correct + wrong
+    return np.where(
+        opinionated > 0, (correct - wrong) / np.maximum(2 * opinionated, 1), 0.0
+    ).astype(float)
+
+
+def _bias_of_new_grid(newly_correct: np.ndarray, newly_activated: np.ndarray) -> np.ndarray:
+    """Vectorised :func:`~repro.core.opinions.bias_from_counts` over replicates."""
+    totals = np.maximum(newly_activated, 1)
+    return np.where(
+        newly_activated > 0, (2 * newly_correct - newly_activated) / (2 * totals), 0.0
+    ).astype(float)
+
+
+# ----------------------------------------------------------------------
+# Stage I — spreading in synchronized layers (Section 2.1)
+# ----------------------------------------------------------------------
+
+
+class _ReservoirScratch:
+    """Hoisted per-phase scratch grids of the batched Stage-I reservoir.
+
+    The serial :class:`~repro.core.stage1.ReceptionAccumulator` allocates its
+    per-agent buffers once per Stage-I execution and ``reset()``s them per
+    phase; this is the ``(R, n)`` analogue — allocated once per batch, wiped
+    with ``fill`` at phase boundaries, never reallocated.  The allocation pin
+    in ``tests/unit/exec/test_stage_batching.py`` counts the grid
+    allocations of a multi-phase run to keep it that way.
+    """
+
+    def __init__(self, shape: Tuple[int, int]) -> None:
+        self.heard_counts = np.zeros(shape, dtype=np.int64)
+        self.chosen = np.full(shape, NO_OPINION, dtype=np.int8)
+
+    def reset(self) -> None:
+        self.heard_counts.fill(0)
+        self.chosen.fill(NO_OPINION)
+
+
+def run_stage1_batch(
+    state: BatchState,
+    network: PushGossipNetwork,
+    channel: NoiseChannel,
+    rng: np.random.Generator,
+    parameters: StageOneParameters,
+    correct_opinion: int,
+    start_phase: int = 0,
+) -> StageOneBatchResult:
+    """Stage I on ``(R, n)`` grids, mirroring :func:`repro.core.stage1.execute_stage_one`.
+
+    Parameters
+    ----------
+    state:
+        Freshly initialised replicate grids whose populations already contain
+        the initially opinionated agents: the source (broadcast, phase 0) or
+        the seeded set ``A`` (majority consensus, ``start_phase = i_A``).
+        Mutated in place, exactly as the serial executor mutates its engine.
+    network, channel, rng:
+        The shared batch network, noise channel and batch-level stream.
+    parameters:
+        Stage-I round budget (shared by every replicate).
+    correct_opinion:
+        The opinion ``B`` (used only for measurement, never by agents).
+    start_phase:
+        First phase to execute (Corollary 2.18), exactly as in the serial
+        executor.
+
+    Returns
+    -------
+    StageOneBatchResult
+        Per-phase replicate-vector summaries plus aggregate complexities.
+    """
+    correct_opinion = validate_opinion(correct_opinion)
+    R, n = state.shape
+    opinionated_counts = (state.opinions != NO_OPINION).sum(axis=1)
+    if not opinionated_counts.all():
+        raise SimulationError(
+            "Stage I needs at least one initially opinionated agent (source or seeded set)"
+        )
+
+    scratch = _ReservoirScratch((R, n))
+    summaries: List[StageOnePhaseBatchSummary] = []
+    messages_before = state.messages_sent.copy()
+    start_round = state.rounds
+
+    for phase in range(start_phase, parameters.num_phases):
+        phase_length = parameters.phase_length(phase)
+        # Senders are fixed at phase start: activated and opinionated agents.
+        # Newly contacted agents stay silent ("breathe") until the next phase.
+        send_mask = state.activated & (state.opinions != NO_OPINION)
+        bits = np.where(send_mask, state.opinions, 0).astype(np.int8)
+        dormant = ~state.activated
+        senders_per_replicate = send_mask.sum(axis=1)
+
+        # Per-agent reservoir sampling over the messages heard this phase,
+        # exactly as ReceptionAccumulator does serially: the m-th accepted
+        # message replaces the current choice with probability 1/m.
+        scratch.reset()
+        heard_counts, chosen = scratch.heard_counts, scratch.chosen
+        for _ in range(phase_length):
+            report = network.deliver_batch(send_mask, bits, channel, rng)
+            rows, cols = np.nonzero(report.accepted & dormant)
+            if rows.size:
+                counts = heard_counts[rows, cols] + 1
+                heard_counts[rows, cols] = counts
+                replace = rng.random(rows.size) < 1.0 / counts
+                keep_rows, keep_cols = rows[replace], cols[replace]
+                chosen[keep_rows, keep_cols] = report.bits[keep_rows, keep_cols]
+            state.messages_sent += senders_per_replicate
+            state.rounds += 1
+
+        newly = (heard_counts > 0) & dormant
+        state.activated |= newly
+        state.opinions = np.where(newly, chosen, state.opinions)
+
+        newly_activated = newly.sum(axis=1)
+        newly_correct = (newly & (chosen == correct_opinion)).sum(axis=1)
+        summaries.append(
+            StageOnePhaseBatchSummary(
+                phase=phase,
+                rounds=phase_length,
+                senders=senders_per_replicate,
+                activated_total=state.activated.sum(axis=1),
+                newly_activated=newly_activated,
+                newly_correct=newly_correct,
+                bias_of_new=_bias_of_new_grid(newly_correct, newly_activated),
+                messages_sent=senders_per_replicate * phase_length,
+            )
+        )
+
+    initially_correct = (state.opinions == correct_opinion).sum(axis=1)
+    return StageOneBatchResult(
+        phases=tuple(summaries),
+        rounds=state.rounds - start_round,
+        messages_sent=state.messages_sent - messages_before,
+        all_activated=state.activated.all(axis=1),
+        initially_correct=initially_correct,
+        initially_correct_fraction=initially_correct / n,
+        final_bias=population_bias_grid(state.opinions, correct_opinion),
+    )
+
+
+# ----------------------------------------------------------------------
+# Stage II — boosting by repeated noisy majorities (Section 2.2)
+# ----------------------------------------------------------------------
+
+
+class _SampleScratch:
+    """Hoisted per-phase scratch grids of the batched Stage-II sampler.
+
+    The ``(R, n)`` analogue of :class:`~repro.core.stage2.SampleAccumulator`:
+    allocated once per batch, wiped with ``fill`` at phase boundaries (see
+    :class:`_ReservoirScratch` for the allocation pin).
+    """
+
+    def __init__(self, shape: Tuple[int, int]) -> None:
+        self.totals = np.zeros(shape, dtype=np.int64)
+        self.ones = np.zeros(shape, dtype=np.int64)
+
+    def reset(self) -> None:
+        self.totals.fill(0)
+        self.ones.fill(0)
+
+
+def _majority_of_random_subset_grid(
+    totals: np.ndarray,
+    ones: np.ndarray,
+    successful: np.ndarray,
+    subset_size: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Grid-shaped :func:`~repro.core.stage2.majority_of_random_subset`.
+
+    The majority of a uniformly random ``subset_size``-subset of each agent's
+    samples depends on the samples only through the counts, so it is
+    simulated exactly by a hypergeometric draw (Remark 2.10's
+    order-invariance).  Parameters are clamped to a legal configuration at
+    unsuccessful positions; those draws are discarded by the caller.
+    """
+    safe_ones = np.where(successful, ones, subset_size)
+    safe_zeros = np.where(successful, totals - ones, 0)
+    ones_in_subset = rng.hypergeometric(safe_ones, safe_zeros, subset_size)
+    doubled = 2 * ones_in_subset
+    majority = np.where(doubled > subset_size, 1, 0).astype(np.int8)
+    ties = doubled == subset_size
+    if np.any(ties):
+        tie_break = rng.integers(0, 2, size=totals.shape).astype(np.int8)
+        majority = np.where(ties, tie_break, majority)
+    return majority
+
+
+def run_stage2_batch(
+    state: BatchState,
+    network: PushGossipNetwork,
+    channel: NoiseChannel,
+    rng: np.random.Generator,
+    parameters: StageTwoParameters,
+    correct_opinion: int,
+) -> StageTwoBatchResult:
+    """Stage II on ``(R, n)`` grids, mirroring :func:`repro.core.stage2.execute_stage_two`.
+
+    The population is expected to be (mostly) opinionated already.  Agents
+    without an opinion do not send but still collect samples and adopt the
+    majority of a random subset if they turn out successful, exactly as the
+    serial executor allows — which makes the kernel usable as a standalone
+    majority-consensus dynamic (experiment E6) as well.
+    """
+    correct_opinion = validate_opinion(correct_opinion)
+    R, n = state.shape
+    scratch = _SampleScratch((R, n))
+    summaries: List[StageTwoPhaseBatchSummary] = []
+    messages_before = state.messages_sent.copy()
+    start_round = state.rounds
+
+    for phase in range(1, parameters.num_phases + 1):
+        phase_length = parameters.phase_length(phase)
+        subset_size = phase_length // 2
+        bias_before = population_bias_grid(state.opinions, correct_opinion)
+
+        # Messages sent during the phase all carry the phase-start opinion.
+        snapshot = state.opinions.copy()
+        send_mask = snapshot != NO_OPINION
+        bits = np.where(send_mask, snapshot, 0).astype(np.int8)
+        senders_per_replicate = send_mask.sum(axis=1)
+
+        scratch.reset()
+        totals, ones = scratch.totals, scratch.ones
+        for _ in range(phase_length):
+            report = network.deliver_batch(send_mask, bits, channel, rng)
+            totals += report.accepted
+            ones += report.bits  # zero wherever nothing was accepted
+            state.messages_sent += senders_per_replicate
+            state.rounds += 1
+
+        successful = totals >= subset_size
+        majority = _majority_of_random_subset_grid(totals, ones, successful, subset_size, rng)
+        state.opinions = np.where(successful, majority, state.opinions)
+        state.activated |= successful
+
+        correct_now = (state.opinions == correct_opinion).sum(axis=1)
+        summaries.append(
+            StageTwoPhaseBatchSummary(
+                phase=phase,
+                rounds=phase_length,
+                successful_agents=successful.sum(axis=1),
+                bias_before=bias_before,
+                bias_after=population_bias_grid(state.opinions, correct_opinion),
+                correct_fraction_after=correct_now / n,
+                messages_sent=senders_per_replicate * phase_length,
+            )
+        )
+
+    correct_final = (state.opinions == correct_opinion).sum(axis=1)
+    return StageTwoBatchResult(
+        phases=tuple(summaries),
+        rounds=state.rounds - start_round,
+        messages_sent=state.messages_sent - messages_before,
+        final_correct_fraction=correct_final / n,
+        final_bias=population_bias_grid(state.opinions, correct_opinion),
+        consensus_reached=correct_final == n,
+    )
+
+
+# ----------------------------------------------------------------------
+# Instrumented experiment entry points (E4, E5, E6)
+# ----------------------------------------------------------------------
+
+
+def run_stage1_instrumented(
+    n: int,
+    epsilon: float,
+    num_replicates: int,
+    base_seed: int = 0,
+    correct_opinion: int = 1,
+    parameters: Optional[StageOneParameters] = None,
+    start_phase: int = 0,
+    channel: Optional[NoiseChannel] = None,
+    allow_self_messages: bool = False,
+) -> StageOneBatchResult:
+    """Run ``R`` independent source-seeded Stage-I executions at once.
+
+    The batched counterpart of the E4/E5 serial trial: build a broadcast
+    instance (source holds ``B``), run Stage I alone, and return the
+    per-phase observables of every replicate.  ``parameters`` defaults to
+    the calibrated Stage-I preset for ``(n, epsilon)``.
+    """
+    if num_replicates < 1:
+        raise ExperimentError("num_replicates must be at least 1")
+    correct_opinion = validate_opinion(correct_opinion)
+    if parameters is None:
+        parameters = ProtocolParameters.calibrated(n, epsilon).stage1
+    if channel is None:
+        channel = BinarySymmetricChannel(epsilon=epsilon)
+    rng = spawn_generator(base_seed, "batch-stage1", n)
+    network = PushGossipNetwork(size=n, allow_self_messages=allow_self_messages)
+    state = source_batch_state(n, num_replicates, correct_opinion)
+    return run_stage1_batch(
+        state, network, channel, rng, parameters, correct_opinion, start_phase=start_phase
+    )
+
+
+def run_stage2_instrumented(
+    n: int,
+    epsilon: float,
+    num_replicates: int,
+    initial_bias: float,
+    base_seed: int = 0,
+    correct_opinion: int = 1,
+    parameters: Optional[StageTwoParameters] = None,
+    initial_set_size: Optional[int] = None,
+    channel: Optional[NoiseChannel] = None,
+    allow_self_messages: bool = False,
+) -> StageTwoBatchResult:
+    """Run ``R`` independent bias-seeded Stage-II executions at once.
+
+    The batched counterpart of the E6 serial trial: seed a population at
+    exactly the starting bias Stage I would deliver (every agent opinionated
+    by default; pass ``initial_set_size`` for a partial set), run Stage II
+    alone, and return the per-phase bias trajectory of every replicate.
+    ``parameters`` defaults to the calibrated Stage-II preset.
+    """
+    if num_replicates < 1:
+        raise ExperimentError("num_replicates must be at least 1")
+    correct_opinion = validate_opinion(correct_opinion)
+    if parameters is None:
+        parameters = ProtocolParameters.calibrated(n, epsilon).stage2
+    if channel is None:
+        channel = BinarySymmetricChannel(epsilon=epsilon)
+    size = n if initial_set_size is None else initial_set_size
+    rng = spawn_generator(base_seed, "batch-stage2", n)
+    network = PushGossipNetwork(size=n, allow_self_messages=allow_self_messages)
+    state = seeded_batch_state(n, num_replicates, size, initial_bias, correct_opinion, rng)
+    return run_stage2_batch(state, network, channel, rng, parameters, correct_opinion)
+
+
+# ----------------------------------------------------------------------
+# Section 3 — batched clock-free executors (experiment E9)
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class BatchWindowedResult:
+    """Per-replicate outcomes of a batched Section-3 (local-clock) broadcast.
+
+    Unlike the synchronous batch results, ``rounds`` is a vector: each
+    replicate's schedule is dilated by its own guard and shifted by its own
+    clock offsets, so replicates finish at different global rounds — exactly
+    as the serial :class:`~repro.core.synchronizer.ClockFreeBroadcastResult`
+    counts them.
+
+    Attributes
+    ----------
+    variant:
+        ``"bounded-skew"`` (Section 3.1) or ``"clock-free"`` (Section 3.2).
+    n, epsilon, correct_opinion:
+        The shared instance parameters.
+    rounds, messages_sent:
+        ``(R,)`` complexity actually incurred per replicate (activation
+        phase included for the clock-free variant).
+    success, final_correct_fraction:
+        ``(R,)`` end-state outcome per replicate.
+    guard, skew:
+        ``(R,)`` the guard each replicate's schedule was dilated by and the
+        realised clock skew (``offsets.max() - offsets.min()``).
+    activation_rounds, activation_all_informed:
+        ``(R,)`` activation-phase cost and outcome (zeros / all-true for the
+        bounded-skew variant, which runs no activation phase).
+    """
+
+    variant: str
+    n: int
+    epsilon: float
+    correct_opinion: int
+    rounds: np.ndarray
+    messages_sent: np.ndarray
+    success: np.ndarray
+    final_correct_fraction: np.ndarray
+    guard: np.ndarray
+    skew: np.ndarray
+    activation_rounds: np.ndarray
+    activation_all_informed: np.ndarray
+
+    @property
+    def num_replicates(self) -> int:
+        """Number of replicates ``R`` in the batch."""
+        return int(self.rounds.size)
+
+    def measurements(self, index: int) -> dict:
+        """Replicate ``index`` as a trial-measurement mapping.
+
+        The keys form a superset of what the serial E9 trial functions
+        record (``rounds``, ``messages``, ``success``, plus ``skew`` for the
+        clock-free variant), so batched and serial E9 variants produce
+        interchangeable result tables.
+        """
+        return {
+            "rounds": int(self.rounds[index]),
+            "messages": int(self.messages_sent[index]),
+            "success": bool(self.success[index]),
+            "skew": int(self.skew[index]),
+            "guard": int(self.guard[index]),
+            "all_informed": bool(self.activation_all_informed[index]),
+        }
+
+
+def _run_activation_phase_batch(
+    n: int,
+    num_replicates: int,
+    network: PushGossipNetwork,
+    channel: NoiseChannel,
+    rng: np.random.Generator,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Section 3.2's activation phase on ``(R, n)`` grids.
+
+    Mirrors :func:`repro.core.synchronizer.run_activation_phase` with the
+    paper's defaults (broadcast for ``2 log n`` rounds after being informed,
+    reset the clock ``4 log n`` rounds after first hearing a message):
+    replicates whose informed set stops broadcasting with everyone informed
+    stop early, exactly like the serial loop's break; a replicate that
+    stalls with dormant agents remaining raises the same
+    :class:`~repro.errors.SimulationError`.
+
+    Returns ``(offsets, rounds, messages, all_informed)`` where ``offsets``
+    is the ``(R, n)`` grid of global rounds at which each agent's reset
+    clock reads zero.
+    """
+    broadcast_duration = default_guard(n)
+    reset_delay = 2 * default_guard(n)
+    R = num_replicates
+
+    informed_at = np.full((R, n), -1, dtype=np.int64)
+    informed_at[:, 0] = 0  # agent 0 is the (initially informed) source
+    messages = np.zeros(R, dtype=np.int64)
+    rounds = np.zeros(R, dtype=np.int64)
+    alive = np.ones(R, dtype=bool)
+    zeros_bits = np.zeros((R, n), dtype=np.int8)
+
+    for now in range(reset_delay):
+        relative = now - informed_at
+        send_mask = (informed_at >= 0) & (relative < broadcast_duration) & alive[:, None]
+        has_senders = send_mask.any(axis=1)
+        fully_informed = (informed_at >= 0).all(axis=1)
+        finished = alive & ~has_senders & fully_informed
+        alive &= ~finished
+        if np.any(alive & ~has_senders):
+            # Mirrors the serial executor: nobody is broadcasting yet not
+            # everyone is informed — the budget logic would be wrong.
+            raise SimulationError("activation phase stalled with dormant agents remaining")
+        if not alive.any():
+            break
+        report = network.deliver_batch(send_mask, zeros_bits, channel, rng)
+        fresh = report.accepted & (informed_at < 0)
+        informed_at = np.where(fresh, now + 1, informed_at)
+        messages += send_mask.sum(axis=1)
+        rounds += alive
+
+    all_informed = (informed_at >= 0).all(axis=1)
+    # Agents that (very unlikely) were never informed behave like the latest
+    # informed agent, exactly as the serial executor keeps the run total.
+    latest = np.maximum(informed_at.max(axis=1), 0)
+    informed_at = np.where(informed_at < 0, latest[:, None], informed_at)
+    offsets = informed_at + reset_delay
+    return offsets, rounds, messages, all_informed
+
+
+def _phase_windows(
+    schedules: List[PhaseSchedule], position: int, min_offset: np.ndarray, max_offset: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, int]:
+    """Per-replicate local bounds and global window of phase ``position``."""
+    starts = np.array([schedule.phases[position].start for schedule in schedules], dtype=np.int64)
+    ends = np.array([schedule.phases[position].end for schedule in schedules], dtype=np.int64)
+    global_start = int((starts + min_offset).min())
+    global_end = int((ends + max_offset).max())
+    index = schedules[0].phases[position].index
+    return starts, ends, global_start, global_end, index
+
+
+def _execute_stage_one_windowed_batch(
+    state: BatchState,
+    network: PushGossipNetwork,
+    channel: NoiseChannel,
+    rng: np.random.Generator,
+    schedules: List[PhaseSchedule],
+    offsets: np.ndarray,
+) -> None:
+    """Stage I where each agent follows its own clock, on ``(R, n)`` grids.
+
+    Mirrors :func:`repro.core.synchronizer.execute_stage_one_windowed`: an
+    agent of level ``i`` speaks only while its *local* clock is inside phase
+    ``j > i``'s (guard-dilated) interval, and phase-end decisions reuse the
+    reservoir rule of the synchronous kernel.  Each replicate carries its own
+    schedule (its guard can differ) and its own offsets; replicates whose
+    window has not started or already ended simply field no senders at that
+    global round, which is exactly the serial executor's idle round.
+    """
+    R, n = state.shape
+    min_offset = offsets.min(axis=1)
+    max_offset = offsets.max(axis=1)
+
+    first_phase = schedules[0].phases[0].index
+    levels = np.full((R, n), np.iinfo(np.int32).max, dtype=np.int64)
+    initially_opinionated = state.activated & (state.opinions != NO_OPINION)
+    levels = np.where(initially_opinionated, first_phase - 1, levels)
+
+    scratch = _ReservoirScratch((R, n))
+    for position in range(len(schedules[0].phases)):
+        starts, ends, global_start, global_end, phase_index = _phase_windows(
+            schedules, position, min_offset, max_offset
+        )
+        scratch.reset()
+        heard_counts, chosen = scratch.heard_counts, scratch.chosen
+        dormant = ~state.activated
+        # Opinions and levels only change at phase boundaries, so sender
+        # eligibility and message bits are fixed for the whole phase.
+        eligible = (levels < phase_index) & (state.opinions != NO_OPINION)
+        bits_full = np.where(eligible, state.opinions, 0).astype(np.int8)
+        for now in range(global_start, global_end):
+            local = now - offsets
+            in_window = (local >= starts[:, None]) & (local < ends[:, None])
+            send_mask = in_window & eligible
+            if not send_mask.any():
+                continue  # the serial executor idles; no randomness is consumed
+            report = network.deliver_batch(send_mask, bits_full, channel, rng)
+            rows, cols = np.nonzero(report.accepted & dormant)
+            if rows.size:
+                counts = heard_counts[rows, cols] + 1
+                heard_counts[rows, cols] = counts
+                replace = rng.random(rows.size) < 1.0 / counts
+                keep_rows, keep_cols = rows[replace], cols[replace]
+                chosen[keep_rows, keep_cols] = report.bits[keep_rows, keep_cols]
+            state.messages_sent += send_mask.sum(axis=1)
+
+        newly = (heard_counts > 0) & dormant
+        state.activated |= newly
+        state.opinions = np.where(newly, chosen, state.opinions)
+        levels = np.where(newly, phase_index, levels)
+
+
+def _execute_stage_two_windowed_batch(
+    state: BatchState,
+    network: PushGossipNetwork,
+    channel: NoiseChannel,
+    rng: np.random.Generator,
+    schedules: List[PhaseSchedule],
+    offsets: np.ndarray,
+) -> None:
+    """Stage II where each agent follows its own clock, on ``(R, n)`` grids.
+
+    Mirrors :func:`repro.core.synchronizer.execute_stage_two_windowed`:
+    messages carry the phase-start opinion snapshot, successful agents (at
+    least ``m_i / 2`` samples) adopt the majority of a random
+    ``m_i / 2``-subset at their phase end.  Opinions only change at phase
+    boundaries, so snapshotting at the global window start is identical to
+    each replicate snapshotting at its own window start.
+    """
+    R, n = state.shape
+    min_offset = offsets.min(axis=1)
+    max_offset = offsets.max(axis=1)
+    scratch = _SampleScratch((R, n))
+
+    for position in range(len(schedules[0].phases)):
+        starts, ends, global_start, global_end, _index = _phase_windows(
+            schedules, position, min_offset, max_offset
+        )
+        subset_size = schedules[0].phases[position].length // 2
+        snapshot = state.opinions.copy()
+        opinionated = snapshot != NO_OPINION
+        bits_full = np.where(opinionated, snapshot, 0).astype(np.int8)
+
+        scratch.reset()
+        totals, ones = scratch.totals, scratch.ones
+        for now in range(global_start, global_end):
+            local = now - offsets
+            in_window = (local >= starts[:, None]) & (local < ends[:, None])
+            send_mask = in_window & opinionated
+            if not send_mask.any():
+                continue  # the serial executor idles; no randomness is consumed
+            report = network.deliver_batch(send_mask, bits_full, channel, rng)
+            totals += report.accepted
+            ones += report.bits
+            state.messages_sent += send_mask.sum(axis=1)
+
+        successful = totals >= subset_size
+        majority = _majority_of_random_subset_grid(totals, ones, successful, subset_size, rng)
+        state.opinions = np.where(successful, majority, state.opinions)
+        state.activated |= successful
+
+
+def _run_windowed_broadcast_batch(
+    variant: str,
+    n: int,
+    epsilon: float,
+    num_replicates: int,
+    rng: np.random.Generator,
+    offsets: np.ndarray,
+    guards: np.ndarray,
+    parameters: ProtocolParameters,
+    channel: NoiseChannel,
+    allow_self_messages: bool,
+    correct_opinion: int,
+    activation_rounds: np.ndarray,
+    activation_messages: np.ndarray,
+    activation_all_informed: np.ndarray,
+) -> BatchWindowedResult:
+    """Shared tail of the two Section-3 batch entry points: guarded stages.
+
+    Builds each replicate's guard-dilated schedules, runs both windowed
+    stages and assembles the result.  ``rounds`` per replicate is the end of
+    its Stage-II schedule plus its largest offset — exactly where the serial
+    executor's clock stops — with the activation rounds already inside that
+    span for the clock-free variant (offsets are absolute global rounds).
+    """
+    network = PushGossipNetwork(size=n, allow_self_messages=allow_self_messages)
+    state = source_batch_state(n, num_replicates, correct_opinion)
+    state.messages_sent += activation_messages
+
+    stage1_schedules: List[PhaseSchedule] = []
+    stage2_schedules: List[PhaseSchedule] = []
+    for guard in guards.tolist():
+        stage1_schedule = build_stage1_schedule(parameters.stage1).dilated(int(guard))
+        stage1_schedules.append(stage1_schedule)
+        stage2_schedules.append(
+            build_stage2_schedule(parameters.stage2, start_round=stage1_schedule.end).dilated(
+                int(guard)
+            )
+        )
+
+    _execute_stage_one_windowed_batch(state, network, channel, rng, stage1_schedules, offsets)
+    _execute_stage_two_windowed_batch(state, network, channel, rng, stage2_schedules, offsets)
+
+    max_offset = offsets.max(axis=1)
+    rounds = (
+        np.array([schedule.end for schedule in stage2_schedules], dtype=np.int64) + max_offset
+    )
+    correct_final = (state.opinions == correct_opinion).sum(axis=1)
+    return BatchWindowedResult(
+        variant=variant,
+        n=n,
+        epsilon=float(epsilon),
+        correct_opinion=int(correct_opinion),
+        rounds=rounds,
+        messages_sent=state.messages_sent,
+        success=correct_final == n,
+        final_correct_fraction=correct_final / n,
+        guard=guards,
+        skew=(max_offset - offsets.min(axis=1)).astype(np.int64),
+        activation_rounds=activation_rounds,
+        activation_all_informed=activation_all_informed,
+    )
+
+
+def run_bounded_skew_batch(
+    n: int,
+    epsilon: float,
+    num_replicates: int,
+    max_skew: int,
+    base_seed: int = 0,
+    correct_opinion: int = 1,
+    parameters: Optional[ProtocolParameters] = None,
+    channel: Optional[NoiseChannel] = None,
+    allow_self_messages: bool = False,
+    **calibration_overrides: float,
+) -> BatchWindowedResult:
+    """Simulate ``R`` independent bounded-skew broadcasts at once (Section 3.1).
+
+    The batched counterpart of
+    :func:`repro.core.synchronizer.run_with_bounded_skew`: every replicate
+    draws its own per-agent clock offsets uniformly from ``[0, max_skew)``,
+    no activation phase is run, and both stages execute inside guard-dilated
+    windows with ``guard = max_skew`` — isolating the cost of the per-phase
+    guard windows, which is what experiment E9 sweeps.
+    """
+    if num_replicates < 1:
+        raise ExperimentError("num_replicates must be at least 1")
+    if max_skew < 1:
+        raise ParameterError("max_skew must be at least 1")
+    correct_opinion = validate_opinion(correct_opinion)
+    if parameters is None:
+        parameters = ProtocolParameters.calibrated(n, epsilon, **calibration_overrides)
+    if channel is None:
+        channel = BinarySymmetricChannel(epsilon=epsilon)
+
+    rng = spawn_generator(base_seed, "batch-bounded-skew", n)
+    R = num_replicates
+    offsets = rng.integers(0, max_skew, size=(R, n)).astype(np.int64)
+    guards = np.full(R, max_skew, dtype=np.int64)
+    return _run_windowed_broadcast_batch(
+        "bounded-skew",
+        n,
+        epsilon,
+        R,
+        rng,
+        offsets,
+        guards,
+        parameters,
+        channel,
+        allow_self_messages,
+        correct_opinion,
+        activation_rounds=np.zeros(R, dtype=np.int64),
+        activation_messages=np.zeros(R, dtype=np.int64),
+        activation_all_informed=np.ones(R, dtype=bool),
+    )
+
+
+def run_clock_free_batch(
+    n: int,
+    epsilon: float,
+    num_replicates: int,
+    base_seed: int = 0,
+    correct_opinion: int = 1,
+    parameters: Optional[ProtocolParameters] = None,
+    guard: Optional[int] = None,
+    channel: Optional[NoiseChannel] = None,
+    allow_self_messages: bool = False,
+    **calibration_overrides: float,
+) -> BatchWindowedResult:
+    """Simulate ``R`` independent clock-free broadcasts at once (Section 3.2).
+
+    The batched counterpart of
+    :func:`repro.core.synchronizer.run_clock_free_broadcast`: every
+    replicate runs the activation phase (clock offsets emerge from when each
+    agent first heard a message), then both stages inside windows dilated by
+    ``max(2 log2 n, realised skew)`` — each replicate gets its own guard,
+    exactly as the serial protocol chooses it.
+    """
+    if num_replicates < 1:
+        raise ExperimentError("num_replicates must be at least 1")
+    correct_opinion = validate_opinion(correct_opinion)
+    if parameters is None:
+        parameters = ProtocolParameters.calibrated(n, epsilon, **calibration_overrides)
+    if channel is None:
+        channel = BinarySymmetricChannel(epsilon=epsilon)
+
+    rng = spawn_generator(base_seed, "batch-clock-free", n)
+    R = num_replicates
+    activation_network = PushGossipNetwork(size=n, allow_self_messages=allow_self_messages)
+    offsets, activation_rounds, activation_messages, all_informed = _run_activation_phase_batch(
+        n, R, activation_network, channel, rng
+    )
+    skew = offsets.max(axis=1) - offsets.min(axis=1)
+    if guard is not None:
+        guards = np.full(R, guard, dtype=np.int64)
+    else:
+        guards = np.maximum(default_guard(n), skew).astype(np.int64)
+    if np.any(guards < skew):
+        raise ParameterError("guard must be at least the clock skew")
+    return _run_windowed_broadcast_batch(
+        "clock-free",
+        n,
+        epsilon,
+        R,
+        rng,
+        offsets,
+        guards,
+        parameters,
+        channel,
+        allow_self_messages,
+        correct_opinion,
+        activation_rounds=activation_rounds,
+        activation_messages=activation_messages,
+        activation_all_informed=all_informed,
+    )

@@ -15,6 +15,12 @@ The driver measures both reference points in the simulator:
   pushes, one message per round): completing the broadcast takes a factor
   ``~n`` longer, matching ``Theta(n log n / eps^2)``.
 
+With ``batch=True`` each scheme simulates all of its trials at once through
+the batched baseline rules (:func:`repro.exec.batching.run_baseline_batch`
+with the ``direct-source-reference`` and ``silent-wait`` step rules);
+``point_jobs`` additionally spreads the two independent scheme cells over
+worker processes on either path.
+
 Reporting convention (never-converged trials)
 ---------------------------------------------
 ``mean_rounds`` for the direct-from-source scheme averages
@@ -30,7 +36,7 @@ counted at their round budget.  The same convention applies in
 from __future__ import annotations
 
 import functools
-from typing import TYPE_CHECKING, Optional, Sequence, Union
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Tuple, Union
 
 from ..analysis.experiments import run_trials
 from ..api.config import ExecutionConfig, ExecutionPlan, resolve_run_options
@@ -79,21 +85,75 @@ def _silent_trial(seed: int, _index: int, n: int, epsilon: float, threshold: int
     }
 
 
+def _direct_batch_result(name: str, n: int, epsilon: float, trials: int, base_seed: int) -> "Any":
+    """All direct-from-source trials at once (module-level, hence picklable)."""
+    from ..exec.batching import batch_to_experiment_result, run_baseline_batch
+    from ..substrate.rng import derive_seed
+
+    batch = run_baseline_batch(
+        "direct-source-reference",
+        n=n,
+        epsilon=epsilon,
+        num_replicates=trials,
+        base_seed=derive_seed(base_seed, name, "batch"),
+    )
+    return batch_to_experiment_result(name, batch, base_seed=base_seed)
+
+
+def _silent_batch_result(
+    name: str, n: int, epsilon: float, trials: int, base_seed: int, threshold: int
+) -> "Any":
+    """All silent-wait trials at once (module-level, hence picklable).
+
+    The batched rule's extra vector is named after the serial protocol's
+    internal marker (``first_round_with_two_messages``); the serial E11
+    trial records it as ``first_two_messages_round``, so the batch
+    measurements are re-keyed to match before packaging.
+    """
+    from ..exec.batching import measurements_to_experiment_result, run_baseline_batch
+    from ..substrate.rng import derive_seed
+
+    batch = run_baseline_batch(
+        "silent-wait",
+        n=n,
+        epsilon=epsilon,
+        num_replicates=trials,
+        base_seed=derive_seed(base_seed, name, "batch"),
+        threshold=threshold,
+    )
+    measurements = []
+    for index in range(trials):
+        trial = batch.measurements(index)
+        trial["first_two_messages_round"] = trial.pop("first_round_with_two_messages")
+        measurements.append(trial)
+    return measurements_to_experiment_result(name, measurements, base_seed=base_seed)
+
+
 def run(
     n: int = 400,
     epsilon: float = 0.25,
     trials: int = 3,
     base_seed: int = 1111,
     runner: Optional["TrialRunner"] = None,
+    batch: bool = False,
+    point_jobs: Optional[int] = None,
     config: Optional[Union[ExecutionConfig, ExecutionPlan]] = None,
 ) -> ExperimentReport:
     """Run the E11 reference measurements and return its report.
 
-    ``config`` carries the execution strategy; the ``runner`` keyword is the
-    deprecation-shimmed legacy path.
+    ``config`` carries the execution strategy (the keywords below are the
+    deprecation-shimmed legacy path).  ``runner`` selects the trial-execution
+    strategy for the serial path; ``batch=True`` instead simulates all trials
+    of each scheme at once via the batched baseline rules; ``point_jobs``
+    spreads the two independent scheme cells over worker processes on either
+    path, with results assembled in scheme order.
     """
-    plan = resolve_run_options("E11", config=config, runner=runner)
-    runner = plan.runner
+    from ..exec import pool
+
+    plan = resolve_run_options(
+        "E11", config=config, runner=runner, batch=batch, point_jobs=point_jobs
+    )
+    runner, batch, point_jobs = plan.runner, plan.batch, plan.point_jobs
     trials = plan.trials if plan.trials is not None else trials
     base_seed = plan.base_seed if plan.base_seed is not None else base_seed
     report = ExperimentReport(
@@ -103,13 +163,68 @@ def run(
         config={"n": n, "epsilon": epsilon, "trials": trials},
     )
 
-    direct = run_trials(
-        "E11-direct-source",
-        functools.partial(_direct_trial, n=n, epsilon=epsilon),
-        num_trials=trials,
-        base_seed=base_seed,
-        runner=runner,
+    threshold = default_decision_threshold(n, epsilon, constant=2.0)
+
+    tasks: List[Tuple[str, Callable[..., Any], Dict[str, Any]]]
+    if batch:
+        tasks = [
+            (
+                "direct",
+                _direct_batch_result,
+                {
+                    "name": "E11-direct-source",
+                    "n": n,
+                    "epsilon": epsilon,
+                    "trials": trials,
+                    "base_seed": base_seed,
+                },
+            ),
+            (
+                "silent",
+                _silent_batch_result,
+                {
+                    "name": "E11-silent-wait",
+                    "n": n,
+                    "epsilon": epsilon,
+                    "trials": trials,
+                    "base_seed": base_seed,
+                    "threshold": threshold,
+                },
+            ),
+        ]
+    else:
+        tasks = [
+            (
+                "direct",
+                run_trials,
+                {
+                    "name": "E11-direct-source",
+                    "trial_fn": functools.partial(_direct_trial, n=n, epsilon=epsilon),
+                    "num_trials": trials,
+                    "base_seed": base_seed,
+                },
+            ),
+            (
+                "silent",
+                run_trials,
+                {
+                    "name": "E11-silent-wait",
+                    "trial_fn": functools.partial(
+                        _silent_trial, n=n, epsilon=epsilon, threshold=threshold
+                    ),
+                    "num_trials": trials,
+                    "base_seed": base_seed,
+                },
+            ),
+        ]
+
+    results = pool.run_point_tasks(
+        [(fn, kwargs) for _, fn, kwargs in tasks],
+        point_jobs,
+        runner=None if batch else runner,
     )
+    direct, silent = results
+
     # Never-converged trials are excluded from the rounds mean (NaN when no
     # trial converged) and reported through all_correct_rate instead; see the
     # module docstring.
@@ -123,15 +238,6 @@ def run(
         success_rate=direct.rate("success"),
     )
 
-    threshold = default_decision_threshold(n, epsilon, constant=2.0)
-
-    silent = run_trials(
-        "E11-silent-wait",
-        functools.partial(_silent_trial, n=n, epsilon=epsilon, threshold=threshold),
-        num_trials=trials,
-        base_seed=base_seed,
-        runner=runner,
-    )
     report.add_row(
         scheme="listen-only (silent wait, Flip model)",
         mean_rounds=silent.mean("rounds"),

@@ -12,7 +12,6 @@ activation.
 
 from __future__ import annotations
 
-import math
 from typing import TYPE_CHECKING, Mapping, Optional, Sequence, Union
 
 from ..analysis.sweeps import parameter_grid, run_sweep

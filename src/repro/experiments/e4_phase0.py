@@ -7,13 +7,18 @@ of phase 0 (only the source speaks, for ``beta_s = s log n`` rounds), w.h.p.
 * their bias towards the correct opinion is at least ``eps / 2``.
 
 The driver runs phase 0 many times and reports the distribution of ``X0`` and
-``eps_0`` together with the fraction of trials satisfying both bounds.
+``eps_0`` together with the fraction of trials satisfying both bounds.  With
+``batch=True`` all trials of one epsilon execute simultaneously on
+``(R, n)`` grids through the instrumented stage kernel
+(:func:`repro.exec.stage_batching.run_stage1_instrumented`), which records
+the same per-phase ``X_0`` / ``eps_0`` observables the serial trial reads
+off :class:`~repro.core.stage1.StageOnePhaseSummary`.
 """
 
 from __future__ import annotations
 
 import functools
-from typing import TYPE_CHECKING, Optional, Sequence, Union
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..analysis.experiments import run_trials
 from ..api.config import ExecutionConfig, ExecutionPlan, resolve_run_options
@@ -41,6 +46,16 @@ def _phase0_only_parameters(n: int, epsilon: float) -> StageOneParameters:
     )
 
 
+def _phase0_measurements(x0: int, bias0: float, epsilon: float, parameters: StageOneParameters) -> dict:
+    """Claim 2.2's per-trial observables, shared by the serial and batch paths."""
+    return {
+        "x0": x0,
+        "bias0": bias0,
+        "x0_within_bounds": bool(parameters.beta_s / 3 <= x0 <= parameters.beta_s),
+        "bias_at_least_half_eps": bool(bias0 >= epsilon / 2),
+    }
+
+
 def _phase0_trial(
     seed: int, _index: int, n: int, epsilon: float, parameters: StageOneParameters
 ) -> dict:
@@ -50,14 +65,42 @@ def _phase0_trial(
     stage1 = execute_stage_one(engine, parameters, correct_opinion=1)
     phase0 = stage1.phase(0)
     # X0 counts non-source activated agents, as in the claim's setup.
-    x0 = phase0.activated_total - 1
-    bias0 = phase0.bias_of_new
-    return {
-        "x0": x0,
-        "bias0": bias0,
-        "x0_within_bounds": parameters.beta_s / 3 <= x0 <= parameters.beta_s,
-        "bias_at_least_half_eps": bias0 >= epsilon / 2,
-    }
+    return _phase0_measurements(
+        phase0.activated_total - 1, phase0.bias_of_new, epsilon, parameters
+    )
+
+
+def _phase0_batch_result(
+    name: str, n: int, epsilon: float, trials: int, base_seed: int, parameters: StageOneParameters
+) -> "Any":
+    """All trials of one epsilon at once on ``(R, n)`` grids (module-level, picklable).
+
+    The per-cell batch seed is derived from the same experiment name the
+    serial path uses, exactly as :func:`repro.exec.batching.run_sweep_batched`
+    derives per-point batch seeds.
+    """
+    from ..exec.batching import measurements_to_experiment_result
+    from ..exec.stage_batching import run_stage1_instrumented
+    from ..substrate.rng import derive_seed
+
+    batch = run_stage1_instrumented(
+        n=n,
+        epsilon=epsilon,
+        num_replicates=trials,
+        base_seed=derive_seed(base_seed, name, "batch"),
+        parameters=parameters,
+    )
+    phase0 = batch.phase(0)
+    measurements = [
+        _phase0_measurements(
+            int(phase0.activated_total[index]) - 1,
+            float(phase0.bias_of_new[index]),
+            epsilon,
+            parameters,
+        )
+        for index in range(trials)
+    ]
+    return measurements_to_experiment_result(name, measurements, base_seed=base_seed)
 
 
 def run(
@@ -66,15 +109,25 @@ def run(
     trials: int = 30,
     base_seed: int = 404,
     runner: Optional["TrialRunner"] = None,
+    batch: bool = False,
+    point_jobs: Optional[int] = None,
     config: Optional[Union[ExecutionConfig, ExecutionPlan]] = None,
 ) -> ExperimentReport:
     """Run the E4 Monte-Carlo and return its report.
 
-    ``config`` carries the execution strategy; the ``runner`` keyword is the
-    deprecation-shimmed legacy path.
+    ``config`` carries the execution strategy (the keywords below are the
+    deprecation-shimmed legacy path).  ``runner`` selects the trial-execution
+    strategy for the serial path; ``batch=True`` instead simulates all trials
+    of each epsilon at once via the instrumented Stage-I batch kernel;
+    ``point_jobs`` spreads the independent epsilon cells over worker
+    processes on either path, with results assembled in cell order.
     """
-    plan = resolve_run_options("E4", config=config, runner=runner)
-    runner = plan.runner
+    from ..exec import pool
+
+    plan = resolve_run_options(
+        "E4", config=config, runner=runner, batch=batch, point_jobs=point_jobs
+    )
+    runner, batch, point_jobs = plan.runner, plan.batch, plan.point_jobs
     trials = plan.trials if plan.trials is not None else trials
     base_seed = plan.base_seed if plan.base_seed is not None else base_seed
     report = ExperimentReport(
@@ -84,16 +137,39 @@ def run(
         config={"n": n, "epsilons": list(epsilons), "trials": trials},
     )
 
+    tasks: List[Tuple[float, StageOneParameters, Callable[..., Any], Dict[str, Any]]] = []
     for epsilon in epsilons:
         parameters = _phase0_only_parameters(n, epsilon)
+        name = f"E4-phase0-eps={epsilon}"
+        if batch:
+            fn: Callable[..., Any] = _phase0_batch_result
+            kwargs: Dict[str, Any] = {
+                "name": name,
+                "n": n,
+                "epsilon": epsilon,
+                "trials": trials,
+                "base_seed": base_seed,
+                "parameters": parameters,
+            }
+        else:
+            fn = run_trials
+            kwargs = {
+                "name": name,
+                "trial_fn": functools.partial(
+                    _phase0_trial, n=n, epsilon=epsilon, parameters=parameters
+                ),
+                "num_trials": trials,
+                "base_seed": base_seed,
+            }
+        tasks.append((epsilon, parameters, fn, kwargs))
 
-        result = run_trials(
-            name=f"E4-phase0-eps={epsilon}",
-            trial_fn=functools.partial(_phase0_trial, n=n, epsilon=epsilon, parameters=parameters),
-            num_trials=trials,
-            base_seed=base_seed,
-            runner=runner,
-        )
+    results = pool.run_point_tasks(
+        [(fn, kwargs) for _, _, fn, kwargs in tasks],
+        point_jobs,
+        runner=None if batch else runner,
+    )
+
+    for (epsilon, parameters, _, _), result in zip(tasks, results):
         x0_summary = result.scalar_summary("x0")
         report.add_row(
             n=n,

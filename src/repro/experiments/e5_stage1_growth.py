@@ -18,13 +18,20 @@ Stage-I parameterisation with a deliberately small per-phase length ``beta``
 ``beta = Theta(1/eps^2)`` with a large enough constant works asymptotically;
 shrinking it only weakens the concentration, visible as occasional
 near-misses of the 1/16 constant).
+
+With ``batch=True`` all trials execute simultaneously on ``(R, n)`` grids
+through the instrumented stage kernel
+(:func:`repro.exec.stage_batching.run_stage1_instrumented`), whose per-phase
+replicate vectors carry exactly the ``X_i`` / ``Y_i`` / ``eps_i``
+observables the serial trial reads off
+:class:`~repro.core.stage1.StageOnePhaseSummary`.
 """
 
 from __future__ import annotations
 
 import functools
 import math
-from typing import TYPE_CHECKING, Optional, Union
+from typing import TYPE_CHECKING, Any, Optional, Union
 
 from ..analysis.experiments import run_trials
 from ..api.config import ExecutionConfig, ExecutionPlan, resolve_run_options
@@ -57,6 +64,35 @@ def _stage1_trial(
     return measurements
 
 
+def _stage1_batch_result(
+    name: str, n: int, epsilon: float, trials: int, base_seed: int, parameters: StageOneParameters
+) -> "Any":
+    """All trials at once on ``(R, n)`` grids, with the serial measurement keys."""
+    from ..exec.batching import measurements_to_experiment_result
+    from ..exec.stage_batching import run_stage1_instrumented
+    from ..substrate.rng import derive_seed
+
+    batch = run_stage1_instrumented(
+        n=n,
+        epsilon=epsilon,
+        num_replicates=trials,
+        base_seed=derive_seed(base_seed, name, "batch"),
+        parameters=parameters,
+    )
+    measurements = []
+    for index in range(trials):
+        trial = {
+            "all_activated": bool(batch.all_activated[index]),
+            "final_bias": float(batch.final_bias[index]),
+        }
+        for phase in batch.phases:
+            trial[f"x_{phase.phase}"] = int(phase.activated_total[index])
+            trial[f"y_{phase.phase}"] = int(phase.newly_activated[index])
+            trial[f"bias_{phase.phase}"] = float(phase.bias_of_new[index])
+        measurements.append(trial)
+    return measurements_to_experiment_result(name, measurements, base_seed=base_seed)
+
+
 def run(
     n: int = 8000,
     epsilon: float = 0.35,
@@ -64,27 +100,36 @@ def run(
     trials: int = 5,
     base_seed: int = 505,
     runner: Optional["TrialRunner"] = None,
+    batch: bool = False,
     config: Optional[Union[ExecutionConfig, ExecutionPlan]] = None,
 ) -> ExperimentReport:
     """Run the E5 per-phase measurement and return its report.
 
-    ``config`` carries the execution strategy; the ``runner`` keyword is the
-    deprecation-shimmed legacy path.
+    ``config`` carries the execution strategy (the keywords below are the
+    deprecation-shimmed legacy path); ``batch=True`` simulates all trials at
+    once via the instrumented Stage-I batch kernel.
     """
-    plan = resolve_run_options("E5", config=config, runner=runner)
-    runner = plan.runner
+    plan = resolve_run_options("E5", config=config, runner=runner, batch=batch)
+    runner, batch = plan.runner, plan.batch
     trials = plan.trials if plan.trials is not None else trials
     base_seed = plan.base_seed if plan.base_seed is not None else base_seed
     parameters = ProtocolParameters.calibrated(n, epsilon, s0=1.0, beta_override=beta_override)
     stage1_params = parameters.stage1
 
-    result = run_trials(
-        name="E5-stage1-growth",
-        trial_fn=functools.partial(_stage1_trial, n=n, epsilon=epsilon, parameters=stage1_params),
-        num_trials=trials,
-        base_seed=base_seed,
-        runner=runner,
-    )
+    if batch:
+        result = _stage1_batch_result(
+            "E5-stage1-growth", n, epsilon, trials, base_seed, stage1_params
+        )
+    else:
+        result = run_trials(
+            name="E5-stage1-growth",
+            trial_fn=functools.partial(
+                _stage1_trial, n=n, epsilon=epsilon, parameters=stage1_params
+            ),
+            num_trials=trials,
+            base_seed=base_seed,
+            runner=runner,
+        )
 
     report = ExperimentReport(
         experiment_id=plan.spec.experiment_id,

@@ -8,18 +8,20 @@ phase finishes the job.
 
 The driver seeds a population at exactly the starting bias Stage I would
 deliver, runs Stage II alone, and reports the per-phase bias trajectory and
-the per-phase amplification factors, alongside the final success rate.
+the per-phase amplification factors, alongside the final success rate.  With
+``batch=True`` all trials execute simultaneously on ``(R, n)`` grids through
+the instrumented stage kernel
+(:func:`repro.exec.stage_batching.run_stage2_instrumented`), whose per-phase
+replicate vectors carry exactly the ``delta_i`` trajectory the serial trial
+reads off :class:`~repro.core.stage2.StageTwoPhaseSummary`.
 """
 
 from __future__ import annotations
 
 import functools
 import math
-from typing import TYPE_CHECKING, Optional, Union
+from typing import TYPE_CHECKING, Any, Optional, Union
 
-import numpy as np
-
-from ..analysis.estimators import average_trajectories
 from ..analysis.experiments import run_trials
 from ..api.config import ExecutionConfig, ExecutionPlan, resolve_run_options
 from ..core.majority import MajorityInstance
@@ -60,6 +62,42 @@ def _stage2_trial(
     return measurements
 
 
+def _stage2_batch_result(
+    name: str,
+    n: int,
+    epsilon: float,
+    trials: int,
+    base_seed: int,
+    initial_bias: float,
+    parameters: StageTwoParameters,
+) -> "Any":
+    """All trials at once on ``(R, n)`` grids, with the serial measurement keys."""
+    from ..exec.batching import measurements_to_experiment_result
+    from ..exec.stage_batching import run_stage2_instrumented
+    from ..substrate.rng import derive_seed
+
+    batch = run_stage2_instrumented(
+        n=n,
+        epsilon=epsilon,
+        num_replicates=trials,
+        initial_bias=initial_bias,
+        base_seed=derive_seed(base_seed, name, "batch"),
+        parameters=parameters,
+    )
+    measurements = []
+    for index in range(trials):
+        trial = {
+            "success": bool(batch.consensus_reached[index]),
+            "final_bias": float(batch.final_bias[index]),
+            "final_fraction": float(batch.final_correct_fraction[index]),
+        }
+        for phase in batch.phases:
+            trial[f"bias_after_{phase.phase}"] = float(phase.bias_after[index])
+            trial[f"successful_{phase.phase}"] = int(phase.successful_agents[index])
+        measurements.append(trial)
+    return measurements_to_experiment_result(name, measurements, base_seed=base_seed)
+
+
 def run(
     n: int = 4000,
     epsilon: float = 0.2,
@@ -67,15 +105,17 @@ def run(
     trials: int = 10,
     base_seed: int = 606,
     runner: Optional["TrialRunner"] = None,
+    batch: bool = False,
     config: Optional[Union[ExecutionConfig, ExecutionPlan]] = None,
 ) -> ExperimentReport:
     """Run the E6 Stage-II-only measurement and return its report.
 
-    ``config`` carries the execution strategy; the ``runner`` keyword is the
-    deprecation-shimmed legacy path.
+    ``config`` carries the execution strategy (the keywords below are the
+    deprecation-shimmed legacy path); ``batch=True`` simulates all trials at
+    once via the instrumented Stage-II batch kernel.
     """
-    plan = resolve_run_options("E6", config=config, runner=runner)
-    runner = plan.runner
+    plan = resolve_run_options("E6", config=config, runner=runner, batch=batch)
+    runner, batch = plan.runner, plan.batch
     trials = plan.trials if plan.trials is not None else trials
     base_seed = plan.base_seed if plan.base_seed is not None else base_seed
     if initial_bias is None:
@@ -83,15 +123,24 @@ def run(
     parameters = ProtocolParameters.calibrated(n, epsilon)
     stage2_params = parameters.stage2
 
-    result = run_trials(
-        name="E6-stage2-boost",
-        trial_fn=functools.partial(
-            _stage2_trial, n=n, epsilon=epsilon, initial_bias=initial_bias, parameters=stage2_params
-        ),
-        num_trials=trials,
-        base_seed=base_seed,
-        runner=runner,
-    )
+    if batch:
+        result = _stage2_batch_result(
+            "E6-stage2-boost", n, epsilon, trials, base_seed, initial_bias, stage2_params
+        )
+    else:
+        result = run_trials(
+            name="E6-stage2-boost",
+            trial_fn=functools.partial(
+                _stage2_trial,
+                n=n,
+                epsilon=epsilon,
+                initial_bias=initial_bias,
+                parameters=stage2_params,
+            ),
+            num_trials=trials,
+            base_seed=base_seed,
+            runner=runner,
+        )
 
     report = ExperimentReport(
         experiment_id=plan.spec.experiment_id,

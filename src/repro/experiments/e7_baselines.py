@@ -288,16 +288,11 @@ def run(
         for protocol, fn, kwargs in make_tasks(n, epsilon, trials, voter_rounds, base_seed)
     ]
 
-    jobs = pool.resolve_point_jobs(point_jobs, len(tasks))
-    if jobs > 1:
-        raw_results = pool.run_tasks_in_pool(
-            [(fn, kwargs) for _, _, fn, kwargs in tasks], jobs
-        )
-    else:
-        if not batch and runner is not None:
-            for _, _, _, kwargs in tasks:
-                kwargs["runner"] = runner
-        raw_results = [fn(**kwargs) for _, _, fn, kwargs in tasks]
+    raw_results = pool.run_point_tasks(
+        [(fn, kwargs) for _, _, fn, kwargs in tasks],
+        point_jobs,
+        runner=None if batch else runner,
+    )
 
     results: List[ExperimentResult] = []
     for (epsilon, protocol, _, _), raw in zip(tasks, raw_results):

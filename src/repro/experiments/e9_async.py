@@ -14,13 +14,23 @@ The driver measures, on identical instances: the fully-synchronous protocol,
 the bounded-skew variant for several values of ``D``, and the full clock-free
 protocol (activation phase + guards).  Reported: rounds, round overhead over
 the synchronous run, message ratio, and success rate.
+
+With ``batch=True`` every variant simulates all of its trials at once on
+``(R, n)`` grids: the synchronous run through
+:func:`repro.exec.batching.run_broadcast_batch` and the Section-3 variants
+through the windowed batch executors
+(:func:`repro.exec.stage_batching.run_bounded_skew_batch` /
+:func:`repro.exec.stage_batching.run_clock_free_batch`), each replicate
+carrying its own clock offsets, guard and dilated schedule exactly as the
+serial executors do.  ``point_jobs`` additionally spreads the independent
+variant cells over worker processes on either path.
 """
 
 from __future__ import annotations
 
 import functools
 import math
-from typing import TYPE_CHECKING, Optional, Sequence, Union
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..analysis.experiments import run_trials
 from ..api.config import ExecutionConfig, ExecutionPlan, resolve_run_options
@@ -62,6 +72,131 @@ def _clock_free_trial(seed: int, _index: int, n: int, epsilon: float, parameters
     }
 
 
+def _sync_batch_result(
+    name: str, n: int, epsilon: float, trials: int, base_seed: int, parameters: ProtocolParameters
+) -> "Any":
+    """All synchronous trials at once (module-level, hence picklable)."""
+    from ..exec.batching import batch_to_experiment_result, run_broadcast_batch
+    from ..substrate.rng import derive_seed
+
+    batch = run_broadcast_batch(
+        n=n,
+        epsilon=epsilon,
+        num_replicates=trials,
+        base_seed=derive_seed(base_seed, name, "batch"),
+        parameters=parameters,
+    )
+    return batch_to_experiment_result(name, batch, base_seed=base_seed)
+
+
+def _skew_batch_result(
+    name: str,
+    n: int,
+    epsilon: float,
+    trials: int,
+    base_seed: int,
+    skew: int,
+    parameters: ProtocolParameters,
+) -> "Any":
+    """All bounded-skew trials at once (module-level, hence picklable)."""
+    from ..exec.batching import batch_to_experiment_result
+    from ..exec.stage_batching import run_bounded_skew_batch
+    from ..substrate.rng import derive_seed
+
+    batch = run_bounded_skew_batch(
+        n=n,
+        epsilon=epsilon,
+        num_replicates=trials,
+        max_skew=skew,
+        base_seed=derive_seed(base_seed, name, "batch"),
+        parameters=parameters,
+    )
+    return batch_to_experiment_result(name, batch, base_seed=base_seed)
+
+
+def _clock_free_batch_result(
+    name: str, n: int, epsilon: float, trials: int, base_seed: int, parameters: ProtocolParameters
+) -> "Any":
+    """All clock-free trials at once (module-level, hence picklable)."""
+    from ..exec.batching import batch_to_experiment_result
+    from ..exec.stage_batching import run_clock_free_batch
+    from ..substrate.rng import derive_seed
+
+    batch = run_clock_free_batch(
+        n=n,
+        epsilon=epsilon,
+        num_replicates=trials,
+        base_seed=derive_seed(base_seed, name, "batch"),
+        parameters=parameters,
+    )
+    return batch_to_experiment_result(name, batch, base_seed=base_seed)
+
+
+def _variant_tasks(
+    n: int,
+    epsilon: float,
+    skews: Sequence[int],
+    trials: int,
+    base_seed: int,
+    parameters: ProtocolParameters,
+    batch: bool,
+) -> List[Tuple[str, Callable[..., Any], Dict[str, Any]]]:
+    """The per-variant tasks, in report-row order (synchronous first).
+
+    Per-variant batch seeds are derived from the same experiment names the
+    serial path uses, exactly as :func:`repro.exec.batching.run_sweep_batched`
+    derives per-point batch seeds.
+    """
+    shared: Dict[str, Any] = {"n": n, "epsilon": epsilon, "parameters": parameters}
+    tasks: List[Tuple[str, Callable[..., Any], Dict[str, Any]]] = []
+    if batch:
+        batch_shared = {**shared, "trials": trials, "base_seed": base_seed}
+        tasks.append(("synchronous", _sync_batch_result, {"name": "E9-synchronous", **batch_shared}))
+        for skew in skews:
+            tasks.append(
+                ("skew", _skew_batch_result, {"name": f"E9-skew-{skew}", "skew": skew, **batch_shared})
+            )
+        tasks.append(("clock-free", _clock_free_batch_result, {"name": "E9-clock-free", **batch_shared}))
+        return tasks
+
+    serial_shared = {"num_trials": trials, "base_seed": base_seed}
+    tasks.append(
+        (
+            "synchronous",
+            run_trials,
+            {
+                "name": "E9-synchronous",
+                "trial_fn": functools.partial(_sync_trial, **shared),
+                **serial_shared,
+            },
+        )
+    )
+    for skew in skews:
+        tasks.append(
+            (
+                "skew",
+                run_trials,
+                {
+                    "name": f"E9-skew-{skew}",
+                    "trial_fn": functools.partial(_skew_trial, skew=skew, **shared),
+                    **serial_shared,
+                },
+            )
+        )
+    tasks.append(
+        (
+            "clock-free",
+            run_trials,
+            {
+                "name": "E9-clock-free",
+                "trial_fn": functools.partial(_clock_free_trial, **shared),
+                **serial_shared,
+            },
+        )
+    )
+    return tasks
+
+
 def run(
     n: int = 1000,
     epsilon: float = 0.25,
@@ -69,15 +204,25 @@ def run(
     trials: int = 3,
     base_seed: int = 909,
     runner: Optional["TrialRunner"] = None,
+    batch: bool = False,
+    point_jobs: Optional[int] = None,
     config: Optional[Union[ExecutionConfig, ExecutionPlan]] = None,
 ) -> ExperimentReport:
     """Run the E9 comparison and return its report.
 
-    ``config`` carries the execution strategy; the ``runner`` keyword is the
-    deprecation-shimmed legacy path.
+    ``config`` carries the execution strategy (the keywords below are the
+    deprecation-shimmed legacy path).  ``runner`` selects the trial-execution
+    strategy for the serial path; ``batch=True`` instead simulates all trials
+    of every variant at once on ``(R, n)`` grids; ``point_jobs`` spreads the
+    independent variant cells over worker processes on either path, with
+    results assembled in variant order.
     """
-    plan = resolve_run_options("E9", config=config, runner=runner)
-    runner = plan.runner
+    from ..exec import pool
+
+    plan = resolve_run_options(
+        "E9", config=config, runner=runner, batch=batch, point_jobs=point_jobs
+    )
+    runner, batch, point_jobs = plan.runner, plan.batch, plan.point_jobs
     trials = plan.trials if plan.trials is not None else trials
     base_seed = plan.base_seed if plan.base_seed is not None else base_seed
     parameters = ProtocolParameters.calibrated(n, epsilon)
@@ -93,13 +238,14 @@ def run(
         config={"n": n, "epsilon": epsilon, "skews": list(skews), "trials": trials},
     )
 
-    sync = run_trials(
-        "E9-synchronous",
-        functools.partial(_sync_trial, n=n, epsilon=epsilon, parameters=parameters),
-        num_trials=trials,
-        base_seed=base_seed,
-        runner=runner,
+    tasks = _variant_tasks(n, epsilon, skews, trials, base_seed, parameters, batch)
+    results = pool.run_point_tasks(
+        [(fn, kwargs) for _, fn, kwargs in tasks],
+        point_jobs,
+        runner=None if batch else runner,
     )
+
+    sync = results[0]
     sync_rounds = sync.mean("rounds")
     sync_messages = sync.mean("messages")
     report.add_row(
@@ -114,14 +260,7 @@ def run(
 
     num_phases = parameters.stage1.num_phases + parameters.stage2.num_phases
 
-    for skew in skews:
-        skewed = run_trials(
-            f"E9-skew-{skew}",
-            functools.partial(_skew_trial, n=n, epsilon=epsilon, skew=skew, parameters=parameters),
-            num_trials=trials,
-            base_seed=base_seed,
-            runner=runner,
-        )
+    for skew, skewed in zip(skews, results[1 : 1 + len(skews)]):
         report.add_row(
             variant="bounded-skew",
             skew_D=skew,
@@ -132,13 +271,7 @@ def run(
             success_rate=skewed.rate("success"),
         )
 
-    clock_free = run_trials(
-        "E9-clock-free",
-        functools.partial(_clock_free_trial, n=n, epsilon=epsilon, parameters=parameters),
-        num_trials=trials,
-        base_seed=base_seed,
-        runner=runner,
-    )
+    clock_free = results[-1]
     guard = default_guard(n)
     report.add_row(
         variant="clock-free (activation + guards)",

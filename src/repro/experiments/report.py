@@ -10,7 +10,7 @@ every "table" of the reproduction.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Mapping, Optional, Sequence
+from typing import Any, Dict, List, Mapping, Sequence
 
 from ..analysis.tables import render_table
 from ..errors import ExperimentError

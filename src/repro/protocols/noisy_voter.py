@@ -18,7 +18,6 @@ long-convergence / no-convergence behaviour the paper predicts.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 import numpy as np
 
@@ -57,7 +56,6 @@ class NoisyVoterBroadcast(BaselineProtocol):
         source = population.source
 
         messages_before = engine.metrics.messages_sent
-        start_round = engine.now
         converged = False
         rounds_run = 0
 

@@ -82,7 +82,6 @@ class SilentWaitBroadcast(BaselineProtocol):
         decided[source] = True
 
         messages_before = engine.metrics.messages_sent
-        start_round = engine.now
         first_double_round: Optional[int] = None
         senders = np.asarray([source], dtype=np.int64)
         sender_bits = np.asarray([correct_opinion], dtype=np.int8)

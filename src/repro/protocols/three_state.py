@@ -21,7 +21,6 @@ fails to converge at all.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 import numpy as np
 

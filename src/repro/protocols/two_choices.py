@@ -24,7 +24,6 @@ directly on the opinion vector rather than through the push network.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 import numpy as np
 
@@ -69,7 +68,6 @@ class TwoChoicesMajority(BaselineProtocol):
         rng = engine.random.stream("two-choices")
         channel = engine.channel if self.noisy else PerfectChannel()
 
-        messages_before = engine.metrics.messages_sent
         messages = 0
         converged = False
         rounds_run = 0

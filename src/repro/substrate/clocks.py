@@ -15,7 +15,6 @@ every agent's local reading from its offset.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
 
 import numpy as np
 

@@ -20,7 +20,6 @@ testing of the vectorised path.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
 
 import numpy as np
 

@@ -17,7 +17,6 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import Optional
 
 import numpy as np
 

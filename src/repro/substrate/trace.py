@@ -9,7 +9,7 @@ that accidentally enabling it on a large run cannot exhaust memory.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterator, List, Optional
+from typing import Any, Dict, Iterator, List
 
 __all__ = ["TraceEvent", "EventTrace"]
 

@@ -1,6 +1,5 @@
 """Integration tests: the paper's protocol versus the baselines (Section 1.6 story)."""
 
-import pytest
 
 from repro import solve_noisy_broadcast
 from repro.core.theory import expected_relay_depth, hop_correct_probability

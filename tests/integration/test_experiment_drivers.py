@@ -6,7 +6,6 @@ the expected columns, and renders — so that a broken driver is caught by
 ``pytest tests/`` and not only by the benchmark run.
 """
 
-import pytest
 
 from repro.experiments import (
     e1_rounds_vs_n,

@@ -34,8 +34,11 @@ class TestResolution:
         assert plan.batch and plan.point_jobs == 3 and plan.runner is None
 
     def test_batch_on_unsupported_experiment_names_the_batchable_ones(self):
-        with pytest.raises(ExperimentError, match=r"E1, E2, E3, E7, E8, E10"):
-            ExecutionConfig(batch=True).resolve("E4")
+        # Every registered experiment is batchable since the stage kernels
+        # landed, so the guard is exercised through a synthetic spec.
+        unbatchable = dataclasses.replace(get_spec("E4"), supports_batch=False)
+        with pytest.raises(ExperimentError, match=r"E1, E2, E3, E4, E5, E6, E7, E8, E9, E10, E11"):
+            ExecutionConfig(batch=True).resolve(unbatchable)
 
     def test_jobs_on_batch_only_experiment_yield_a_note_not_parallelism(self):
         plan = ExecutionConfig(jobs=2, batch=True).resolve("E10")

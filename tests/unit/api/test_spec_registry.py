@@ -55,7 +55,7 @@ class TestRegistryShape:
             get_spec("E99")
 
     def test_batchable_ids_derived_from_flags(self):
-        assert batchable_experiment_ids() == "E1, E2, E3, E7, E8, E10"
+        assert batchable_experiment_ids() == "E1, E2, E3, E4, E5, E6, E7, E8, E9, E10, E11"
 
     def test_canonical_point_naming_helper_exposed(self):
         from repro.analysis.sweeps import sweep_point_names as analysis_helper
@@ -108,3 +108,20 @@ class TestReadmeTableMatchesRegistry:
         assert batchable_experiment_ids() in text, (
             "README must name the batchable experiments exactly as the registry derives them"
         )
+
+    def test_readme_batch_coverage_matrix_matches_registry(self):
+        """The batch-coverage matrix (experiment x capability flags) is pinned
+        against the registry row by row, like the experiment table."""
+        matrix_rows = re.findall(
+            r"^\|\s*(E\d+)\s*\|\s*(yes|no)\s*\|\s*(yes|no)\s*\|\s*(yes|no)\s*\|",
+            README.read_text(),
+            re.MULTILINE,
+        )
+        assert [row[0] for row in matrix_rows] == experiment_ids(), (
+            "README.md must contain one batch-coverage matrix row per registered experiment"
+        )
+        for experiment_id, runner, batch, point_jobs in matrix_rows:
+            spec = REGISTRY[experiment_id]
+            assert (runner == "yes") == spec.supports_runner, experiment_id
+            assert (batch == "yes") == spec.supports_batch, experiment_id
+            assert (point_jobs == "yes") == spec.supports_point_jobs, experiment_id

@@ -36,11 +36,12 @@ def _serial_runs(protocol_factory, n, epsilon, seeds, channel=None):
 
 
 class TestDispatch:
-    def test_batchable_baselines_lists_the_e7_family(self):
+    def test_batchable_baselines_lists_the_e7_and_e11_family(self):
         assert batchable_baselines() == [
             "direct-source-reference",
             "immediate-forwarding",
             "noisy-voter",
+            "silent-wait",
         ]
 
     def test_unknown_protocol_rejected(self):
@@ -50,7 +51,7 @@ class TestDispatch:
     def test_registered_but_unbatched_protocol_rejected(self):
         """A real registry name without a step rule fails with a distinct message."""
         with pytest.raises(ExperimentError, match="no batched step rule"):
-            run_baseline_batch("silent-wait", n=100, epsilon=0.3, num_replicates=2)
+            run_baseline_batch("three-state-majority", n=100, epsilon=0.3, num_replicates=2)
 
     def test_unrecognised_option_rejected_per_protocol(self):
         """`rounds` belongs to the direct-source reference, not the voter."""

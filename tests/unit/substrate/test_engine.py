@@ -6,7 +6,6 @@ import pytest
 from repro.errors import ConfigurationError
 from repro.substrate import (
     BinarySymmetricChannel,
-    MetricsCollector,
     PerfectChannel,
     Population,
     PushGossipNetwork,

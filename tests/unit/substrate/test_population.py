@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.errors import ParameterError, SimulationError
-from repro.substrate.population import NO_OPINION, Population
+from repro.substrate.population import Population
 
 
 class TestConstruction:

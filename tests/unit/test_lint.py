@@ -1,0 +1,110 @@
+"""In-suite import lint: no unused imports anywhere in the repository.
+
+CI runs ``ruff check`` (see ``.github/workflows/ci.yml`` and ``.ruff.toml``)
+with the pyflakes import rules; this test is the dependency-free tier-1
+mirror of the F401 rule, so an unused import fails ``pytest tests`` locally
+even where ruff is not installed.  The checker deliberately
+*over-approximates* usage (any name occurrence, attribute roots, tokens
+inside string constants — which covers ``__all__`` re-export lists, string
+annotations and doctests), so everything it flags is a genuine dead import.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import List, Tuple
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+SCANNED_TREES = ("src", "tests", "benchmarks", "examples")
+
+
+def _imported_names(tree: ast.AST) -> List[Tuple[int, str]]:
+    """Every binding introduced by an import statement, with its line."""
+    names: List[Tuple[int, str]] = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                names.append((node.lineno, (alias.asname or alias.name).split(".")[0]))
+        elif isinstance(node, ast.ImportFrom):
+            if node.module == "__future__":
+                continue
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                names.append((node.lineno, alias.asname or alias.name))
+    return names
+
+
+def _used_names(tree: ast.AST) -> set:
+    """Over-approximated set of used names (see the module docstring)."""
+    used = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Name):
+            used.add(node.id)
+        elif isinstance(node, ast.Attribute):
+            root = node
+            while isinstance(root, ast.Attribute):
+                root = root.value
+            if isinstance(root, ast.Name):
+                used.add(root.id)
+        elif isinstance(node, ast.Constant) and isinstance(node.value, str):
+            for token in (
+                node.value.replace("[", " ").replace("]", " ").replace("(", " ")
+                .replace(")", " ").replace(",", " ").replace(".", " ").split()
+            ):
+                used.add(token.strip("\"'`"))
+    return used
+
+
+def unused_imports(path: Path) -> List[str]:
+    """``file:line: name`` for every import the module never references."""
+    tree = ast.parse(path.read_text(), filename=str(path))
+    used = _used_names(tree)
+    try:
+        label = path.relative_to(REPO_ROOT)
+    except ValueError:
+        label = path.name
+    return [
+        f"{label}:{lineno}: unused import {name!r}"
+        for lineno, name in _imported_names(tree)
+        if name not in used
+    ]
+
+
+def _python_files() -> List[Path]:
+    files: List[Path] = []
+    for tree in SCANNED_TREES:
+        files.extend(sorted((REPO_ROOT / tree).rglob("*.py")))
+    assert files, "lint scan found no Python files — wrong repository layout?"
+    return files
+
+
+@pytest.mark.parametrize("path", _python_files(), ids=lambda p: str(p.relative_to(REPO_ROOT)))
+def test_no_unused_imports(path):
+    issues = unused_imports(path)
+    assert not issues, "\n".join(issues)
+
+
+def test_checker_detects_a_planted_unused_import(tmp_path):
+    """Self-test: the scanner is actually capable of flagging dead imports."""
+    planted = tmp_path / "planted.py"
+    planted.write_text("import os\nimport sys\n\nprint(sys.argv)\n")
+    issues = unused_imports(planted)
+    assert len(issues) == 1 and "'os'" in issues[0]
+
+
+def test_checker_respects_reexports_and_string_annotations(tmp_path):
+    """__all__ re-exports, string annotations and attribute roots count as use."""
+    clean = tmp_path / "clean.py"
+    clean.write_text(
+        "from typing import Optional\n"
+        "import math\n"
+        "from collections import OrderedDict\n"
+        "__all__ = ['OrderedDict']\n"
+        "def f(x: 'Optional[int]'):\n"
+        "    return math.sqrt(2)\n"
+    )
+    assert unused_imports(clean) == []

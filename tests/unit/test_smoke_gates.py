@@ -156,9 +156,78 @@ class TestCliArtifactRoundTrip:
         assert voter_rows and math.isnan(voter_rows[0]["mean_rounds"])
 
 
+def _load_script(path: Path, module_name: str):
+    """Import a benchmarks/ script by path (they are not a package)."""
+    spec = importlib.util.spec_from_file_location(module_name, path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestStageBenchAndAggregatorSmoke:
+    """The perf-trajectory tooling must *run*, not just import: the stage
+    benchmark end to end at toy sizes, and the results aggregator over both
+    payload shapes it understands."""
+
+    def test_stage_batch_bench_measures_at_toy_sizes(self):
+        module = _load_script(
+            BENCHMARKS_DIR / "bench_stage_batch_speedup.py", "_smoke_stage_bench"
+        )
+        payload = module.measure(module.build_workloads(toy=True))
+        assert set(payload["families"]) == {"E4", "E5", "E6", "E9", "E11"}
+        for family, entry in payload["families"].items():
+            assert entry["seconds"]["serial"] > 0, family
+            assert entry["seconds"]["batch"] > 0, family
+            assert "batch" in entry["speedup_vs_serial"], family
+
+    def test_collect_results_aggregates_both_shapes(self, tmp_path):
+        results = tmp_path / "results"
+        results.mkdir()
+        (results / "single.json").write_text(
+            json.dumps(
+                {
+                    "workload": {"experiment": "single-style workload"},
+                    "seconds": {"serial": 1.0, "batch": 0.5},
+                    "speedup_vs_serial": {"batch": 2.0},
+                }
+            )
+        )
+        (results / "multi.json").write_text(
+            json.dumps(
+                {
+                    "families": {
+                        "E4": {
+                            "description": "family-style workload",
+                            "workload": {"n": 10},
+                            "seconds": {"serial": 1.0, "batch": 0.4},
+                            "speedup_vs_serial": {"batch": 2.5},
+                        }
+                    }
+                }
+            )
+        )
+        (results / "broken.json").write_text("not json {")
+        module = _load_script(BENCHMARKS_DIR / "collect_results.py", "_smoke_collect")
+        summary_path = tmp_path / "BENCH_SUMMARY.json"
+        summary = module.collect(results_dir=results, summary_path=summary_path)
+        assert [entry["source"] for entry in summary["entries"]] == [
+            "multi.json#E4",
+            "single.json",
+        ]
+        assert summary["skipped"] == ["broken.json"]
+        reloaded = json.loads(summary_path.read_text(), parse_constant=_reject_constant)
+        assert reloaded["entries"][1]["speedup_vs_serial"]["batch"] == 2.0
+
+    def test_top_level_summary_is_committed_and_strict_json(self):
+        summary_path = BENCHMARKS_DIR.parent / "BENCH_SUMMARY.json"
+        payload = json.loads(summary_path.read_text(), parse_constant=_reject_constant)
+        sources = [entry["source"] for entry in payload["entries"]]
+        assert any(source.startswith("stage_batch_speedup.json#") for source in sources)
+
+
 class TestBenchmarkScriptsImport:
     def test_benchmark_scripts_exist(self):
-        assert len(BENCHMARK_SCRIPTS) >= 14, "benchmark suite unexpectedly shrank"
+        assert len(BENCHMARK_SCRIPTS) >= 15, "benchmark suite unexpectedly shrank"
 
     @pytest.mark.parametrize(
         "script", BENCHMARK_SCRIPTS, ids=[script.stem for script in BENCHMARK_SCRIPTS]
