@@ -40,7 +40,7 @@ def run_experiment(
     Parameters
     ----------
     spec_or_id:
-        An experiment id (``"E1"``..``"E11"``) or an
+        An experiment id (``"E1"``..``"E12"``) or an
         :class:`~repro.api.spec.ExperimentSpec` from the registry.
     config:
         Execution settings; ``None`` means the serial defaults.  An

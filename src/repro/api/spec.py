@@ -1,6 +1,6 @@
 """The experiment registry: one declarative :class:`ExperimentSpec` per driver.
 
-Every reproduced claim (the E1–E11 table in ``README.md``) is described here
+Every reproduced claim (the E1–E12 table in ``README.md``) is described here
 *declaratively*: its id, title, the paper statement it reproduces, the
 capability flags of its driver (``supports_runner`` / ``supports_batch`` /
 ``supports_point_jobs``) and its tunable parameters with their defaults.
@@ -123,7 +123,7 @@ def _parameters(*pairs: Tuple[str, Any, str]) -> Tuple[ParameterSpec, ...]:
     return tuple(ParameterSpec(name, default, description) for name, default, description in pairs)
 
 
-#: The experiment registry, keyed by experiment id (E1..E11, in order).
+#: The experiment registry, keyed by experiment id (E1..E12, in order).
 #: ``tests/unit/api/test_spec_registry.py`` pins every entry against the driver
 #: signatures — edit both together.
 REGISTRY: Dict[str, ExperimentSpec] = {
@@ -294,6 +294,26 @@ REGISTRY: Dict[str, ExperimentSpec] = {
                 ("base_seed", 1111, "root random seed"),
             ),
         ),
+        _spec(
+            "E12",
+            "Fault injection: the paper's protocol versus a phased fault-tolerant comparator",
+            "Beyond the paper's model: sweep success rate against the fraction f of crash-stop "
+            "or Byzantine agents, contrasting the protocol (no fault budget) with a classic "
+            "approximate-consensus algorithm designed to tolerate exactly f faulty servers",
+            "e12_faults",
+            supports_batch=True,
+            supports_point_jobs=True,
+            parameters=_parameters(
+                ("n", 600, "population size"),
+                ("epsilon", 0.25, "noise margin"),
+                ("fault_fractions", (0.0, 0.05, 0.1, 0.2, 0.3), "fault-prone fractions f swept"),
+                ("fault_kind", "crash", "fault model: crash or byzantine"),
+                ("crash_probability", 0.05, "per-round crash probability of prone agents"),
+                ("consensus_eps", 0.05, "comparator agreement threshold (values start in [0, 1])"),
+                ("trials", 4, "Monte-Carlo trials per (fraction, protocol) cell"),
+                ("base_seed", 1212, "root random seed"),
+            ),
+        ),
     )
 }
 
@@ -317,13 +337,13 @@ def get_spec(spec_or_id: Any) -> ExperimentSpec:
 
 
 def iter_specs() -> Iterator[ExperimentSpec]:
-    """All registered specs, in E1..E11 order."""
+    """All registered specs, in E1..E12 order."""
     for experiment_id in experiment_ids():
         yield REGISTRY[experiment_id]
 
 
 def experiment_ids() -> List[str]:
-    """All registered experiment ids, sorted numerically (E1..E11)."""
+    """All registered experiment ids, sorted numerically (E1..E12)."""
     return sorted(REGISTRY, key=lambda key: int(key[1:]))
 
 

@@ -117,6 +117,8 @@ def solve_noisy_broadcast(
     correct_opinion: int = 1,
     parameters: Optional[ProtocolParameters] = None,
     record_time_series: bool = False,
+    faults=None,
+    topology=None,
     **calibration_overrides: float,
 ) -> BroadcastResult:
     """Build an engine and run the noisy broadcast protocol once.
@@ -133,6 +135,11 @@ def solve_noisy_broadcast(
         :meth:`ProtocolParameters.calibrated`).
     record_time_series:
         Store per-round correct-fraction series in the engine metrics.
+    faults, topology:
+        Optional :data:`~repro.substrate.faults.FaultModel` and
+        :class:`~repro.substrate.topology.ContactTopology` forwarded to
+        :meth:`SimulationEngine.create`; the default (both ``None``) keeps
+        the pre-fault code path byte for byte.
 
     Returns
     -------
@@ -141,6 +148,11 @@ def solve_noisy_broadcast(
     if parameters is None:
         parameters = ProtocolParameters.calibrated(n, epsilon, **calibration_overrides)
     engine = SimulationEngine.create(
-        n=n, epsilon=epsilon, seed=seed, record_time_series=record_time_series
+        n=n,
+        epsilon=epsilon,
+        seed=seed,
+        record_time_series=record_time_series,
+        faults=faults,
+        topology=topology,
     )
     return NoisyBroadcastProtocol(parameters).run(engine, correct_opinion=correct_opinion)

@@ -97,6 +97,25 @@ class ReceptionAccumulator:
         current = self._chosen[recipients]
         self._chosen[recipients] = np.where(replace, bits, current).astype(np.int8)
 
+    def observe_positional(
+        self, recipients: np.ndarray, bits: np.ndarray, rng: np.random.Generator
+    ) -> None:
+        """Like :meth:`observe`, but with fixed per-round RNG consumption.
+
+        Draws one uniform per *agent slot* (not per recipient) and indexes
+        into that vector, so the stream's consumption never depends on who
+        happened to receive — the fault layer's RNG-stability contract (see
+        :mod:`repro.substrate.faults`).  Fault-model runs use this variant;
+        the plain :meth:`observe` stays byte-identical for everything else.
+        """
+        draws = rng.random(self._counts.size)
+        if recipients.size == 0:
+            return
+        self._counts[recipients] += 1
+        replace = draws[recipients] < 1.0 / self._counts[recipients]
+        current = self._chosen[recipients]
+        self._chosen[recipients] = np.where(replace, bits, current).astype(np.int8)
+
     def heard_anything(self) -> np.ndarray:
         """Boolean mask of agents that heard at least one message this phase."""
         return self._counts > 0
@@ -171,13 +190,18 @@ def execute_stage_one(
         sender_bits = population.opinions[senders].astype(np.int8)
 
         accumulator.reset()
+        # Fault/topology runs use the positional reservoir so a crash cannot
+        # shift other agents' protocol-stream draws; the default path is
+        # byte-identical to the pre-fault code.
+        resilient = engine.faults is not None or engine.topology is not None
+        observe = accumulator.observe_positional if resilient else accumulator.observe
         for _ in range(phase_length):
             report = engine.gossip_round(senders, sender_bits, correct_opinion=correct_opinion)
-            if report.recipients.size:
+            if resilient or report.recipients.size:
                 dormant_mask = ~population.activated[report.recipients]
                 dormant_recipients = report.recipients[dormant_mask]
                 dormant_bits = report.bits[dormant_mask]
-                accumulator.observe(dormant_recipients, dormant_bits, protocol_rng)
+                observe(dormant_recipients, dormant_bits, protocol_rng)
 
         newly_heard = np.flatnonzero(accumulator.heard_anything() & ~population.activated)
         chosen_bits = accumulator.chosen_bits(newly_heard)

@@ -20,10 +20,14 @@ package defines *how* the trials execute:
   kernels underneath the batched protocols: Stage I / Stage II round loops
   with per-phase replicate-vector measurements (``X_i`` / ``Y_i`` /
   ``eps_i`` / ``delta_i``) for the stage-level experiments E4–E6, and the
-  batched Section-3 executors (bounded skew, clock-free) for E9.
+  batched Section-3 executors (bounded skew, clock-free) for E9;
+* :mod:`repro.exec.fault_batching` — the fault-injected ``(R, n)`` rules for
+  E12: the paper protocol under a :mod:`repro.substrate.faults` model (or a
+  non-uniform contact topology) and the batched phased approximate-consensus
+  comparator, both differentially pinned against their serial references.
 
 Experiment drivers accept a ``runner=`` argument (surfaced as ``--jobs`` on
-the CLI) and — every driver, E1–E11 — a ``batch=`` flag (surfaced as
+the CLI) and — every driver, E1–E12 — a ``batch=`` flag (surfaced as
 ``--batch``; ``--jobs`` composes with it via point parallelism where the
 driver sweeps independent cells); see ``docs/ARCHITECTURE.md`` for the
 determinism contract of each path.
@@ -45,6 +49,12 @@ from .batching import (
     run_broadcast_sweep_batched,
     run_majority_batch,
     run_sweep_batched,
+)
+from .fault_batching import (
+    BatchConsensusResult,
+    BatchFaultBroadcastResult,
+    run_consensus_comparator_batch,
+    run_faulty_broadcast_batch,
 )
 from .stage_batching import (
     BatchWindowedResult,
@@ -94,6 +104,10 @@ __all__ = [
     "run_stage2_instrumented",
     "run_bounded_skew_batch",
     "run_clock_free_batch",
+    "BatchFaultBroadcastResult",
+    "BatchConsensusResult",
+    "run_faulty_broadcast_batch",
+    "run_consensus_comparator_batch",
 ]
 
 

@@ -320,6 +320,8 @@ def run_stage1_batch(
     parameters: StageOneParameters,
     correct_opinion: int,
     start_phase: int = 0,
+    faults=None,
+    topology=None,
 ) -> StageOneBatchResult:
     """Stage I on ``(R, n)`` grids, mirroring :func:`repro.core.stage1.execute_stage_one`.
 
@@ -339,6 +341,14 @@ def run_stage1_batch(
     start_phase:
         First phase to execute (Corollary 2.18), exactly as in the serial
         executor.
+    faults, topology:
+        Optional :class:`~repro.substrate.faults.FaultInjector` /
+        :class:`~repro.substrate.topology.ContactTopology`.  When either is
+        set the kernel switches to the positional resilient mode: delivery
+        goes through the resilient network path and the reservoir draw uses
+        a full ``(R, n)`` grid per round, so main-stream consumption is
+        independent of the crash/churn pattern.  With both ``None`` the
+        original code path runs byte for byte.
 
     Returns
     -------
@@ -372,16 +382,27 @@ def run_stage1_batch(
         # message replaces the current choice with probability 1/m.
         scratch.reset()
         heard_counts, chosen = scratch.heard_counts, scratch.chosen
+        resilient = faults is not None or topology is not None
         for _ in range(phase_length):
-            report = network.deliver_batch(send_mask, bits, channel, rng)
+            report = network.deliver_batch(
+                send_mask, bits, channel, rng, faults=faults, topology=topology
+            )
+            if resilient:
+                # Positional reservoir draw: one fixed (R, n) grid per round
+                # so consumption never depends on who was heard (the fault
+                # layer's RNG-stability contract).
+                replace_grid = rng.random((R, n))
             rows, cols = np.nonzero(report.accepted & dormant)
             if rows.size:
                 counts = heard_counts[rows, cols] + 1
                 heard_counts[rows, cols] = counts
-                replace = rng.random(rows.size) < 1.0 / counts
+                if resilient:
+                    replace = replace_grid[rows, cols] < 1.0 / counts
+                else:
+                    replace = rng.random(rows.size) < 1.0 / counts
                 keep_rows, keep_cols = rows[replace], cols[replace]
                 chosen[keep_rows, keep_cols] = report.bits[keep_rows, keep_cols]
-            state.messages_sent += senders_per_replicate
+            state.messages_sent += report.messages_sent if resilient else senders_per_replicate
             state.rounds += 1
 
         newly = (heard_counts > 0) & dormant
@@ -471,6 +492,8 @@ def run_stage2_batch(
     rng: np.random.Generator,
     parameters: StageTwoParameters,
     correct_opinion: int,
+    faults=None,
+    topology=None,
 ) -> StageTwoBatchResult:
     """Stage II on ``(R, n)`` grids, mirroring :func:`repro.core.stage2.execute_stage_two`.
 
@@ -479,6 +502,12 @@ def run_stage2_batch(
     majority of a random subset if they turn out successful, exactly as the
     serial executor allows — which makes the kernel usable as a standalone
     majority-consensus dynamic (experiment E6) as well.
+
+    ``faults``/``topology`` switch delivery to the resilient positional path
+    (see :func:`run_stage1_batch`); the phase-end hypergeometric subset draw
+    consumes a data-dependent number of variates by construction and is
+    documented as outside the per-round RNG-stability guarantee (it is an
+    order-invariant aggregate per Remark 2.10).
     """
     correct_opinion = validate_opinion(correct_opinion)
     R, n = state.shape
@@ -500,11 +529,14 @@ def run_stage2_batch(
 
         scratch.reset()
         totals, ones = scratch.totals, scratch.ones
+        resilient = faults is not None or topology is not None
         for _ in range(phase_length):
-            report = network.deliver_batch(send_mask, bits, channel, rng)
+            report = network.deliver_batch(
+                send_mask, bits, channel, rng, faults=faults, topology=topology
+            )
             totals += report.accepted
             ones += report.bits  # zero wherever nothing was accepted
-            state.messages_sent += senders_per_replicate
+            state.messages_sent += report.messages_sent if resilient else senders_per_replicate
             state.rounds += 1
 
         successful = totals >= subset_size

@@ -1,4 +1,4 @@
-"""Experiment drivers — one module per reproduced claim (the E1–E11 table in README.md).
+"""Experiment drivers — one module per reproduced claim (the E1–E12 table in README.md).
 
 Each driver exposes a ``run(...)`` function returning an
 :class:`~repro.experiments.report.ExperimentReport`.  The preferred way to
@@ -24,6 +24,7 @@ from . import (
     e9_async,
     e10_majority_lemma,
     e11_lower_bounds,
+    e12_faults,
 )
 from .report import ExperimentReport
 
@@ -40,6 +41,7 @@ __all__ = [
     "e9_async",
     "e10_majority_lemma",
     "e11_lower_bounds",
+    "e12_faults",
 ]
 
 #: Mapping from experiment id to its driver module.  Legacy alias: the
@@ -58,4 +60,5 @@ DRIVERS = {
     "E9": e9_async,
     "E10": e10_majority_lemma,
     "E11": e11_lower_bounds,
+    "E12": e12_faults,
 }

@@ -9,6 +9,12 @@ majority, three-state approximate majority).
 
 from .base import BaselineProtocol, ProtocolResult, consensus_round
 from .direct_source import DirectSourceReference
+from .fault_tolerant import (
+    ConsensusOutcome,
+    PhasedApproximateConsensus,
+    consensus_phase_budget,
+    declared_fault_tolerance,
+)
 from .naive_forward import ImmediateForwardingBroadcast
 from .noisy_voter import NoisyVoterBroadcast
 from .registry import available_protocols, make_protocol, register_protocol
@@ -30,4 +36,8 @@ __all__ = [
     "available_protocols",
     "make_protocol",
     "register_protocol",
+    "ConsensusOutcome",
+    "PhasedApproximateConsensus",
+    "consensus_phase_budget",
+    "declared_fault_tolerance",
 ]

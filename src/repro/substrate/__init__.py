@@ -11,6 +11,10 @@ the paper as a reproducible, vectorised simulator:
 * :mod:`~repro.substrate.clocks` — global and per-agent clocks;
 * :mod:`~repro.substrate.scheduler` — round-budgeted driver for
   run-until-convergence protocols;
+* :mod:`~repro.substrate.faults` — fault models (crash-stop, Byzantine
+  senders, burst noise) with a dedicated random stream;
+* :mod:`~repro.substrate.topology` — non-uniform contact graphs
+  (degree-limited, two-cluster, churn);
 * :mod:`~repro.substrate.metrics` / :mod:`~repro.substrate.trace` —
   measurement and debugging instrumentation;
 * :mod:`~repro.substrate.engine` — the wired-together simulation engine.
@@ -18,6 +22,16 @@ the paper as a reproducible, vectorised simulator:
 
 from .clocks import GlobalClock, LocalClocks
 from .engine import SimulationEngine
+from .faults import (
+    NONE,
+    BurstNoise,
+    ByzantineSenders,
+    CrashStop,
+    FaultInjector,
+    FaultModel,
+    NoFaults,
+    build_injector,
+)
 from .metrics import MetricsCollector, PhaseRecord
 from .network import DeliveryReport, PushGossipNetwork
 from .noise import (
@@ -32,6 +46,12 @@ from .noise import (
 from .population import NO_OPINION, Population
 from .rng import RandomSource, derive_seed, spawn_generator
 from .scheduler import RoundScheduler, ScheduleOutcome, StopReason
+from .topology import (
+    ChurnTopology,
+    ContactTopology,
+    DegreeLimitedTopology,
+    TwoClusterTopology,
+)
 from .trace import EventTrace, TraceEvent
 
 __all__ = [
@@ -59,4 +79,16 @@ __all__ = [
     "StopReason",
     "EventTrace",
     "TraceEvent",
+    "FaultModel",
+    "NoFaults",
+    "CrashStop",
+    "ByzantineSenders",
+    "BurstNoise",
+    "NONE",
+    "FaultInjector",
+    "build_injector",
+    "ContactTopology",
+    "DegreeLimitedTopology",
+    "TwoClusterTopology",
+    "ChurnTopology",
 ]

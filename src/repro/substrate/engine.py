@@ -18,11 +18,13 @@ import numpy as np
 
 from ..errors import ConfigurationError
 from .clocks import GlobalClock, LocalClocks
+from .faults import FaultInjector, FaultModel, build_injector
 from .metrics import MetricsCollector
 from .network import DeliveryReport, PushGossipNetwork
 from .noise import BinarySymmetricChannel, NoiseChannel
 from .population import Population
 from .rng import RandomSource
+from .topology import ContactTopology
 from .trace import EventTrace
 
 __all__ = ["SimulationEngine"]
@@ -44,6 +46,8 @@ class SimulationEngine:
     trace: EventTrace = field(default_factory=EventTrace)
     clock: GlobalClock = field(default_factory=GlobalClock)
     local_clocks: Optional[LocalClocks] = None
+    faults: Optional[FaultInjector] = None
+    topology: Optional[ContactTopology] = None
 
     def __post_init__(self) -> None:
         if self.population.size != self.network.size:
@@ -65,6 +69,8 @@ class SimulationEngine:
         trace_events: bool = False,
         allow_self_messages: bool = False,
         with_local_clocks: bool = False,
+        faults: Optional[FaultModel] = None,
+        topology: Optional[ContactTopology] = None,
     ) -> "SimulationEngine":
         """Build a standard engine for ``n`` agents and noise parameter ``epsilon``.
 
@@ -90,8 +96,19 @@ class SimulationEngine:
             Allow agents to push messages to themselves.
         with_local_clocks:
             Attach a :class:`LocalClocks` instance (used by Section-3 runs).
+        faults:
+            Optional :data:`~repro.substrate.faults.FaultModel`; anything but
+            :class:`~repro.substrate.faults.NoFaults` attaches a
+            :class:`~repro.substrate.faults.FaultInjector` fed from the
+            dedicated ``"faults"`` random stream.
+        topology:
+            Optional non-uniform contact graph
+            (:class:`~repro.substrate.topology.ContactTopology`) replacing
+            uniform push targets.
         """
         random = RandomSource(seed=seed)
+        if topology is not None:
+            topology.validate(n)
         engine = cls(
             population=Population(size=n, source=source),
             network=PushGossipNetwork(size=n, allow_self_messages=allow_self_messages),
@@ -100,6 +117,8 @@ class SimulationEngine:
             metrics=MetricsCollector(record_time_series=record_time_series),
             trace=EventTrace(enabled=trace_events),
             local_clocks=LocalClocks(size=n) if with_local_clocks else None,
+            faults=build_injector(faults, n, random.stream("faults")),
+            topology=topology,
         )
         return engine
 
@@ -143,9 +162,15 @@ class SimulationEngine:
         """
         delivery_rng = self.random.stream("delivery")
         if multi_accept:
-            report = self.network.deliver_all(senders, bits, self.channel, delivery_rng)
+            report = self.network.deliver_all(
+                senders, bits, self.channel, delivery_rng,
+                faults=self.faults, topology=self.topology,
+            )
         else:
-            report = self.network.deliver(senders, bits, self.channel, delivery_rng)
+            report = self.network.deliver(
+                senders, bits, self.channel, delivery_rng,
+                faults=self.faults, topology=self.topology,
+            )
         self.clock.tick()
 
         correct_fraction = None

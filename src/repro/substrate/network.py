@@ -15,16 +15,29 @@ numpy so that a round with tens of thousands of concurrent senders costs a
 handful of array operations.  A slower pure-Python reference implementation
 (:meth:`PushGossipNetwork.deliver_reference`) is kept for differential
 testing of the vectorised path.
+
+Every delivery entry point also accepts an optional ``faults``
+(:class:`~repro.substrate.faults.FaultInjector`) and ``topology``
+(:class:`~repro.substrate.topology.ContactTopology`).  With both ``None``
+the original code path runs byte for byte; with either active, delivery
+switches to a *positional* variant that draws full ``(R, n)`` target /
+priority / noise grids per round, so the main stream's consumption is a
+function of the grid shape alone — a crashed or silenced sender cannot shift
+any other agent's draws in later rounds (the fault layer's determinism
+contract, see :mod:`repro.substrate.faults`).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Optional
 
 import numpy as np
 
 from ..errors import ParameterError, ProtocolError
+from .faults import FaultInjector
 from .noise import NoiseChannel
+from .topology import ContactTopology
 
 __all__ = [
     "DeliveryReport",
@@ -202,6 +215,8 @@ class PushGossipNetwork:
         bits: np.ndarray,
         channel: NoiseChannel,
         rng: np.random.Generator,
+        faults: Optional[FaultInjector] = None,
+        topology: Optional[ContactTopology] = None,
     ) -> DeliveryReport:
         """Execute one synchronous round of push-gossip delivery.
 
@@ -216,7 +231,15 @@ class PushGossipNetwork:
             Noise channel applied to each *accepted* message.
         rng:
             Randomness for recipient selection and collision resolution.
+        faults:
+            Optional fault injector; crashed senders are silenced, Byzantine
+            bits substituted, burst corruption applied — all from the
+            injector's own stream (see module docstring).
+        topology:
+            Optional non-uniform contact graph replacing uniform targets.
         """
+        if faults is not None or topology is not None:
+            return self._deliver_resilient(senders, bits, channel, rng, faults, topology)
         senders = np.asarray(senders, dtype=np.int64)
         bits = np.asarray(bits, dtype=np.int8)
         self._validate_round_inputs(senders, bits)
@@ -257,6 +280,8 @@ class PushGossipNetwork:
         bits: np.ndarray,
         channel: NoiseChannel,
         rng: np.random.Generator,
+        faults: Optional[FaultInjector] = None,
+        topology: Optional[ContactTopology] = None,
     ) -> BatchDeliveryReport:
         """Execute one push-gossip round for ``R`` independent replicates at once.
 
@@ -291,7 +316,14 @@ class PushGossipNetwork:
             :meth:`NoiseChannel.transmit_batch`.
         rng:
             Randomness for target selection and collision resolution.
+        faults:
+            Optional fault injector (dedicated-stream fault decisions; see
+            module docstring).
+        topology:
+            Optional non-uniform contact graph replacing uniform targets.
         """
+        if faults is not None or topology is not None:
+            return self._deliver_batch_resilient(send_mask, bits, channel, rng, faults, topology)
         send_mask = np.asarray(send_mask, dtype=bool)
         bits = np.asarray(bits)
         if send_mask.ndim != 2:
@@ -369,6 +401,8 @@ class PushGossipNetwork:
         bits: np.ndarray,
         channel: NoiseChannel,
         rng: np.random.Generator,
+        faults: Optional[FaultInjector] = None,
+        topology: Optional[ContactTopology] = None,
     ) -> DeliveryReport:
         """Deliver *every* message, resolving nothing (no single-accept rule).
 
@@ -377,8 +411,12 @@ class PushGossipNetwork:
         message per round.  This helper exists for protocols outside the Flip
         model (idealised baselines such as the direct-from-source reference)
         that need multi-accept semantics.  The returned ``recipients`` may
-        therefore contain duplicates.
+        therefore contain duplicates.  ``faults``/``topology`` switch to the
+        positional resilient path (see module docstring); with churn,
+        messages to offline recipients are dropped.
         """
+        if faults is not None or topology is not None:
+            return self._deliver_all_resilient(senders, bits, channel, rng, faults, topology)
         senders = np.asarray(senders, dtype=np.int64)
         bits = np.asarray(bits, dtype=np.int8)
         self._validate_round_inputs(senders, bits)
@@ -405,6 +443,8 @@ class PushGossipNetwork:
         bits: np.ndarray,
         channel: NoiseChannel,
         rng: np.random.Generator,
+        faults: Optional[FaultInjector] = None,
+        topology: Optional[ContactTopology] = None,
     ) -> BatchDeliveryAllReport:
         """Deliver *every* message for ``R`` independent replicates at once.
 
@@ -439,7 +479,15 @@ class PushGossipNetwork:
             :meth:`NoiseChannel.transmit_batch`.
         rng:
             Randomness for target selection and channel noise.
+        faults:
+            Optional fault injector (dedicated-stream fault decisions).
+        topology:
+            Optional non-uniform contact graph replacing uniform targets.
         """
+        if faults is not None or topology is not None:
+            return self._deliver_all_batch_resilient(
+                send_mask, bits, channel, rng, faults, topology
+            )
         send_mask = np.asarray(send_mask, dtype=bool)
         bits = np.asarray(bits)
         if send_mask.ndim != 2:
@@ -478,6 +526,333 @@ class PushGossipNetwork:
             recipients=targets.astype(np.int64),
             senders=cols.astype(np.int64),
             bits=noisy.astype(np.int8),
+            messages_sent=sent,
+        )
+
+    # ------------------------------------------------------------------
+    # resilient (fault / topology aware) delivery
+    # ------------------------------------------------------------------
+    def _positional_targets(
+        self,
+        num_replicates: int,
+        rng: np.random.Generator,
+        topology: Optional[ContactTopology],
+    ) -> tuple:
+        """Draw full-grid contact targets (and churn mask) for one round.
+
+        Always draws exactly one target grid (plus the topology's fixed
+        extras) from the main stream, regardless of who sends — the
+        positional-consumption property the resilient paths rely on.
+        """
+        size = self.size
+        if topology is not None:
+            return topology.draw_round_grid(num_replicates, size, rng)
+        if self.allow_self_messages:
+            targets = rng.integers(0, size, size=(num_replicates, size))
+        else:
+            draws = rng.integers(0, size - 1, size=(num_replicates, size))
+            targets = draws + (draws >= np.arange(size, dtype=np.int64))
+        return targets, None
+
+    def _deliver_resilient(
+        self,
+        senders: np.ndarray,
+        bits: np.ndarray,
+        channel: NoiseChannel,
+        rng: np.random.Generator,
+        faults: Optional[FaultInjector],
+        topology: Optional[ContactTopology],
+    ) -> DeliveryReport:
+        """Serial single-accept delivery with faults and/or a contact topology.
+
+        Same semantics as :meth:`deliver` per surviving message, but every
+        main-stream draw is positional (full ``size``-length vectors for
+        targets, collision priorities and channel noise), so the main
+        stream's per-round consumption is fixed at ``2 * size`` uniforms plus
+        one ``size``-wide channel pass whatever the crash/churn pattern.
+        """
+        senders = np.asarray(senders, dtype=np.int64)
+        bits = np.asarray(bits, dtype=np.int8)
+        self._validate_round_inputs(senders, bits)
+        self.rounds_executed += 1
+        size = self.size
+
+        if faults is not None:
+            faults.begin_round()
+            senders, bits = faults.filter_senders_serial(senders, bits)
+            bits = faults.corrupt_outgoing_serial(senders, bits)
+
+        targets_grid, offline_grid = self._positional_targets(1, rng, topology)
+        targets_all = targets_grid[0]
+        offline = None if offline_grid is None else offline_grid[0]
+        priorities_all = rng.random(size)
+
+        if offline is not None and senders.size:
+            online = ~offline[senders]
+            senders, bits = senders[online], bits[online]
+        sent = int(senders.size)
+        targets = targets_all[senders]
+        if offline is not None and senders.size:
+            reachable = ~offline[targets]
+            senders, bits, targets = senders[reachable], bits[reachable], targets[reachable]
+
+        if senders.size:
+            # Combined integer-target + fractional-priority key: the minimum
+            # priority per target wins, exactly as on the batch path.
+            order = np.argsort(targets + priorities_all[senders])
+            sorted_targets = targets[order]
+            is_first = np.empty(order.size, dtype=bool)
+            is_first[0] = True
+            is_first[1:] = sorted_targets[1:] != sorted_targets[:-1]
+            winners = order[is_first]
+            recipients = targets[winners]
+            winner_senders = senders[winners]
+            winner_bits = bits[winners]
+        else:
+            recipients = np.empty(0, dtype=np.int64)
+            winner_senders = np.empty(0, dtype=np.int64)
+            winner_bits = np.empty(0, dtype=np.int8)
+
+        # Positional channel pass: one candidate slot per agent, noised
+        # unconditionally so noise consumption never depends on acceptance.
+        candidate = np.zeros(size, dtype=np.int8)
+        candidate[recipients] = winner_bits
+        noisy_all = channel.transmit(candidate, rng)
+        accepted_bits = noisy_all[recipients].astype(np.int8)
+        if faults is not None:
+            accepted_bits = faults.corrupt_delivered_serial(recipients, accepted_bits)
+
+        delivered = int(recipients.size)
+        self.messages_sent_total += sent
+        self.messages_delivered_total += delivered
+        self.messages_dropped_total += sent - delivered
+        return DeliveryReport(
+            recipients=recipients.astype(np.int64),
+            bits=accepted_bits,
+            senders=winner_senders,
+            messages_sent=sent,
+            messages_delivered=delivered,
+            messages_dropped=sent - delivered,
+        )
+
+    def _deliver_batch_resilient(
+        self,
+        send_mask: np.ndarray,
+        bits: np.ndarray,
+        channel: NoiseChannel,
+        rng: np.random.Generator,
+        faults: Optional[FaultInjector],
+        topology: Optional[ContactTopology],
+    ) -> BatchDeliveryReport:
+        """Batch single-accept delivery with faults and/or a contact topology.
+
+        The ``(R, n)`` companion of :meth:`_deliver_resilient`: target,
+        priority and channel grids are drawn for every cell of the batch, so
+        main-stream consumption per round is exactly two ``(R, n)`` uniform
+        grids plus one full-grid channel pass, independent of the send mask
+        and of any crash/churn pattern.
+        """
+        send_mask = np.asarray(send_mask, dtype=bool)
+        bits = np.asarray(bits)
+        if send_mask.ndim != 2:
+            raise ProtocolError("send_mask must be a 2-D (replicates, agents) grid")
+        if send_mask.shape != bits.shape:
+            raise ProtocolError("send_mask and bits must have the same shape")
+        num_replicates, size = send_mask.shape
+        if size != self.size:
+            raise ProtocolError(
+                f"batch is over {size} agents but the network has {self.size}"
+            )
+        masked_bits = bits[send_mask]
+        if masked_bits.size and (masked_bits.min() < 0 or masked_bits.max() > 1):
+            raise ProtocolError("message bits must be 0 or 1")
+        self.rounds_executed += 1
+
+        if faults is not None:
+            faults.begin_round()
+            send_mask = faults.filter_send_mask(send_mask)
+            bits = faults.corrupt_outgoing_grid(bits, send_mask)
+
+        targets_grid, offline = self._positional_targets(num_replicates, rng, topology)
+        priorities_grid = rng.random((num_replicates, size))
+
+        effective_mask = send_mask if offline is None else send_mask & ~offline
+        sent = effective_mask.sum(axis=1).astype(np.int64)
+        rows, cols = np.nonzero(effective_mask)
+        targets = targets_grid[rows, cols]
+        if offline is not None and rows.size:
+            reachable = ~offline[rows, targets]
+            rows, cols, targets = rows[reachable], cols[reachable], targets[reachable]
+
+        accepted = np.zeros((num_replicates, size), dtype=bool)
+        accepted_senders = np.full((num_replicates, size), -1, dtype=np.int64)
+        candidate = np.zeros((num_replicates, size), dtype=np.int8)
+        if rows.size:
+            priorities = priorities_grid[rows, cols]
+            buckets = rows * size + targets
+            if num_replicates * size < 2**52:
+                order = np.argsort(buckets + priorities)
+            else:  # pragma: no cover - astronomically large batches
+                order = np.lexsort((priorities, buckets))
+            sorted_buckets = buckets[order]
+            is_first = np.empty(rows.size, dtype=bool)
+            is_first[0] = True
+            is_first[1:] = sorted_buckets[1:] != sorted_buckets[:-1]
+            winners = order[is_first]
+            winning_buckets = buckets[winners]
+            accepted.reshape(-1)[winning_buckets] = True
+            accepted_senders.reshape(-1)[winning_buckets] = cols[winners]
+            candidate.reshape(-1)[winning_buckets] = np.asarray(bits, dtype=np.int8)[
+                rows[winners], cols[winners]
+            ]
+
+        # Full-grid channel pass (every cell noised, acceptance masked after)
+        # keeps noise consumption positional too.
+        noisy_grid = channel.transmit_batch(
+            candidate, np.ones((num_replicates, size), dtype=bool), rng
+        )
+        accepted_bits = np.where(accepted, noisy_grid, 0).astype(np.int8)
+        if faults is not None:
+            accepted_bits = faults.corrupt_delivered_grid(accepted_bits, accepted)
+
+        delivered = accepted.sum(axis=1).astype(np.int64)
+        self.messages_sent_total += int(sent.sum())
+        self.messages_delivered_total += int(delivered.sum())
+        self.messages_dropped_total += int((sent - delivered).sum())
+        return BatchDeliveryReport(
+            accepted=accepted,
+            bits=accepted_bits,
+            senders=accepted_senders,
+            messages_sent=sent,
+            messages_delivered=delivered,
+        )
+
+    def _deliver_all_resilient(
+        self,
+        senders: np.ndarray,
+        bits: np.ndarray,
+        channel: NoiseChannel,
+        rng: np.random.Generator,
+        faults: Optional[FaultInjector],
+        topology: Optional[ContactTopology],
+    ) -> DeliveryReport:
+        """Serial multi-accept delivery with faults and/or a contact topology.
+
+        Positional like :meth:`_deliver_resilient`; channel noise is keyed by
+        sender slot (one candidate per agent, every agent sends at most once
+        per round) and churn drops messages to offline recipients.
+        """
+        senders = np.asarray(senders, dtype=np.int64)
+        bits = np.asarray(bits, dtype=np.int8)
+        self._validate_round_inputs(senders, bits)
+        self.rounds_executed += 1
+        size = self.size
+
+        if faults is not None:
+            faults.begin_round()
+            senders, bits = faults.filter_senders_serial(senders, bits)
+            bits = faults.corrupt_outgoing_serial(senders, bits)
+
+        targets_grid, offline_grid = self._positional_targets(1, rng, topology)
+        targets_all = targets_grid[0]
+        offline = None if offline_grid is None else offline_grid[0]
+
+        if offline is not None and senders.size:
+            online = ~offline[senders]
+            senders, bits = senders[online], bits[online]
+        sent = int(senders.size)
+        targets = targets_all[senders]
+
+        candidate = np.zeros(size, dtype=np.int8)
+        candidate[senders] = bits
+        noisy_all = channel.transmit(candidate, rng)
+        noisy = noisy_all[senders].astype(np.int8)
+
+        if offline is not None and senders.size:
+            reachable = ~offline[targets]
+            senders, targets, noisy = senders[reachable], targets[reachable], noisy[reachable]
+        if faults is not None:
+            noisy = faults.corrupt_delivered_messages(
+                np.zeros(senders.size, dtype=np.int64), targets, noisy
+            )
+
+        delivered = int(senders.size)
+        self.messages_sent_total += sent
+        self.messages_delivered_total += delivered
+        self.messages_dropped_total += sent - delivered
+        return DeliveryReport(
+            recipients=targets.astype(np.int64),
+            bits=noisy,
+            senders=senders,
+            messages_sent=sent,
+            messages_delivered=delivered,
+            messages_dropped=sent - delivered,
+        )
+
+    def _deliver_all_batch_resilient(
+        self,
+        send_mask: np.ndarray,
+        bits: np.ndarray,
+        channel: NoiseChannel,
+        rng: np.random.Generator,
+        faults: Optional[FaultInjector],
+        topology: Optional[ContactTopology],
+    ) -> BatchDeliveryAllReport:
+        """Batch multi-accept delivery with faults and/or a contact topology.
+
+        Positional ``(R, n)`` companion of :meth:`_deliver_all_resilient`.
+        With churn the per-message arrays contain only the *delivered*
+        messages, which can be fewer than ``messages_sent`` (unlike the
+        fault-free path, where every sent message is delivered).
+        """
+        send_mask = np.asarray(send_mask, dtype=bool)
+        bits = np.asarray(bits)
+        if send_mask.ndim != 2:
+            raise ProtocolError("send_mask must be a 2-D (replicates, agents) grid")
+        if send_mask.shape != bits.shape:
+            raise ProtocolError("send_mask and bits must have the same shape")
+        num_replicates, size = send_mask.shape
+        if size != self.size:
+            raise ProtocolError(
+                f"batch is over {size} agents but the network has {self.size}"
+            )
+        masked_bits = bits[send_mask]
+        if masked_bits.size and (masked_bits.min() < 0 or masked_bits.max() > 1):
+            raise ProtocolError("message bits must be 0 or 1")
+        self.rounds_executed += 1
+
+        if faults is not None:
+            faults.begin_round()
+            send_mask = faults.filter_send_mask(send_mask)
+            bits = faults.corrupt_outgoing_grid(bits, send_mask)
+
+        targets_grid, offline = self._positional_targets(num_replicates, rng, topology)
+        effective_mask = send_mask if offline is None else send_mask & ~offline
+        sent = effective_mask.sum(axis=1).astype(np.int64)
+
+        noisy_grid = channel.transmit_batch(
+            np.asarray(bits, dtype=np.int8),
+            np.ones((num_replicates, size), dtype=bool),
+            rng,
+        )
+        rows, cols = np.nonzero(effective_mask)
+        targets = targets_grid[rows, cols]
+        noisy = noisy_grid[rows, cols].astype(np.int8)
+        if offline is not None and rows.size:
+            reachable = ~offline[rows, targets]
+            rows, cols = rows[reachable], cols[reachable]
+            targets, noisy = targets[reachable], noisy[reachable]
+        if faults is not None:
+            noisy = faults.corrupt_delivered_messages(rows, targets, noisy)
+
+        self.messages_sent_total += int(sent.sum())
+        self.messages_delivered_total += int(rows.size)
+        self.messages_dropped_total += int(sent.sum()) - int(rows.size)
+        return BatchDeliveryAllReport(
+            replicates=rows.astype(np.int64),
+            recipients=targets.astype(np.int64),
+            senders=cols.astype(np.int64),
+            bits=noisy,
             messages_sent=sent,
         )
 

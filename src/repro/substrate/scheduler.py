@@ -70,6 +70,7 @@ class RoundScheduler:
         self,
         step: Callable[[int], bool],
         stop_predicate: Optional[Callable[[int], bool]] = None,
+        on_round: Optional[Callable[[int], None]] = None,
     ) -> ScheduleOutcome:
         """Run ``step(round_index)`` until it returns ``False`` or budget runs out.
 
@@ -81,9 +82,16 @@ class RoundScheduler:
         stop_predicate:
             Optional predicate evaluated every ``check_every`` rounds after
             the step; returning ``True`` stops the run.
+        on_round:
+            Optional hook called *before* each round's step — fault-model
+            runs use it to advance environment state (crash draws, burst
+            transitions) that must happen even in rounds where the protocol
+            itself does nothing.
         """
         executed = 0
         for round_index in range(self.max_rounds):
+            if on_round is not None:
+                on_round(round_index)
             keep_going = step(round_index)
             executed += 1
             if not keep_going:

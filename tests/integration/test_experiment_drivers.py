@@ -19,6 +19,7 @@ from repro.experiments import (
     e9_async,
     e10_majority_lemma,
     e11_lower_bounds,
+    e12_faults,
 )
 
 
@@ -97,3 +98,24 @@ def test_e11_driver_small():
     report = e11_lower_bounds.run(n=150, epsilon=0.35, trials=2)
     assert_renders(report, "E11")
     assert len(report.rows) == 2
+
+
+def test_e12_driver_small():
+    report = e12_faults.run(n=150, epsilon=0.3, fault_fractions=(0.0, 0.2), trials=2)
+    assert_renders(report, "E12")
+    assert len(report.rows) == 4  # 2 fractions x 2 protocols
+    assert {"protocol", "fault_fraction", "num_faulty", "success_rate"} <= set(report.columns())
+    zero_rows = [row for row in report.rows if row["fault_fraction"] == 0.0]
+    assert all(row["num_faulty"] == 0 for row in zero_rows)
+
+
+def test_e12_driver_small_batch_and_byzantine():
+    report = e12_faults.run(
+        n=150, epsilon=0.3, fault_fractions=(0.1,), fault_kind="byzantine", trials=2, batch=True
+    )
+    assert_renders(report, "E12")
+    assert [row["protocol"] for row in report.rows] == [
+        "breathe-before-speaking",
+        "phased-approximate-consensus",
+    ]
+    assert all(row["num_faulty"] > 0 for row in report.rows)

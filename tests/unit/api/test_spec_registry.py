@@ -34,8 +34,8 @@ README = Path(__file__).resolve().parents[3] / "README.md"
 
 
 class TestRegistryShape:
-    def test_all_eleven_experiments_registered(self):
-        assert experiment_ids() == [f"E{i}" for i in range(1, 12)]
+    def test_all_twelve_experiments_registered(self):
+        assert experiment_ids() == [f"E{i}" for i in range(1, 13)]
 
     def test_registry_matches_legacy_drivers_dict(self):
         assert set(REGISTRY) == set(DRIVERS)
@@ -55,7 +55,7 @@ class TestRegistryShape:
             get_spec("E99")
 
     def test_batchable_ids_derived_from_flags(self):
-        assert batchable_experiment_ids() == "E1, E2, E3, E4, E5, E6, E7, E8, E9, E10, E11"
+        assert batchable_experiment_ids() == "E1, E2, E3, E4, E5, E6, E7, E8, E9, E10, E11, E12"
 
     def test_canonical_point_naming_helper_exposed(self):
         from repro.analysis.sweeps import sweep_point_names as analysis_helper
@@ -63,7 +63,7 @@ class TestRegistryShape:
         assert sweep_point_names is analysis_helper
 
 
-@pytest.mark.parametrize("experiment_id", [f"E{i}" for i in range(1, 12)])
+@pytest.mark.parametrize("experiment_id", [f"E{i}" for i in range(1, 13)])
 class TestSpecsCannotDriftFromDrivers:
     """The satellite contract: every spec flag matches the driver's behaviour."""
 
@@ -88,7 +88,7 @@ class TestSpecsCannotDriftFromDrivers:
 
 
 class TestReadmeTableMatchesRegistry:
-    """README's E1–E11 table is checked against the registry, row by row."""
+    """README's E1–E12 table is checked against the registry, row by row."""
 
     def _table_rows(self):
         rows = re.findall(r"^\|\s*(E\d+)\s*\|\s*`([a-z0-9_]+)`", README.read_text(), re.MULTILINE)

@@ -28,8 +28,8 @@ class TestExperimentReport:
 
 
 class TestDriverRegistry:
-    def test_all_eleven_experiments_registered(self):
-        assert sorted(DRIVERS, key=lambda key: int(key[1:])) == [f"E{i}" for i in range(1, 12)]
+    def test_all_twelve_experiments_registered(self):
+        assert sorted(DRIVERS, key=lambda key: int(key[1:])) == [f"E{i}" for i in range(1, 13)]
 
     def test_every_driver_exposes_run(self):
         for driver in DRIVERS.values():
@@ -93,8 +93,8 @@ class TestCli:
             build_parser().parse_args(["experiment", "--help"])
         # argparse wraps help to the terminal width; normalise before matching.
         help_text = " ".join(capsys.readouterr().out.split())
-        assert batchable_experiment_ids() == "E1, E2, E3, E4, E5, E6, E7, E8, E9, E10, E11"
-        assert "E4, E5, E6" in help_text and "E9, E10, E11" in help_text
+        assert batchable_experiment_ids() == "E1, E2, E3, E4, E5, E6, E7, E8, E9, E10, E11, E12"
+        assert "E4, E5, E6" in help_text and "E9, E10, E11, E12" in help_text
 
     def test_batch_runs_a_stage_level_experiment_from_the_cli(self, capsys):
         exit_code = main(

@@ -180,6 +180,18 @@ class TestStageBenchAndAggregatorSmoke:
             assert entry["seconds"]["batch"] > 0, family
             assert "batch" in entry["speedup_vs_serial"], family
 
+    def test_e12_fault_sweep_bench_measures_at_toy_sizes(self):
+        module = _load_script(
+            BENCHMARKS_DIR / "bench_e12_fault_sweep.py", "_smoke_e12_bench"
+        )
+        payload = module.measure(module.build_workloads(toy=True))
+        assert set(payload["families"]) == {"crash", "byzantine"}
+        for family, entry in payload["families"].items():
+            assert entry["seconds"]["serial"] > 0, family
+            assert entry["seconds"]["batch"] > 0, family
+            assert "batch" in entry["speedup_vs_serial"], family
+        module._assert_sweep_physics(payload["families"])
+
     def test_collect_results_aggregates_both_shapes(self, tmp_path):
         results = tmp_path / "results"
         results.mkdir()
