@@ -14,7 +14,16 @@ Execution strategy comes from one place: the ``exec_config`` fixture builds
 an :class:`repro.api.ExecutionConfig` from the ``REPRO_BENCH_JOBS``
 environment variable (``0`` = one worker per CPU, ``k`` = ``k`` workers,
 unset = serial) — results are identical either way, only the wall-clock
-changes.  ``benchmarks/bench_exec_speedup.py``,
+changes.  Two companions select the execution backend
+(:mod:`repro.exec.backends`): ``REPRO_BACKEND`` names it (``in-process``,
+``local`` or ``remote``; unset = the historical per-call dispatch) and
+``REPRO_WORKERS`` sets its worker count (pool size for ``local``,
+auto-spawned localhost workers for ``remote``) — e.g.
+``REPRO_BACKEND=local REPRO_WORKERS=4 pytest benchmarks/`` runs every
+benchmark on one persistent four-worker pool.  Results are bit-identical on
+every backend.  ``benchmarks/bench_backend_dispatch.py`` measures the
+dispatch overhead of each backend and the persistent pool's reuse win over
+per-call spawn-up.  ``benchmarks/bench_exec_speedup.py``,
 ``benchmarks/bench_e7_batch_speedup.py``,
 ``benchmarks/bench_e8_batch_speedup.py`` and
 ``benchmarks/bench_stage_batch_speedup.py`` measure the speedups of the

@@ -219,10 +219,16 @@ def run_sweep(
     point_list = [SweepPoint.from_mapping(raw_point) for raw_point in points]
     point_names = sweep_point_names(name, point_list)
 
-    if point_jobs is not None:
-        # Imported late: repro.exec depends on this module for the sweep
-        # containers, so a top-level import either way would be circular.
-        from ..exec import pool as exec_pool
+    # Imported late: repro.exec depends on this module for the sweep
+    # containers, so a top-level import either way would be circular.
+    from ..exec import pool as exec_pool
+
+    # A run-level backend (installed by run_experiment for --backend runs)
+    # takes the sweep at point granularity even when the caller did not ask
+    # for point_jobs — that is how a serial-path sweep shards across remote
+    # workers with zero driver changes.
+    backend_installed = exec_pool.active_backend() is not None
+    if point_jobs is not None or (backend_installed and runner is None):
         from ..exec.runner import TrialRunner as _TrialRunner, trial_seeds
 
         if trials_per_point < 1:
@@ -232,7 +238,7 @@ def run_sweep(
         # Probe the *bound* trials: the point parameters cross the process
         # boundary too, so an unpicklable point value must also trigger the
         # graceful serial fallback (as it does for ParallelTrialRunner).
-        if jobs > 1 and all(
+        if (jobs > 1 or backend_installed) and all(
             exec_pool.picklability_error(bound) is None for bound in bound_trials
         ):
             seed_lists = [
@@ -240,7 +246,7 @@ def run_sweep(
                 for point_name in point_names
             ]
             raw_lists = exec_pool.run_point_trials_in_pool(
-                list(zip(bound_trials, seed_lists)), jobs
+                list(zip(bound_trials, seed_lists)), jobs, names=point_names
             )
             sweep = SweepResult(name=name)
             for point, point_name, seeds, raw in zip(

@@ -25,7 +25,7 @@ from __future__ import annotations
 import os
 import warnings
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple, Union
+from typing import TYPE_CHECKING, Any, Dict, List, Mapping, Optional, Tuple, Union
 
 from ..errors import ExperimentError
 from .spec import ExperimentSpec, batchable_experiment_ids, get_spec
@@ -52,23 +52,52 @@ class ExecutionConfig:
         Override the driver's default root seed (``None`` = keep default).
     trials:
         Override the driver's default trial count (``None`` = keep default).
+    backend:
+        Execution backend for the run (``"in-process"``, ``"local"``,
+        ``"remote"``; see :mod:`repro.exec.backends`).  ``None`` (default)
+        keeps the historical behaviour: in-process execution with a
+        throwaway local pool per parallel dispatch.  Naming a backend makes
+        :func:`repro.api.run_experiment` build it once, install it for the
+        whole run, and record it in the run manifest; results are
+        bit-identical on every backend.
+    backend_options:
+        Backend-specific options (e.g. ``{"workers": 4}``,
+        ``{"endpoint": "0.0.0.0:7777"}``); validated against the backend's
+        recognised option names at resolution time.
     """
 
     jobs: Optional[int] = None
     batch: bool = False
     base_seed: Optional[int] = None
     trials: Optional[int] = None
+    backend: Optional[str] = None
+    backend_options: Optional[Mapping[str, Any]] = None
 
     @classmethod
     def from_env(cls, variable: str = "REPRO_JOBS", *, batch: bool = False) -> "ExecutionConfig":
-        """Build a config from an environment variable holding ``--jobs``.
+        """Build a config from the execution environment variables.
 
         The single place ``REPRO_BENCH_JOBS``-style knobs are interpreted:
-        unset/empty → serial, ``0`` → one worker per CPU, ``k`` → ``k``
-        workers (exactly the CLI's ``--jobs`` convention).
+        ``variable`` holds ``--jobs`` (unset/empty → serial, ``0`` → one
+        worker per CPU, ``k`` → ``k`` workers — exactly the CLI
+        convention).  Two companions select the execution backend:
+
+        * ``REPRO_BACKEND`` — ``in-process``, ``local`` or ``remote``
+          (unset/empty → the historical per-call dispatch);
+        * ``REPRO_WORKERS`` — worker count handed to that backend (pool
+          size for ``local``, auto-spawned localhost workers for
+          ``remote``), overriding the jobs variable for the backend.
         """
         raw = os.environ.get(variable, "").strip()
-        return cls(jobs=int(raw) if raw else None, batch=batch)
+        backend = os.environ.get("REPRO_BACKEND", "").strip() or None
+        workers_raw = os.environ.get("REPRO_WORKERS", "").strip()
+        backend_options = {"workers": int(workers_raw)} if workers_raw and backend else None
+        return cls(
+            jobs=int(raw) if raw else None,
+            batch=batch,
+            backend=backend,
+            backend_options=backend_options,
+        )
 
     def resolve(self, spec_or_id: Union[str, ExperimentSpec]) -> "ExecutionPlan":
         """Resolve into the runner + batching plan for one experiment.
@@ -82,14 +111,25 @@ class ExecutionConfig:
           with ``monte_carlo_reps``);
         * ``jobs`` on an experiment that cannot use them resolves to an
           inert plan carrying an explanatory note (surfaced by the CLI)
-          instead of silently implying parallelism.
+          instead of silently implying parallelism;
+        * ``backend`` names and ``backend_options`` keys are validated
+          against the backend registry (:mod:`repro.exec.backends`), and a
+          parallel backend with no ``jobs`` resolves as ``jobs=0`` so
+          installing a worker fleet actually engages it.
         """
         from ..exec import resolve_runner
+        from ..exec.backends import validate_backend_spec
 
         spec = get_spec(spec_or_id)
         if self.jobs is not None and self.jobs < 0:
             raise ExperimentError(
                 f"jobs must be non-negative (0 = one worker per CPU), got {self.jobs}"
+            )
+        if self.backend is not None:
+            validate_backend_spec(self.backend, self.backend_options)
+        elif self.backend_options:
+            raise ExperimentError(
+                "backend_options were given without a backend; set backend= too"
             )
         if self.batch and not spec.supports_batch:
             raise ExperimentError(
@@ -103,20 +143,28 @@ class ExecutionConfig:
                     f"settable parameters are: {', '.join(spec.parameter_names)}"
                 )
 
+        # A parallel backend without an explicit --jobs still means "use the
+        # workers": resolve as the all-CPUs convention so the runner /
+        # point-parallel machinery routes its tasks to the installed backend
+        # (which owns the real worker count).
+        effective_jobs = self.jobs
+        if effective_jobs is None and self.backend not in (None, "in-process"):
+            effective_jobs = 0
+
         runner: Optional["TrialRunner"] = None
         point_jobs: Optional[int] = None
         notes: List[str] = []
-        if self.jobs is not None:
+        if effective_jobs is not None:
             if self.batch:
                 if spec.supports_point_jobs:
-                    point_jobs = self.jobs
+                    point_jobs = effective_jobs
                 else:
                     notes.append(
                         f"{spec.experiment_id} --batch vectorises its whole Monte-Carlo "
                         "in-process; --jobs has no effect"
                     )
             elif spec.supports_runner:
-                runner = resolve_runner(self.jobs)
+                runner = resolve_runner(effective_jobs)
             else:
                 notes.append(
                     f"{spec.experiment_id} vectorises its Monte-Carlo in-process rather than "
@@ -131,6 +179,8 @@ class ExecutionConfig:
             point_jobs=point_jobs,
             trials=self.trials,
             base_seed=self.base_seed,
+            backend=self.backend,
+            backend_options=dict(self.backend_options) if self.backend_options else None,
             notes=tuple(notes),
         )
 
@@ -152,7 +202,21 @@ class ExecutionPlan:
     point_jobs: Optional[int] = None
     trials: Optional[int] = None
     base_seed: Optional[int] = None
+    backend: Optional[str] = None
+    backend_options: Optional[Dict[str, Any]] = None
     notes: Tuple[str, ...] = field(default_factory=tuple)
+
+    def create_backend(self) -> Optional[Any]:
+        """Build the plan's execution backend, or ``None`` for the default.
+
+        Called exactly once per run by :func:`repro.api.run_experiment`;
+        the returned backend is not yet started.
+        """
+        if self.backend is None:
+            return None
+        from ..exec.backends import create_backend
+
+        return create_backend(self.backend, self.backend_options, jobs=self.jobs)
 
     def describe(self) -> Dict[str, Any]:
         """JSON-friendly summary of the plan (stored in run manifests)."""
@@ -167,6 +231,9 @@ class ExecutionPlan:
             "point_jobs": self.point_jobs,
             "trials": self.trials,
             "base_seed": self.base_seed,
+            "backend": {"name": self.backend, "options": dict(self.backend_options or {})}
+            if self.backend
+            else None,
             "notes": list(self.notes),
         }
 

@@ -82,14 +82,31 @@ def run_experiment(
     if plan.base_seed is not None:
         parameters["base_seed"] = plan.base_seed
 
+    backend = plan.create_backend()
+    execution = plan.describe()
     started = time.perf_counter()
-    report = spec.driver().run(config=plan, **param_overrides)
+    if backend is None:
+        report = spec.driver().run(config=plan, **param_overrides)
+    else:
+        # One backend per run: started once, installed for every dispatch
+        # the driver performs (trial fan-outs, point-parallel sweeps,
+        # batched task lists), closed when the driver returns.  This is
+        # where the persistent backends earn their keep — the local pool is
+        # spawned once here instead of per sweep-point family, and remote
+        # workers serve the whole run.
+        from ..exec.backends import use_backend
+
+        with backend, use_backend(backend):
+            report = spec.driver().run(config=plan, **param_overrides)
+            # Record the *live* summary (resolved endpoint, spawned workers,
+            # chunks dispatched) before close() tears the backend down.
+            execution["backend"] = backend.describe()
     wall_time = time.perf_counter() - started
 
     return RunArtifact(
         spec_id=spec.experiment_id,
         parameters=parameters,
-        execution=plan.describe(),
+        execution=execution,
         report=report,
         version=__version__,
         wall_time_seconds=wall_time,

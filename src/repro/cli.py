@@ -80,6 +80,25 @@ def build_parser() -> argparse.ArgumentParser:
         "additionally run independent sweep points across worker processes",
     )
     experiment.add_argument(
+        "--backend",
+        choices=["in-process", "local", "remote"],
+        default=None,
+        help="execution backend for the run (default: in-process with a throwaway pool per "
+        "parallel dispatch). 'local' keeps one persistent process pool for the whole run; "
+        "'remote' opens a work-stealing task queue that `python -m repro.worker` processes "
+        "attach to (combine with --jobs to auto-spawn that many localhost workers). "
+        "Results are bit-identical on every backend. Env equivalents: REPRO_BACKEND / "
+        "REPRO_WORKERS (see ExecutionConfig.from_env)",
+    )
+    experiment.add_argument(
+        "--workers-endpoint",
+        metavar="HOST:PORT",
+        default=None,
+        help="with --backend remote: bind the worker task queue here (default 127.0.0.1 with "
+        "an OS-assigned port); point external workers at it with "
+        "`python -m repro.worker --endpoint HOST:PORT`",
+    )
+    experiment.add_argument(
         "--trials",
         type=int,
         default=None,
@@ -190,8 +209,18 @@ def _parse_overrides(
 
 def _run_experiment(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
     """Run one experiment through :func:`repro.api.run_experiment`."""
+    backend_options = None
+    if args.workers_endpoint is not None:
+        if args.backend != "remote":
+            parser.error("--workers-endpoint only applies to --backend remote")
+        backend_options = {"endpoint": args.workers_endpoint}
     config = ExecutionConfig(
-        jobs=args.jobs, batch=args.batch, trials=args.trials, base_seed=args.seed
+        jobs=args.jobs,
+        batch=args.batch,
+        trials=args.trials,
+        base_seed=args.seed,
+        backend=args.backend,
+        backend_options=backend_options,
     )
     overrides = _parse_overrides(args.overrides, parser)
     try:

@@ -8,8 +8,14 @@ package defines *how* the trials execute:
   reference) and :class:`ParallelTrialRunner` (a process-pool fan-out with an
   identical-results-for-identical-seeds contract and automatic serial
   fallback for unpicklable trial functions);
-* :mod:`repro.exec.pool` — the :class:`concurrent.futures.ProcessPoolExecutor`
-  plumbing behind the parallel runner;
+* :mod:`repro.exec.backends` — the pluggable execution-backend layer ("who
+  runs a task list"): the in-process reference, a persistent local process
+  pool reused across sweep-point families, and a remote work-stealing
+  backend that ``python -m repro.worker`` processes attach to — all behind
+  one ordered-results contract, so every backend is bit-identical;
+* :mod:`repro.exec.pool` — the dispatch plumbing between the runners/sweeps
+  and the backends (task construction, picklability probing, backend
+  routing with the historical per-call pool as the fallback);
 * :mod:`repro.exec.batching` — a vectorised path that simulates ``R``
   independent replicates of the noisy push-gossip protocols (broadcast,
   majority consensus *and* the Section 1.6 / Section 1.4 baseline family)
@@ -67,6 +73,16 @@ from .stage_batching import (
     run_stage2_batch,
     run_stage2_instrumented,
 )
+from .backends import (
+    ExecutionBackend,
+    InProcessBackend,
+    LocalPoolBackend,
+    RemoteWorkerBackend,
+    Task,
+    active_backend,
+    create_backend,
+    use_backend,
+)
 from .runner import (
     ParallelTrialRunner,
     SerialTrialRunner,
@@ -82,6 +98,14 @@ __all__ = [
     "ParallelTrialRunner",
     "resolve_runner",
     "runner_from_env",
+    "ExecutionBackend",
+    "InProcessBackend",
+    "LocalPoolBackend",
+    "RemoteWorkerBackend",
+    "Task",
+    "active_backend",
+    "create_backend",
+    "use_backend",
     "trial_seed",
     "trial_seeds",
     "BatchBroadcastResult",

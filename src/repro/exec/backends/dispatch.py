@@ -1,0 +1,217 @@
+"""Chunked work-stealing dispatch with retry, timeout and worker eviction.
+
+The remote backend's core loop, factored out over two plain queue-protocol
+objects (anything with ``put`` / ``get(timeout=)``) so the whole failure
+surface — shuffled completion, workers dying mid-chunk, retries exhausting,
+heartbeats going stale — is unit-testable in-process with ``queue.Queue``
+and fake worker threads, while :class:`~repro.exec.backends.remote.RemoteWorkerBackend`
+wires the same loop to :mod:`multiprocessing.managers` proxies.
+
+The protocol (all messages are plain picklable tuples):
+
+* parent → ``task_queue``: ``("chunk", chunk_id, (task, ...))`` — one
+  contiguous slice of the submitted task list.  Idle workers ``get`` from
+  the shared queue, which *is* the work-stealing: a fast worker that drains
+  its chunk simply steals the next one, so stragglers never gate the sweep
+  (the MiniFE frame: decomposed work units, with the queue overlapping the
+  parent's collection/assembly behind worker compute).
+* parent → ``task_queue``: ``("stop",)`` — drained once by one worker on
+  shutdown.
+* worker → ``result_queue``: ``("hello", worker_id)`` on attach,
+  ``("heartbeat", worker_id)`` periodically (from a side thread, so a busy
+  worker still proves liveness), ``("ack", chunk_id, worker_id)`` when it
+  picks a chunk up, ``("done", chunk_id, worker_id, [result, ...])`` on
+  completion, and ``("task-error", chunk_id, worker_id, offset, message)``
+  when a task itself raised.
+
+Failure semantics, mirroring the distinction the local pool cannot make:
+
+* **an exception inside a task** is deterministic — retrying cannot help —
+  so it aborts the dispatch immediately with a labelled
+  :class:`~repro.errors.ExperimentError` naming the task (global index,
+  sweep-point name, seed);
+* **a worker dying mid-chunk** (chunk acked, then its heartbeat goes stale
+  or the per-chunk timeout lapses) is transient — the chunk is requeued for
+  another worker to steal, up to ``max_attempts`` total attempts, after
+  which a labelled error names the chunk and its first task.  Because tasks
+  are pure functions of their pre-derived seeds, a re-executed (or even
+  doubly-executed) chunk returns byte-identical results, and results are
+  assembled by chunk offset, never arrival order — so retries and steals
+  cannot perturb the assembled sweep.
+"""
+
+from __future__ import annotations
+
+import queue
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from ...errors import ExperimentError
+from .base import Task, task_label
+
+__all__ = ["DispatchSettings", "chunk_tasks", "dispatch_chunks"]
+
+
+@dataclass(frozen=True)
+class DispatchSettings:
+    """Tunables of one work-stealing dispatch (all times in seconds)."""
+
+    #: Tasks per chunk; the unit of stealing, retry and result transfer.
+    chunk_size: int = 1
+    #: Wall-time budget for one acked chunk before it is requeued.
+    chunk_timeout: float = 60.0
+    #: A worker silent for longer than this is evicted (its chunks requeued).
+    heartbeat_timeout: float = 10.0
+    #: Total attempts per chunk (first execution + requeues) before failing.
+    max_attempts: int = 2
+    #: Budget for *some* worker to make progress before the dispatch aborts
+    #: (covers "no workers ever attached" without a separate mechanism).
+    startup_timeout: float = 30.0
+    #: Poll interval of the collection loop.
+    poll: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.chunk_size < 1:
+            raise ExperimentError(f"chunk_size must be at least 1, got {self.chunk_size}")
+        if self.max_attempts < 1:
+            raise ExperimentError(f"max_attempts must be at least 1, got {self.max_attempts}")
+
+
+@dataclass
+class _Chunk:
+    """One in-flight slice of the task list with its retry bookkeeping."""
+
+    chunk_id: int
+    start: int
+    tasks: Tuple[Task, ...]
+    attempts: int = 0
+    worker: Optional[str] = None
+    acked_at: Optional[float] = None
+    done: bool = field(default=False, repr=False)
+
+
+def chunk_tasks(tasks: Sequence[Task], chunk_size: int) -> List[Tuple[int, Tuple[Task, ...]]]:
+    """Split a task list into ``(start_offset, tasks)`` slices of ``chunk_size``."""
+    return [
+        (start, tuple(tasks[start : start + chunk_size]))
+        for start in range(0, len(tasks), chunk_size)
+    ]
+
+
+def dispatch_chunks(
+    tasks: Sequence[Task],
+    task_queue: Any,
+    result_queue: Any,
+    settings: DispatchSettings,
+    *,
+    where: str = "remote",
+    clock: Callable[[], float] = time.monotonic,
+) -> List[Any]:
+    """Dispatch ``tasks`` over the queue protocol and assemble ordered results.
+
+    Runs the parent side of the protocol documented in the module docstring:
+    enqueue every chunk, then collect until each chunk has completed exactly
+    once, requeueing timed-out / orphaned chunks (``settings.max_attempts``
+    total attempts) and evicting workers whose heartbeat went stale.
+    Results land at ``chunk.start + offset`` — task order by construction.
+    """
+    if not tasks:
+        return []
+
+    chunks = [
+        _Chunk(chunk_id=chunk_id, start=start, tasks=chunk, attempts=1)
+        for chunk_id, (start, chunk) in enumerate(chunk_tasks(tasks, settings.chunk_size))
+    ]
+    for chunk in chunks:
+        task_queue.put(("chunk", chunk.chunk_id, chunk.tasks))
+
+    results: List[Any] = [None] * len(tasks)
+    remaining = len(chunks)
+    last_seen: Dict[str, float] = {}
+    last_progress = clock()
+
+    def _requeue(chunk: _Chunk, reason: str) -> None:
+        nonlocal last_progress
+        if chunk.attempts >= settings.max_attempts:
+            raise ExperimentError(
+                f"{where} execution failed: chunk {chunk.chunk_id} "
+                f"(tasks {chunk.start}..{chunk.start + len(chunk.tasks) - 1}, first: "
+                f"{task_label(chunk.tasks[0], chunk.start)}) {reason} and exhausted its "
+                f"{settings.max_attempts} attempts"
+            )
+        chunk.attempts += 1
+        chunk.worker = None
+        chunk.acked_at = None
+        task_queue.put(("chunk", chunk.chunk_id, chunk.tasks))
+        last_progress = clock()
+
+    while remaining:
+        try:
+            message = result_queue.get(timeout=settings.poll)
+        except queue.Empty:
+            message = None
+
+        if message is not None:
+            kind, payload = message[0], message[1:]
+            if kind in ("hello", "heartbeat"):
+                (worker_id,) = payload
+                last_seen[worker_id] = clock()
+                if kind == "hello":
+                    last_progress = clock()
+            elif kind == "ack":
+                chunk_id, worker_id = payload
+                last_seen[worker_id] = clock()
+                chunk = chunks[chunk_id]
+                if not chunk.done:
+                    chunk.worker = worker_id
+                    chunk.acked_at = clock()
+                last_progress = clock()
+            elif kind == "done":
+                chunk_id, worker_id, values = payload
+                last_seen[worker_id] = clock()
+                chunk = chunks[chunk_id]
+                # Accept the first completion only; a requeued chunk's late
+                # duplicate is identical anyway (pure tasks) but must not
+                # decrement the remaining count twice.
+                if not chunk.done:
+                    chunk.done = True
+                    chunk.worker = None
+                    results[chunk.start : chunk.start + len(values)] = values
+                    remaining -= 1
+                    last_progress = clock()
+            elif kind == "task-error":
+                chunk_id, worker_id, offset, detail = payload
+                chunk = chunks[chunk_id]
+                index = chunk.start + offset
+                raise ExperimentError(
+                    f"{where} execution failed at {task_label(tasks[index], index)} "
+                    f"on worker {worker_id!r}: {detail}"
+                )
+            else:  # unknown message kinds are protocol bugs, not data
+                raise ExperimentError(f"{where} dispatch received unknown message {kind!r}")
+            continue
+
+        now = clock()
+        for chunk in chunks:
+            if chunk.done or chunk.acked_at is None:
+                continue
+            worker_stale = (
+                chunk.worker is not None
+                and now - last_seen.get(chunk.worker, now) > settings.heartbeat_timeout
+            )
+            if now - chunk.acked_at > settings.chunk_timeout:
+                _requeue(chunk, f"timed out after {settings.chunk_timeout}s")
+            elif worker_stale:
+                _requeue(chunk, f"lost its worker {chunk.worker!r} (heartbeat stale)")
+
+        if now - last_progress > settings.startup_timeout and not any(
+            chunk.acked_at is not None for chunk in chunks if not chunk.done
+        ):
+            raise ExperimentError(
+                f"{where} execution stalled: no worker picked up work for "
+                f"{settings.startup_timeout}s ({len(last_seen)} worker(s) ever seen; "
+                "attach workers with `python -m repro.worker --endpoint HOST:PORT`)"
+            )
+
+    return results

@@ -1187,7 +1187,11 @@ def run_sweep_batched(
         )
 
     jobs = pool.resolve_point_jobs(point_jobs, len(tasks))
-    if jobs > 1:
+    # A run-level backend (installed by run_experiment for --backend runs)
+    # takes the whole task list even when point_jobs did not ask for a local
+    # pool — that is how a batched sweep shards across remote workers with
+    # zero driver changes.
+    if jobs > 1 or pool.active_backend() is not None:
         batches = pool.run_tasks_in_pool(tasks, jobs)
     else:
         batches = [batch_fn(**kwargs) for batch_fn, kwargs in tasks]

@@ -1,22 +1,32 @@
-"""Process-pool plumbing behind :class:`~repro.exec.runner.ParallelTrialRunner`
-and the point-parallel sweep modes.
+"""Dispatch plumbing between the trial/sweep layers and the execution backends.
 
 Monte-Carlo trials are embarrassingly parallel: every trial receives its own
 pre-derived seed and never communicates.  So are the grid points of a sweep:
 every point is seeded independently of the others.  This module owns the
-mechanics of farming either granularity out to a
-:class:`concurrent.futures.ProcessPoolExecutor` — picklability probing,
-chunking, ordered collection — so that the runner in
-:mod:`repro.exec.runner` and the sweep dispatchers
+mechanics of turning either granularity into ordered
+:class:`~repro.exec.backends.base.Task` lists — picklability probing, task
+construction with attribution context, backend routing — so that the runner
+in :mod:`repro.exec.runner` and the sweep dispatchers
 (:func:`repro.analysis.sweeps.run_sweep`,
 :func:`repro.exec.batching.run_sweep_batched`) can stay pure policy objects.
+
+Routing rule (the heart of the backend refactor): when a backend has been
+installed for the run with :func:`repro.exec.backends.use_backend` — which
+is what :func:`repro.api.run_experiment` does when an
+:class:`~repro.api.config.ExecutionConfig` names one — every dispatch goes
+to it, whether that is the in-process reference, one persistent local pool,
+or remote workers.  When no backend is installed, each call falls back to a
+throwaway :class:`~repro.exec.backends.local.LocalPoolBackend`, which is
+byte- and behaviour-identical to the historical per-call
+:class:`concurrent.futures.ProcessPoolExecutor`.
 
 Two properties matter more than raw throughput:
 
 * **Determinism** — seeds are derived in the parent before dispatch and
   results are collected in submission order, so the assembled
   :class:`~repro.analysis.experiments.ExperimentResult` is bit-identical to a
-  serial run of the same trial function with the same base seed.
+  serial run of the same trial function with the same base seed, on every
+  backend.
 * **Graceful degradation** — trial functions that cannot cross a process
   boundary (closures, lambdas, functions defined in ``__main__`` without a
   file) are detected up front with :func:`picklability_error` and the caller
@@ -25,31 +35,22 @@ Two properties matter more than raw throughput:
 
 from __future__ import annotations
 
-import os
 import pickle
-from concurrent.futures import ProcessPoolExecutor
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..errors import ExperimentError
+from .backends import LocalPoolBackend, Task, active_backend, chunksize_for, default_jobs
 
 __all__ = [
     "default_jobs",
     "picklability_error",
     "resolve_point_jobs",
+    "submit_tasks",
     "run_trials_in_pool",
     "run_point_trials_in_pool",
     "run_tasks_in_pool",
     "run_point_tasks",
 ]
-
-#: Target number of chunks handed to each worker, to amortise IPC overhead
-#: while keeping the pool load-balanced.
-_CHUNKS_PER_WORKER = 4
-
-
-def default_jobs() -> int:
-    """Number of worker processes to use when the caller does not specify one."""
-    return max(1, os.cpu_count() or 1)
 
 
 def picklability_error(trial_fn: Callable[..., Any]) -> Optional[str]:
@@ -69,32 +70,47 @@ def picklability_error(trial_fn: Callable[..., Any]) -> Optional[str]:
 
 
 def _chunksize(num_tasks: int, jobs: int) -> int:
-    """Chunk size that yields roughly ``_CHUNKS_PER_WORKER`` chunks per worker."""
-    return max(1, num_tasks // max(1, jobs * _CHUNKS_PER_WORKER))
+    """Chunk size for a pooled submission (kept as the historical name)."""
+    return chunksize_for(num_tasks, jobs)
 
 
-def _invoke_trial(task: Tuple[Callable[[int, int], Mapping[str, Any]], int, int]) -> Any:
-    """Worker-side shim: unpack one task and call the trial function.
+def submit_tasks(tasks: Sequence[Task], jobs: int) -> List[Any]:
+    """Execute a task list on the run's backend, results in task order.
+
+    The single funnel every pooled dispatch goes through: the active backend
+    if one is installed for this run, otherwise a per-call
+    :class:`~repro.exec.backends.local.LocalPoolBackend` with ``jobs``
+    workers (the historical semantics, pool spawned and torn down here).
+    """
+    backend = active_backend()
+    if backend is not None:
+        return backend.submit(tasks)
+    with LocalPoolBackend(jobs=jobs) as pool_backend:
+        return pool_backend.submit(tasks)
+
+
+def _invoke_trial(trial_fn: Callable[[int, int], Mapping[str, Any]], seed: int, index: int) -> Any:
+    """Worker-side shim: call the trial function for one ``(seed, index)`` task.
 
     Must stay a module-level function so it can be pickled by reference.  The
     raw return value travels back to the parent, which performs the
     mapping-type validation (keeping error messages identical to the serial
     path).
     """
-    trial_fn, seed, trial_index = task
-    return trial_fn(seed, trial_index)
+    return trial_fn(seed, index)
 
 
 def run_trials_in_pool(
     trial_fn: Callable[[int, int], Mapping[str, Any]],
     seeds: Sequence[int],
     jobs: int,
+    name: Optional[str] = None,
 ) -> List[Any]:
-    """Run ``trial_fn(seed, index)`` for every seed across ``jobs`` processes.
+    """Run ``trial_fn(seed, index)`` for every seed across worker processes.
 
     Results are returned in index order regardless of which worker finished
-    first.  Exceptions raised inside a worker propagate to the caller (the
-    pool is shut down cleanly first).
+    first.  A failure inside a worker surfaces as a labelled
+    :class:`~repro.errors.ExperimentError` naming the trial index and seed.
 
     Parameters
     ----------
@@ -103,11 +119,22 @@ def run_trials_in_pool(
     seeds:
         Pre-derived per-trial seeds; trial ``i`` receives ``seeds[i]``.
     jobs:
-        Number of worker processes.
+        Worker count of the per-call pool (ignored when a run-level backend
+        is installed — the backend owns its own worker fleet).
+    name:
+        Experiment name attached to the failure context.
     """
-    tasks = [(trial_fn, int(seed), index) for index, seed in enumerate(seeds)]
-    with ProcessPoolExecutor(max_workers=jobs) as pool:
-        return list(pool.map(_invoke_trial, tasks, chunksize=_chunksize(len(tasks), jobs)))
+    tasks = [
+        Task(
+            fn=_invoke_trial,
+            args=(trial_fn, int(seed), index),
+            context=(
+                (("experiment", name),) if name else ()
+            ) + (("trial", index), ("seed", int(seed))),
+        )
+        for index, seed in enumerate(seeds)
+    ]
+    return submit_tasks(tasks, jobs)
 
 
 # ----------------------------------------------------------------------
@@ -134,50 +161,71 @@ def resolve_point_jobs(point_jobs: Optional[int], num_points: int) -> int:
     return max(1, min(jobs, num_points))
 
 
-def _invoke_point(task: Tuple[Callable[[int, int], Mapping[str, Any]], Sequence[int]]) -> List[Any]:
+def _invoke_point(trial_fn: Callable[[int, int], Mapping[str, Any]], seeds: Sequence[int]) -> List[Any]:
     """Worker-side shim: run all trials of one grid point, in trial order.
 
     The seeds were derived in the parent; the worker only loops the trial
     function over them, so the raw measurement list it sends back is
     bit-identical to what a serial loop over the same point would produce.
     """
-    trial_fn, seeds = task
     return [trial_fn(int(seed), index) for index, seed in enumerate(seeds)]
 
 
 def run_point_trials_in_pool(
     point_tasks: Sequence[Tuple[Callable[[int, int], Mapping[str, Any]], Sequence[int]]],
     jobs: int,
+    names: Optional[Sequence[str]] = None,
 ) -> List[List[Any]]:
-    """Run every grid point's trial loop in a shared pool, one point per task.
+    """Run every grid point's trial loop across workers, one point per task.
 
     Each element of ``point_tasks`` is a ``(trial_fn, seeds)`` pair for one
     sweep point; the per-point raw measurement lists come back in point order
-    regardless of which worker finished first.
+    regardless of which worker finished first.  ``names`` (the canonical
+    sweep point names) label the failure context of each point.
     """
-    with ProcessPoolExecutor(max_workers=jobs) as pool:
-        return list(pool.map(_invoke_point, point_tasks))
-
-
-def _invoke_task(task: Tuple[Callable[..., Any], Mapping[str, Any]]) -> Any:
-    """Worker-side shim: call ``fn(**kwargs)`` for one pre-resolved task."""
-    fn, kwargs = task
-    return fn(**kwargs)
+    tasks = [
+        Task(
+            fn=_invoke_point,
+            args=(trial_fn, tuple(int(seed) for seed in seeds)),
+            context=(
+                ("point", names[index] if names else index),
+                ("first_seed", int(seeds[0]) if len(seeds) else None),
+            ),
+        )
+        for index, (trial_fn, seeds) in enumerate(point_tasks)
+    ]
+    return submit_tasks(tasks, jobs)
 
 
 def run_tasks_in_pool(
     tasks: Sequence[Tuple[Callable[..., Any], Mapping[str, Any]]],
     jobs: int,
 ) -> List[Any]:
-    """Run pre-resolved ``(fn, kwargs)`` tasks across a pool, in task order.
+    """Run pre-resolved ``(fn, kwargs)`` tasks across workers, in task order.
 
     Used by :func:`repro.exec.batching.run_sweep_batched` to execute one
     whole-point batch simulation per task; every kwarg (including the
     per-point batch seed) was resolved in the parent, so the results are
-    bit-identical to an in-process loop over the same tasks.
+    bit-identical to an in-process loop over the same tasks.  Failure
+    context is read off the kwargs (the batch tasks carry ``name`` and
+    ``base_seed``).
     """
-    with ProcessPoolExecutor(max_workers=jobs) as pool:
-        return list(pool.map(_invoke_task, tasks))
+    built = [
+        Task(fn=fn, kwargs=dict(kwargs), context=_kwargs_context(index, kwargs))
+        for index, (fn, kwargs) in enumerate(tasks)
+    ]
+    return submit_tasks(built, jobs)
+
+
+def _kwargs_context(index: int, kwargs: Mapping[str, Any]) -> Tuple[Tuple[str, Any], ...]:
+    """Failure-attribution context scraped from a ``(fn, kwargs)`` task."""
+    context: List[Tuple[str, Any]] = []
+    for key in ("name", "seed", "base_seed"):
+        if kwargs.get(key) is not None:
+            context.append((key, kwargs[key]))
+    if not context:
+        context.append(("position", index))
+    return tuple(context)
 
 
 def run_point_tasks(
@@ -188,15 +236,17 @@ def run_point_tasks(
     """Run per-cell ``(fn, kwargs)`` tasks in cell order, pooled or in-process.
 
     The one dispatch rule shared by the cell-structured experiment drivers
-    (E4, E7, E9, E11): resolve ``point_jobs`` with
-    :func:`resolve_point_jobs`; when a pool is warranted, execute the tasks
-    on it (every kwarg — including per-cell seeds — was resolved in the
-    parent, so results are bit-identical to the in-process loop); otherwise
-    run in-process, injecting ``runner=runner`` into each task when a serial
-    trial runner was given (batch-path callers pass ``runner=None``).
+    (E4, E7, E9, E11, E12): resolve ``point_jobs`` with
+    :func:`resolve_point_jobs`; when a pool is warranted — or a run-level
+    backend is installed (so ``--backend remote`` shards the cells with zero
+    driver changes) — execute the tasks on it (every kwarg, including
+    per-cell seeds, was resolved in the parent, so results are bit-identical
+    to the in-process loop); otherwise run in-process, injecting
+    ``runner=runner`` into each task when a serial trial runner was given
+    (batch-path callers pass ``runner=None``).
     """
     jobs = resolve_point_jobs(point_jobs, len(tasks))
-    if jobs > 1:
+    if jobs > 1 or active_backend() is not None:
         return run_tasks_in_pool(tasks, jobs)
     if runner is not None:
         for _, kwargs in tasks:

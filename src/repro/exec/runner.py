@@ -7,14 +7,19 @@ object that decides **where** those trials execute:
 * :class:`SerialTrialRunner` — the deterministic reference: an in-process
   loop, byte-for-byte identical to the historical behaviour of
   :func:`repro.analysis.experiments.run_trials`.
-* :class:`ParallelTrialRunner` — a :class:`concurrent.futures.ProcessPoolExecutor`
-  fan-out with the **identical-results contract**: per-trial seeds are derived
-  in the parent exactly as the serial runner derives them, and results are
-  collected in trial order, so for the same ``(name, trial_fn, num_trials,
-  base_seed)`` both runners return equal
-  :class:`~repro.analysis.experiments.ExperimentResult` objects.  Trial
-  functions that cannot be pickled fall back to serial execution (recorded in
-  :attr:`ParallelTrialRunner.last_fallback_reason`) rather than failing.
+* :class:`ParallelTrialRunner` — a worker fan-out with the
+  **identical-results contract**: per-trial seeds are derived in the parent
+  exactly as the serial runner derives them, and results are collected in
+  trial order, so for the same ``(name, trial_fn, num_trials, base_seed)``
+  both runners return equal
+  :class:`~repro.analysis.experiments.ExperimentResult` objects.  *Where*
+  the trials execute is delegated to an execution backend
+  (:mod:`repro.exec.backends`): the backend installed for the run when
+  there is one — a persistent local pool, remote work-stealing workers —
+  and a per-call local process pool otherwise (the historical behaviour).
+  Trial functions that cannot be pickled fall back to serial execution
+  (recorded in :attr:`ParallelTrialRunner.last_fallback_reason`) rather
+  than failing.
 
 Seed derivation is the single function :func:`trial_seed`, shared by both
 runners and by the batched path in :mod:`repro.exec.batching`; it is the same
@@ -173,8 +178,12 @@ class ParallelTrialRunner(TrialRunner):
         self._validate(name, num_trials)
         seeds = trial_seeds(base_seed, name, num_trials)
 
+        # A run-level backend owns its own worker fleet (remote workers may
+        # not even be local CPUs), so the local-pool economics below do not
+        # apply: always dispatch through it.
+        backend_installed = pool.active_backend() is not None
         jobs = min(self.effective_jobs, num_trials)
-        if jobs <= 1:
+        if jobs <= 1 and not backend_installed:
             self.last_fallback_reason = "single worker requested; pool not worth spawning"
             raw = [trial_fn(seed, index) for index, seed in enumerate(seeds)]
             return self._package(name, config, seeds, raw)
@@ -186,7 +195,10 @@ class ParallelTrialRunner(TrialRunner):
             return self._package(name, config, seeds, raw)
 
         self.last_fallback_reason = None
-        raw = pool.run_trials_in_pool(trial_fn, seeds, jobs)
+        # Delegates to the run's execution backend: the active backend when
+        # one is installed (persistent local pool, remote workers), else a
+        # per-call local pool with this runner's worker count.
+        raw = pool.run_trials_in_pool(trial_fn, seeds, jobs, name=name)
         return self._package(name, config, seeds, raw)
 
 

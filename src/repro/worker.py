@@ -1,0 +1,160 @@
+"""``python -m repro.worker`` — attach to a remote execution backend and work.
+
+One worker process serves one :class:`~repro.exec.backends.remote.RemoteWorkerBackend`
+endpoint: it connects to the backend's queue server, then loops pulling task
+chunks off the shared queue (work-stealing — an idle worker simply takes the
+next chunk), executing them, and pushing ordered per-chunk results back.
+Start as many as the host allows, on as many hosts as can reach the
+endpoint::
+
+    python -m repro.worker --endpoint 192.168.1.10:7777 --authkey secret
+
+Protocol notes (see :mod:`repro.exec.backends.dispatch` for the full spec):
+
+* a ``hello`` is sent on attach and ``heartbeat`` messages flow from a side
+  thread, so a worker busy inside a long chunk still proves liveness —
+  the parent evicts workers whose heartbeat goes stale and requeues their
+  chunks;
+* every chunk is acknowledged before execution, so the parent can attribute
+  in-flight work and apply its per-chunk timeout;
+* a task raising an exception reports a ``task-error`` with the offset of
+  the failing task inside the chunk (the parent turns that into an
+  :class:`~repro.errors.ExperimentError` naming the task's index, sweep
+  point and seed) — the worker itself survives and keeps stealing;
+* tasks are pure functions of their parent-derived arguments, so a chunk
+  that was requeued to (or duplicated on) another worker yields
+  byte-identical results.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import queue
+import threading
+from typing import Optional, Sequence
+
+__all__ = ["build_parser", "run_worker", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the worker's argument parser (exposed separately for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.worker",
+        description="attach to a repro remote execution backend and execute task chunks",
+    )
+    parser.add_argument(
+        "--endpoint",
+        required=True,
+        metavar="HOST:PORT",
+        help="the backend's workers endpoint (printed by --backend remote runs)",
+    )
+    parser.add_argument(
+        "--authkey",
+        default=None,
+        help="shared secret of the endpoint (default: the library default)",
+    )
+    parser.add_argument(
+        "--id",
+        default=None,
+        dest="worker_id",
+        help="worker identifier used in heartbeats and error attribution (default: pid-based)",
+    )
+    parser.add_argument(
+        "--heartbeat-interval",
+        type=float,
+        default=2.0,
+        metavar="SECONDS",
+        help="period of the liveness heartbeat (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--max-chunks",
+        type=int,
+        default=None,
+        metavar="N",
+        help="exit after executing N chunks (default: run until stopped)",
+    )
+    return parser
+
+
+def run_worker(
+    endpoint: str,
+    authkey: Optional[str] = None,
+    worker_id: Optional[str] = None,
+    heartbeat_interval: float = 2.0,
+    max_chunks: Optional[int] = None,
+    poll: float = 0.2,
+) -> int:
+    """Serve one endpoint until a stop sentinel arrives; returns chunks executed."""
+    # Imported here so `--help` works without the exec layer and so the
+    # module stays importable in stripped-down worker containers.
+    from .exec.backends.base import run_task
+    from .exec.backends.remote import DEFAULT_AUTHKEY, connect_queues
+
+    identity = worker_id or f"worker-{os.getpid()}"
+    task_queue, result_queue = connect_queues(endpoint, authkey or DEFAULT_AUTHKEY)
+    result_queue.put(("hello", identity))
+
+    stop_heartbeat = threading.Event()
+
+    def _heartbeat() -> None:
+        while not stop_heartbeat.wait(heartbeat_interval):
+            try:
+                result_queue.put(("heartbeat", identity))
+            except Exception:  # connection gone: the main loop will exit too
+                return
+
+    beat = threading.Thread(target=_heartbeat, name="repro-worker-heartbeat", daemon=True)
+    beat.start()
+
+    executed = 0
+    try:
+        while max_chunks is None or executed < max_chunks:
+            try:
+                message = task_queue.get(timeout=poll)
+            except queue.Empty:
+                continue
+            if message[0] == "stop":
+                break
+            _, chunk_id, tasks = message
+            result_queue.put(("ack", chunk_id, identity))
+            values = []
+            failed = False
+            for offset, task in enumerate(tasks):
+                try:
+                    values.append(run_task(task))
+                except Exception as error:
+                    result_queue.put(
+                        (
+                            "task-error",
+                            chunk_id,
+                            identity,
+                            offset,
+                            f"{type(error).__name__}: {error}",
+                        )
+                    )
+                    failed = True
+                    break
+            if not failed:
+                result_queue.put(("done", chunk_id, identity, values))
+            executed += 1
+    finally:
+        stop_heartbeat.set()
+    return executed
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    run_worker(
+        endpoint=args.endpoint,
+        authkey=args.authkey,
+        worker_id=args.worker_id,
+        heartbeat_interval=args.heartbeat_interval,
+        max_chunks=args.max_chunks,
+    )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -34,10 +34,17 @@ GRID = [
 ]
 
 
-def grid_digest(experiment_id: str, batch: bool, overrides: dict) -> str:
-    """Run one grid configuration and digest its full report deterministically."""
+def grid_digest(
+    experiment_id: str, batch: bool, overrides: dict, config: ExecutionConfig = None
+) -> str:
+    """Run one grid configuration and digest its full report deterministically.
+
+    ``config`` overrides the whole :class:`ExecutionConfig` (used by the
+    execution-backend differential pins); the default keeps the historical
+    serial/batch configuration.
+    """
     artifact = run_experiment(
-        experiment_id, config=ExecutionConfig(batch=batch), **overrides
+        experiment_id, config=config or ExecutionConfig(batch=batch), **overrides
     )
     payload = {
         "render": artifact.report.render(),

@@ -69,8 +69,65 @@ class TestResolution:
             "point_jobs": 2,
             "trials": 3,
             "base_seed": 9,
+            "backend": None,
             "notes": [],
         }
+
+
+class TestBackendResolution:
+    def test_default_config_has_no_backend(self):
+        plan = ExecutionConfig().resolve("E1")
+        assert plan.backend is None and plan.backend_options is None
+        assert plan.create_backend() is None
+        assert plan.describe()["backend"] is None
+
+    def test_unknown_backend_is_rejected_naming_the_valid_ones(self):
+        with pytest.raises(ExperimentError, match="in-process.*local.*remote"):
+            ExecutionConfig(backend="threads").resolve("E1")
+
+    def test_unknown_backend_option_is_rejected(self):
+        with pytest.raises(ExperimentError, match="chunk_size"):
+            ExecutionConfig(backend="local", backend_options={"chunk_size": 3}).resolve("E1")
+
+    def test_backend_options_without_backend_are_rejected(self):
+        with pytest.raises(ExperimentError, match="without a backend"):
+            ExecutionConfig(backend_options={"workers": 2}).resolve("E1")
+
+    def test_parallel_backend_without_jobs_engages_the_parallel_machinery(self):
+        plan = ExecutionConfig(backend="local").resolve("E8")
+        assert isinstance(plan.runner, ParallelTrialRunner)
+        assert plan.jobs is None  # the *requested* jobs stay untouched
+
+    def test_in_process_backend_stays_serial(self):
+        plan = ExecutionConfig(backend="in-process").resolve("E8")
+        assert plan.runner is None and plan.point_jobs is None
+
+    def test_explicit_jobs_win_over_the_backend_default(self):
+        plan = ExecutionConfig(jobs=3, backend="local").resolve("E8")
+        assert isinstance(plan.runner, ParallelTrialRunner) and plan.runner.jobs == 3
+
+    def test_create_backend_builds_the_named_backend(self):
+        from repro.exec.backends import InProcessBackend, LocalPoolBackend, RemoteWorkerBackend
+
+        assert isinstance(
+            ExecutionConfig(backend="in-process").resolve("E1").create_backend(),
+            InProcessBackend,
+        )
+        local = ExecutionConfig(backend="local", backend_options={"workers": 2}).resolve(
+            "E1"
+        ).create_backend()
+        assert isinstance(local, LocalPoolBackend) and local.jobs == 2
+        remote = ExecutionConfig(
+            backend="remote", backend_options={"workers": 2, "chunk_size": 4}
+        ).resolve("E1").create_backend()
+        assert isinstance(remote, RemoteWorkerBackend)
+        assert remote.workers == 2 and remote.settings.chunk_size == 4
+
+    def test_describe_records_the_backend(self):
+        summary = ExecutionConfig(
+            backend="remote", backend_options={"workers": 2}
+        ).resolve("E8").describe()
+        assert summary["backend"] == {"name": "remote", "options": {"workers": 2}}
 
 
 class TestFromEnv:
@@ -82,6 +139,34 @@ class TestFromEnv:
         monkeypatch.setenv("REPRO_TEST_JOBS", " 3 ")
         config = ExecutionConfig.from_env("REPRO_TEST_JOBS", batch=True)
         assert config.jobs == 3 and config.batch
+
+    def test_repro_backend_selects_the_backend(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TEST_JOBS", raising=False)
+        monkeypatch.setenv("REPRO_BACKEND", "local")
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        config = ExecutionConfig.from_env("REPRO_TEST_JOBS")
+        assert config.backend == "local" and config.backend_options is None
+
+    def test_repro_workers_becomes_a_backend_option(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TEST_JOBS", raising=False)
+        monkeypatch.setenv("REPRO_BACKEND", "remote")
+        monkeypatch.setenv("REPRO_WORKERS", " 4 ")
+        config = ExecutionConfig.from_env("REPRO_TEST_JOBS")
+        assert config.backend == "remote"
+        assert config.backend_options == {"workers": 4}
+
+    def test_repro_workers_without_backend_is_ignored(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TEST_JOBS", raising=False)
+        monkeypatch.delenv("REPRO_BACKEND", raising=False)
+        monkeypatch.setenv("REPRO_WORKERS", "4")
+        config = ExecutionConfig.from_env("REPRO_TEST_JOBS")
+        assert config.backend is None and config.backend_options is None
+
+    def test_empty_backend_variable_means_default_dispatch(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TEST_JOBS", raising=False)
+        monkeypatch.setenv("REPRO_BACKEND", "  ")
+        config = ExecutionConfig.from_env("REPRO_TEST_JOBS")
+        assert config.backend is None
 
 
 class TestResolveRunOptions:

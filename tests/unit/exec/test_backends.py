@@ -1,0 +1,263 @@
+"""Unit tests for the execution-backend layer and its pool routing.
+
+Covers the :class:`~repro.exec.backends.base.ExecutionBackend` contract
+(ordered results, lifecycle, active-backend installation), the chunking pin
+that closes the historical per-task-IPC gap, the labelled worker-failure
+errors, and the adversarial ordering differential: a mock backend that
+completes tasks in shuffled order must still produce a bit-identical E8
+sweep.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.exec import pool
+from repro.exec.backends import (
+    InProcessBackend,
+    LocalPoolBackend,
+    Task,
+    active_backend,
+    chunksize_for,
+    create_backend,
+    run_task,
+    task_failure_error,
+    task_label,
+    use_backend,
+    validate_backend_spec,
+)
+
+
+def _add(a, b):
+    return a + b
+
+
+def _boom(_seed, _index):
+    raise ValueError("exploding trial")
+
+
+def _trial(seed, index):
+    return {"value": seed + index}
+
+
+class TestTask:
+    def test_run_task_applies_args_and_kwargs(self):
+        task = Task(fn=_add, args=(2,), kwargs={"b": 3})
+        assert run_task(task) == 5
+
+    def test_task_label_includes_the_context(self):
+        task = Task(fn=_add, context=(("point", "E8[n=10]"), ("seed", 42)))
+        assert task_label(task, 7) == "task 7 (point='E8[n=10]', seed=42)"
+        assert task_label(Task(fn=_add), 0) == "task 0"
+
+    def test_failure_error_names_task_index_point_and_seed(self):
+        tasks = [Task(fn=_add, context=(("point", "p"), ("seed", 5)))]
+        error = task_failure_error(tasks, 0, ValueError("dead"), where="local")
+        assert "local execution failed" in str(error)
+        assert "task 0 (point='p', seed=5)" in str(error)
+        assert "ValueError: dead" in str(error)
+
+    def test_failure_error_survives_an_out_of_range_index(self):
+        error = task_failure_error([], 3, RuntimeError("x"), where="local")
+        assert "task 3" in str(error)
+
+
+class TestInProcessBackend:
+    def test_results_come_back_in_task_order(self):
+        tasks = [Task(fn=_add, args=(i, 1)) for i in range(5)]
+        assert InProcessBackend().submit(tasks) == [1, 2, 3, 4, 5]
+
+    def test_exceptions_propagate_raw(self):
+        """Exactly the historical serial semantics: no wrapping."""
+        with pytest.raises(ValueError, match="exploding"):
+            InProcessBackend().submit([Task(fn=_boom, args=(1, 2))])
+
+
+class TestLocalPoolBackend:
+    def test_pool_is_created_once_and_reused_across_submits(self):
+        tasks = [Task(fn=_add, args=(i, 0)) for i in range(4)]
+        with LocalPoolBackend(jobs=2) as backend:
+            first = backend.submit(tasks)
+            pool_object = backend._pool
+            second = backend.submit(tasks)
+            assert backend._pool is pool_object  # no respawn between submits
+        assert first == second == [0, 1, 2, 3]
+        assert backend._pool is None  # close() tore it down
+
+    def test_invalid_jobs_rejected(self):
+        with pytest.raises(ExperimentError, match="positive integer"):
+            LocalPoolBackend(jobs=0)
+
+    def test_worker_failure_is_labelled_with_task_context(self):
+        tasks = [
+            Task(fn=_add, args=(0, 0), context=(("point", "ok"),)),
+            Task(fn=_boom, args=(1, 2), context=(("point", "E8[x]"), ("seed", 99))),
+        ]
+        with LocalPoolBackend(jobs=2) as backend:
+            with pytest.raises(ExperimentError) as excinfo:
+                backend.submit(tasks)
+        message = str(excinfo.value)
+        assert "local execution failed" in message
+        assert "task 1 (point='E8[x]', seed=99)" in message
+        assert "exploding trial" in message
+
+    def test_every_submission_is_chunked(self):
+        """The chunking pin: submissions route through chunksize_for."""
+        tasks = [Task(fn=_add, args=(i, 0)) for i in range(40)]
+        with LocalPoolBackend(jobs=2) as backend:
+            backend.submit(tasks)
+            assert backend.last_chunksize == chunksize_for(40, 2) == 5
+            backend.submit(tasks[:3])
+            assert backend.last_chunksize == chunksize_for(3, 2) == 1
+
+
+class TestChunksizeFor:
+    def test_targets_four_chunks_per_worker(self):
+        assert chunksize_for(80, 4) == 5
+        assert chunksize_for(16, 2) == 2
+
+    def test_never_below_one(self):
+        assert chunksize_for(3, 8) == 1
+        assert chunksize_for(0, 1) == 1
+
+
+class TestActiveBackend:
+    def test_no_backend_by_default(self):
+        assert active_backend() is None
+
+    def test_use_backend_installs_and_uninstalls(self):
+        backend = InProcessBackend()
+        with use_backend(backend) as installed:
+            assert installed is backend
+            assert active_backend() is backend
+        assert active_backend() is None
+
+    def test_nesting_is_rejected(self):
+        with use_backend(InProcessBackend()):
+            with pytest.raises(ExperimentError, match="cannot be nested"):
+                with use_backend(InProcessBackend()):
+                    pass  # pragma: no cover
+        assert active_backend() is None
+
+    def test_uninstalled_even_when_the_run_raises(self):
+        with pytest.raises(RuntimeError):
+            with use_backend(InProcessBackend()):
+                raise RuntimeError("driver failed")
+        assert active_backend() is None
+
+
+class _RecordingBackend(InProcessBackend):
+    """In-process execution that records every submitted task list."""
+
+    def __init__(self):
+        self.submissions = []
+
+    def submit(self, tasks):
+        self.submissions.append(list(tasks))
+        return super().submit(tasks)
+
+
+class TestPoolRouting:
+    """Every pool helper funnels through the installed backend."""
+
+    def test_run_trials_in_pool_routes_to_the_active_backend(self):
+        backend = _RecordingBackend()
+        with use_backend(backend):
+            results = pool.run_trials_in_pool(_trial, [10, 20], jobs=4, name="exp")
+        assert results == [{"value": 10}, {"value": 21}]
+        (tasks,) = backend.submissions
+        assert tasks[1].context == (("experiment", "exp"), ("trial", 1), ("seed", 20))
+
+    def test_run_point_trials_in_pool_routes_and_labels_points(self):
+        backend = _RecordingBackend()
+        with use_backend(backend):
+            results = pool.run_point_trials_in_pool(
+                [(_trial, (5, 6)), (_trial, (7,))], jobs=4, names=["sweep[a]", "sweep[b]"]
+            )
+        assert results == [[{"value": 5}, {"value": 7}], [{"value": 7}]]
+        (tasks,) = backend.submissions
+        assert tasks[0].context == (("point", "sweep[a]"), ("first_seed", 5))
+        assert tasks[1].context == (("point", "sweep[b]"), ("first_seed", 7))
+
+    def test_run_tasks_in_pool_scrapes_context_from_kwargs(self):
+        backend = _RecordingBackend()
+        with use_backend(backend):
+            results = pool.run_tasks_in_pool(
+                [(_add, {"a": 1, "b": 2}), (_add, {"a": 3, "b": 4})], jobs=4
+            )
+        assert results == [3, 7]
+        (tasks,) = backend.submissions
+        assert tasks[0].context == (("position", 0),)
+
+    def test_run_point_tasks_uses_the_backend_even_for_one_job(self):
+        """An installed backend overrides the jobs<=1 in-process shortcut."""
+        backend = _RecordingBackend()
+        with use_backend(backend):
+            results = pool.run_point_tasks([(_add, {"a": 1, "b": 1})], point_jobs=None)
+        assert results == [2]
+        assert len(backend.submissions) == 1
+
+    def test_no_backend_falls_back_to_the_per_call_pool(self):
+        """Historical semantics: jobs<=1 without a backend stays in-process."""
+        results = pool.run_point_tasks([(_add, {"a": 1, "b": 1})], point_jobs=None)
+        assert results == [2]
+
+
+class _ShuffledBackend(InProcessBackend):
+    """Adversarial completion order: executes tasks shuffled, returns ordered.
+
+    Models what a remote fleet does — tasks finish in arbitrary order — while
+    honouring the contract that ``submit`` returns results by task position.
+    """
+
+    name = "shuffled"
+
+    def submit(self, tasks):
+        order = list(range(len(tasks)))
+        random.Random(1234).shuffle(order)
+        results = [None] * len(tasks)
+        for index in order:
+            results[index] = run_task(tasks[index])
+        return results
+
+
+class TestOrderedAssemblyDifferential:
+    def test_shuffled_completion_is_bit_identical_on_a_small_e8_grid(self):
+        """Seeds derived in the parent + ordered assembly ⇒ backend-invariant."""
+        from repro.api import ExecutionConfig, run_experiment
+
+        kwargs = dict(
+            n=60, epsilon=0.3, set_sizes=(10, 16), biases=(0.2,), trials=3, base_seed=11
+        )
+        serial = run_experiment("E8", config=ExecutionConfig(), **kwargs)
+        with use_backend(_ShuffledBackend()):
+            # Force the parallel path so the sweep actually dispatches tasks.
+            shuffled = run_experiment("E8", config=ExecutionConfig(jobs=2), **kwargs)
+        assert shuffled.report.rows == serial.report.rows
+        assert shuffled.report.render() == serial.report.render()
+
+
+class TestFactory:
+    def test_validate_rejects_unknown_backend_and_options(self):
+        with pytest.raises(ExperimentError, match="registered backends"):
+            validate_backend_spec("threads")
+        with pytest.raises(ExperimentError, match="no option"):
+            validate_backend_spec("in-process", {"workers": 2})
+
+    def test_jobs_fill_in_the_workers_option(self):
+        backend = create_backend("local", jobs=3)
+        assert isinstance(backend, LocalPoolBackend) and backend.jobs == 3
+
+    def test_jobs_zero_means_one_worker_per_cpu(self):
+        from repro.exec.backends import RemoteWorkerBackend, default_jobs
+
+        backend = create_backend("remote", jobs=0)
+        assert isinstance(backend, RemoteWorkerBackend)
+        assert backend.workers == default_jobs()
+
+    def test_explicit_zero_workers_on_remote_means_external_only(self):
+        backend = create_backend("remote", {"workers": 0}, jobs=4)
+        assert backend.workers == 0

@@ -1,0 +1,250 @@
+"""Unit tests for the work-stealing dispatch loop (queue-protocol level).
+
+:func:`repro.exec.backends.dispatch.dispatch_chunks` is written against two
+plain queue objects precisely so this file can drive its whole failure
+surface in-process: scripted ``queue.Queue`` messages for the ordering and
+protocol tests, fake worker threads for the retry/eviction races.  The
+:class:`~repro.exec.backends.remote.RemoteWorkerBackend` integration on real
+subprocesses lives in ``test_remote_backend.py``.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.exec.backends import DispatchSettings, Task, chunk_tasks, dispatch_chunks, run_task
+
+
+def _add(a, b):
+    return a + b
+
+
+def _make_tasks(count):
+    return [
+        Task(fn=_add, args=(i, 10 * i), context=(("point", f"p{i}"), ("seed", 100 + i)))
+        for i in range(count)
+    ]
+
+
+def _expected(tasks):
+    return [run_task(task) for task in tasks]
+
+
+def _settings(**overrides):
+    base = dict(
+        chunk_size=1,
+        chunk_timeout=5.0,
+        heartbeat_timeout=5.0,
+        max_attempts=2,
+        startup_timeout=5.0,
+        poll=0.005,
+    )
+    base.update(overrides)
+    return DispatchSettings(**base)
+
+
+def _preloaded(messages):
+    """A result queue with a scripted message sequence already enqueued."""
+    result_queue = queue.Queue()
+    for message in messages:
+        result_queue.put(message)
+    return result_queue
+
+
+class TestChunking:
+    def test_chunk_tasks_slices_with_offsets(self):
+        tasks = _make_tasks(5)
+        chunks = chunk_tasks(tasks, 2)
+        assert [start for start, _ in chunks] == [0, 2, 4]
+        assert [len(chunk) for _, chunk in chunks] == [2, 2, 1]
+        assert chunks[1][1] == tuple(tasks[2:4])
+
+    def test_settings_reject_degenerate_values(self):
+        with pytest.raises(ExperimentError, match="chunk_size"):
+            DispatchSettings(chunk_size=0)
+        with pytest.raises(ExperimentError, match="max_attempts"):
+            DispatchSettings(max_attempts=0)
+
+    def test_empty_task_list_is_a_no_op(self):
+        assert dispatch_chunks([], queue.Queue(), queue.Queue(), _settings()) == []
+
+
+class TestOrderedAssembly:
+    def test_shuffled_completion_order_still_assembles_in_task_order(self):
+        """The adversarial case: chunks complete in an arbitrary order."""
+        tasks = _make_tasks(6)
+        settings = _settings(chunk_size=2)  # chunks 0:(0,1) 1:(2,3) 2:(4,5)
+        values = {
+            chunk_id: [run_task(task) for task in chunk]
+            for chunk_id, (_, chunk) in enumerate(chunk_tasks(tasks, 2))
+        }
+        result_queue = _preloaded(
+            [
+                ("hello", "w1"),
+                ("done", 2, "w1", values[2]),
+                ("done", 0, "w1", values[0]),
+                ("done", 1, "w1", values[1]),
+            ]
+        )
+        results = dispatch_chunks(tasks, queue.Queue(), result_queue, settings)
+        assert results == _expected(tasks)
+
+    def test_duplicate_done_messages_are_deduplicated(self):
+        """A requeued chunk's late duplicate must not double-count."""
+        tasks = _make_tasks(2)
+        settings = _settings(chunk_size=1)
+        result_queue = _preloaded(
+            [
+                ("hello", "w1"),
+                ("done", 0, "w1", [run_task(tasks[0])]),
+                ("done", 0, "w2", [run_task(tasks[0])]),  # duplicate, ignored
+                ("done", 1, "w2", [run_task(tasks[1])]),
+            ]
+        )
+        results = dispatch_chunks(tasks, queue.Queue(), result_queue, settings)
+        assert results == _expected(tasks)
+
+    def test_unknown_message_kind_is_a_protocol_error(self):
+        tasks = _make_tasks(1)
+        result_queue = _preloaded([("gibberish", "w1")])
+        with pytest.raises(ExperimentError, match="unknown message 'gibberish'"):
+            dispatch_chunks(tasks, queue.Queue(), result_queue, _settings())
+
+
+class TestFailureTaxonomy:
+    def test_in_task_error_aborts_with_the_global_task_label(self):
+        """Deterministic failures are not retried; the error names the task."""
+        tasks = _make_tasks(4)
+        settings = _settings(chunk_size=2)
+        result_queue = _preloaded(
+            [
+                ("hello", "w1"),
+                ("task-error", 1, "w1", 1, "ValueError: boom"),  # global index 3
+            ]
+        )
+        with pytest.raises(ExperimentError) as excinfo:
+            dispatch_chunks(tasks, queue.Queue(), result_queue, settings)
+        message = str(excinfo.value)
+        assert "task 3" in message
+        assert "point='p3'" in message and "seed=103" in message
+        assert "worker 'w1'" in message and "ValueError: boom" in message
+
+    def test_chunk_timeout_exhausting_attempts_names_the_chunk(self):
+        """An acked chunk that never completes is requeued; attempts are capped."""
+        tasks = _make_tasks(2)
+        settings = _settings(chunk_size=2, chunk_timeout=0.02, max_attempts=1, poll=0.002)
+        result_queue = _preloaded([("hello", "w1"), ("ack", 0, "w1")])
+        with pytest.raises(ExperimentError) as excinfo:
+            dispatch_chunks(tasks, queue.Queue(), result_queue, settings)
+        message = str(excinfo.value)
+        assert "chunk 0" in message and "tasks 0..1" in message
+        assert "timed out" in message and "exhausted its 1 attempts" in message
+        assert "point='p0'" in message  # first task of the chunk is labelled
+
+    def test_startup_stall_raises_a_pointer_to_the_worker_command(self):
+        tasks = _make_tasks(1)
+        settings = _settings(startup_timeout=0.02, poll=0.002)
+        with pytest.raises(ExperimentError, match="python -m repro.worker"):
+            dispatch_chunks(tasks, queue.Queue(), queue.Queue(), settings)
+
+
+class _FakeWorker(threading.Thread):
+    """An in-process worker servicing the task queue with a scripted behaviour.
+
+    ``behaviour(chunk_id, attempt) -> "complete" | "die"`` — ``die`` means
+    "ack the chunk, then go silent forever" (the mid-chunk crash the
+    dispatcher must recover from via heartbeat eviction).
+    """
+
+    def __init__(self, worker_id, task_queue, result_queue, behaviour, start_delay=0.0):
+        super().__init__(daemon=True)
+        self.worker_id = worker_id
+        self.task_queue = task_queue
+        self.result_queue = result_queue
+        self.behaviour = behaviour
+        self.start_delay = start_delay
+        self.attempts_seen = {}
+        self.completed = []
+
+    def run(self):
+        time.sleep(self.start_delay)
+        while True:
+            try:
+                message = self.task_queue.get(timeout=1.0)
+            except queue.Empty:
+                return
+            if message[0] == "stop":
+                return
+            _, chunk_id, tasks = message
+            attempt = self.attempts_seen.get(chunk_id, 0) + 1
+            self.attempts_seen[chunk_id] = attempt
+            self.result_queue.put(("ack", chunk_id, self.worker_id))
+            action = self.behaviour(chunk_id, attempt)
+            if action == "die":
+                return  # acked but never completes, never heartbeats again
+            self.result_queue.put(
+                ("done", chunk_id, self.worker_id, [run_task(task) for task in tasks])
+            )
+            self.completed.append(chunk_id)
+
+
+class TestRetryAndEviction:
+    def test_worker_death_mid_chunk_requeues_once_and_results_are_identical(self):
+        """The flaky worker acks chunk 0 and dies; the steady one steals it."""
+        tasks = _make_tasks(4)
+        settings = _settings(chunk_size=2, heartbeat_timeout=0.05, poll=0.005)
+        task_queue, result_queue = queue.Queue(), queue.Queue()
+
+        flaky = _FakeWorker(
+            "flaky", task_queue, result_queue, lambda chunk_id, attempt: "die"
+        )
+        # The steady worker wakes only after the flaky one has grabbed (and
+        # is sitting on) the first chunk, so the death/steal is deterministic.
+        steady = _FakeWorker(
+            "steady",
+            task_queue,
+            result_queue,
+            lambda chunk_id, attempt: "complete",
+            start_delay=0.03,
+        )
+        result_queue.put(("hello", "flaky"))
+        result_queue.put(("hello", "steady"))
+        flaky.start()
+        steady.start()
+
+        results = dispatch_chunks(tasks, task_queue, result_queue, settings)
+        assert results == _expected(tasks)
+        task_queue.put(("stop",))
+        flaky.join(timeout=2)
+        steady.join(timeout=2)
+        # The flaky worker consumed exactly one chunk (then died); the steady
+        # worker executed the other chunk plus the requeued copy.
+        assert sum(flaky.attempts_seen.values()) == 1
+        assert sorted(steady.completed) == [0, 1]
+
+    def test_heartbeats_keep_a_slow_worker_alive(self):
+        """A busy worker that heartbeats is not evicted even past the timeout."""
+        tasks = _make_tasks(1)
+        settings = _settings(chunk_size=1, heartbeat_timeout=0.05, chunk_timeout=5.0)
+        task_queue, result_queue = queue.Queue(), queue.Queue()
+
+        def slow_worker():
+            message = task_queue.get(timeout=1.0)
+            _, chunk_id, chunk = message
+            result_queue.put(("ack", chunk_id, "slow"))
+            for _ in range(4):  # work for ~4x the heartbeat timeout
+                time.sleep(0.05)
+                result_queue.put(("heartbeat", "slow"))
+            result_queue.put(("done", chunk_id, "slow", [run_task(task) for task in chunk]))
+
+        thread = threading.Thread(target=slow_worker, daemon=True)
+        result_queue.put(("hello", "slow"))
+        thread.start()
+        results = dispatch_chunks(tasks, task_queue, result_queue, settings)
+        thread.join(timeout=2)
+        assert results == _expected(tasks)

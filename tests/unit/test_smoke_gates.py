@@ -156,6 +156,35 @@ class TestCliArtifactRoundTrip:
         assert voter_rows and math.isnan(voter_rows[0]["mean_rounds"])
 
 
+class TestBackendSmoke:
+    """The execution-backend CI gate: one toy sweep per backend, equal digests.
+
+    A lighter-weight companion to the full differential in
+    ``tests/unit/exec/test_remote_backend.py``: every ``--backend`` value —
+    in-process, the persistent local pool, and the remote queue with two
+    localhost workers — must produce the byte-identical artifact the default
+    dispatch produces.
+    """
+
+    E8_TOY = dict(n=60, epsilon=0.3, set_sizes=(10,), biases=(0.2,), trials=2, base_seed=5)
+
+    @pytest.mark.parametrize(
+        "backend, options",
+        [
+            ("in-process", None),
+            ("local", {"workers": 2}),
+            ("remote", {"workers": 2, "chunk_size": 1}),
+        ],
+    )
+    def test_backend_run_matches_the_default_digest(self, backend, options):
+        sys.path.insert(0, str(Path(__file__).resolve().parent))
+        from _golden_grid import grid_digest
+
+        reference = grid_digest("E8", False, self.E8_TOY)
+        config = ExecutionConfig(backend=backend, backend_options=options)
+        assert grid_digest("E8", False, self.E8_TOY, config=config) == reference
+
+
 def _load_script(path: Path, module_name: str):
     """Import a benchmarks/ script by path (they are not a package)."""
     spec = importlib.util.spec_from_file_location(module_name, path)
@@ -179,6 +208,16 @@ class TestStageBenchAndAggregatorSmoke:
             assert entry["seconds"]["serial"] > 0, family
             assert entry["seconds"]["batch"] > 0, family
             assert "batch" in entry["speedup_vs_serial"], family
+
+    def test_backend_dispatch_bench_measures_at_toy_sizes(self):
+        module = _load_script(
+            BENCHMARKS_DIR / "bench_backend_dispatch.py", "_smoke_backend_bench"
+        )
+        payload = module.measure(module.build_workloads(toy=True))
+        assert payload["seconds"]["local_per_call"] > 0
+        assert payload["seconds"]["local_reuse"] > 0
+        assert payload["seconds"]["remote"] > 0
+        assert "local_reuse_vs_per_call" in payload["speedup_vs_serial"]
 
     def test_e12_fault_sweep_bench_measures_at_toy_sizes(self):
         module = _load_script(
