@@ -61,9 +61,12 @@ class ExecutionConfig:
         whole run, and record it in the run manifest; results are
         bit-identical on every backend.
     backend_options:
-        Backend-specific options (e.g. ``{"workers": 4}``,
-        ``{"endpoint": "0.0.0.0:7777"}``); validated against the backend's
-        recognised option names at resolution time.
+        Backend-specific options (e.g. ``{"workers": 4}``, or for an
+        externally reachable worker fleet ``{"endpoint": "0.0.0.0:7777",
+        "authkey": "..."}`` — a non-loopback endpoint requires an explicit
+        authkey, since the queue transport would otherwise accept pickles
+        from anyone who can reach the port); validated against the
+        backend's recognised option names at resolution time.
     """
 
     jobs: Optional[int] = None

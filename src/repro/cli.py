@@ -99,6 +99,15 @@ def build_parser() -> argparse.ArgumentParser:
         "`python -m repro.worker --endpoint HOST:PORT`",
     )
     experiment.add_argument(
+        "--workers-authkey",
+        metavar="KEY",
+        default=None,
+        help="with --backend remote: shared secret workers must present (required for a "
+        "non-loopback --workers-endpoint; default: a random per-run key that only "
+        "auto-spawned localhost workers know). External workers pass it via "
+        "`python -m repro.worker --authkey KEY` or REPRO_WORKER_AUTHKEY",
+    )
+    experiment.add_argument(
         "--trials",
         type=int,
         default=None,
@@ -209,11 +218,14 @@ def _parse_overrides(
 
 def _run_experiment(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
     """Run one experiment through :func:`repro.api.run_experiment`."""
-    backend_options = None
+    backend_options = {}
     if args.workers_endpoint is not None:
-        if args.backend != "remote":
-            parser.error("--workers-endpoint only applies to --backend remote")
-        backend_options = {"endpoint": args.workers_endpoint}
+        backend_options["endpoint"] = args.workers_endpoint
+    if args.workers_authkey is not None:
+        backend_options["authkey"] = args.workers_authkey
+    if backend_options and args.backend != "remote":
+        parser.error("--workers-endpoint/--workers-authkey only apply to --backend remote")
+    backend_options = backend_options or None
     config = ExecutionConfig(
         jobs=args.jobs,
         batch=args.batch,

@@ -40,9 +40,9 @@ from .base import (
     task_label,
     use_backend,
 )
-from .dispatch import DispatchSettings, chunk_tasks, dispatch_chunks
+from .dispatch import DispatchSettings, chunk_tasks, dispatch_chunks, drain_queue
 from .local import InProcessBackend, LocalPoolBackend, chunksize_for, default_jobs
-from .remote import DEFAULT_AUTHKEY, RemoteWorkerBackend
+from .remote import AUTHKEY_ENV, RemoteWorkerBackend
 
 __all__ = [
     "Task",
@@ -56,9 +56,10 @@ __all__ = [
     "DispatchSettings",
     "chunk_tasks",
     "dispatch_chunks",
+    "drain_queue",
     "chunksize_for",
     "default_jobs",
-    "DEFAULT_AUTHKEY",
+    "AUTHKEY_ENV",
     "active_backend",
     "use_backend",
     "backend_names",
@@ -138,12 +139,17 @@ def create_backend(
                 f"backend 'local' workers must be non-negative (0 = one per CPU), got {workers}"
             )
         return LocalPoolBackend(jobs=None if not workers else int(workers))
+    authkey = resolved.get("authkey")
+    chunk_timeout = resolved.get("chunk_timeout")
     return RemoteWorkerBackend(
         endpoint=str(resolved.get("endpoint", "127.0.0.1:0")),
         workers=int(resolved.get("workers") or 0),
-        authkey=str(resolved.get("authkey", DEFAULT_AUTHKEY)),
+        # None = a random per-run key; non-loopback endpoints require an
+        # explicit one (enforced by the backend).
+        authkey=None if authkey is None else str(authkey),
         chunk_size=int(resolved.get("chunk_size", 1)),
-        chunk_timeout=float(resolved.get("chunk_timeout", 300.0)),
+        # None = no hard per-chunk budget; heartbeats govern liveness.
+        chunk_timeout=None if chunk_timeout is None else float(chunk_timeout),
         heartbeat_timeout=float(resolved.get("heartbeat_timeout", 15.0)),
         max_attempts=int(resolved.get("max_attempts", 2)),
         startup_timeout=float(resolved.get("startup_timeout", 60.0)),

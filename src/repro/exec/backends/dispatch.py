@@ -9,20 +9,29 @@ wires the same loop to :mod:`multiprocessing.managers` proxies.
 
 The protocol (all messages are plain picklable tuples):
 
-* parent → ``task_queue``: ``("chunk", chunk_id, (task, ...))`` — one
-  contiguous slice of the submitted task list.  Idle workers ``get`` from
-  the shared queue, which *is* the work-stealing: a fast worker that drains
-  its chunk simply steals the next one, so stragglers never gate the sweep
-  (the MiniFE frame: decomposed work units, with the queue overlapping the
-  parent's collection/assembly behind worker compute).
-* parent → ``task_queue``: ``("stop",)`` — drained once by one worker on
-  shutdown.
+* parent → ``task_queue``: ``("chunk", generation, chunk_id, (task, ...))``
+  — one contiguous slice of the submitted task list.  Idle workers ``get``
+  from the shared queue, which *is* the work-stealing: a fast worker that
+  drains its chunk simply steals the next one, so stragglers never gate the
+  sweep (the MiniFE frame: decomposed work units, with the queue overlapping
+  the parent's collection/assembly behind worker compute).
+* parent → ``task_queue``: ``("stop",)`` — each worker that sees the
+  sentinel re-queues it before exiting, so one sentinel eventually reaches
+  every worker sharing the queue.
 * worker → ``result_queue``: ``("hello", worker_id)`` on attach,
   ``("heartbeat", worker_id)`` periodically (from a side thread, so a busy
-  worker still proves liveness), ``("ack", chunk_id, worker_id)`` when it
-  picks a chunk up, ``("done", chunk_id, worker_id, [result, ...])`` on
-  completion, and ``("task-error", chunk_id, worker_id, offset, message)``
-  when a task itself raised.
+  worker still proves liveness), ``("ack", generation, chunk_id, worker_id)``
+  when it picks a chunk up, ``("done", generation, chunk_id, worker_id,
+  [result, ...])`` on completion, and ``("task-error", generation, chunk_id,
+  worker_id, offset, message)`` when a task itself raised.
+
+``generation`` is the dispatch epoch: a backend reuses one queue pair across
+many ``submit`` calls, and after a requeue the losing worker's late ``done``
+can arrive *after* its dispatch returned.  Workers echo the generation of
+the chunk message verbatim; the collection loop discards any chunk-scoped
+message from another generation (it still counts as a heartbeat), so a
+stale completion can never be mistaken for one of the current dispatch's
+chunk ids and written into the wrong result slots.
 
 Failure semantics, mirroring the distinction the local pool cannot make:
 
@@ -31,7 +40,8 @@ Failure semantics, mirroring the distinction the local pool cannot make:
   :class:`~repro.errors.ExperimentError` naming the task (global index,
   sweep-point name, seed);
 * **a worker dying mid-chunk** (chunk acked, then its heartbeat goes stale
-  or the per-chunk timeout lapses) is transient — the chunk is requeued for
+  — or, when the opt-in ``chunk_timeout`` budget is set, the budget lapses)
+  is transient — the chunk is requeued for
   another worker to steal, up to ``max_attempts`` total attempts, after
   which a labelled error names the chunk and its first task.  Because tasks
   are pure functions of their pre-derived seeds, a re-executed (or even
@@ -45,12 +55,12 @@ from __future__ import annotations
 import queue
 import time
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from ...errors import ExperimentError
 from .base import Task, task_label
 
-__all__ = ["DispatchSettings", "chunk_tasks", "dispatch_chunks"]
+__all__ = ["DispatchSettings", "chunk_tasks", "dispatch_chunks", "drain_queue"]
 
 
 @dataclass(frozen=True)
@@ -59,8 +69,11 @@ class DispatchSettings:
 
     #: Tasks per chunk; the unit of stealing, retry and result transfer.
     chunk_size: int = 1
-    #: Wall-time budget for one acked chunk before it is requeued.
-    chunk_timeout: float = 60.0
+    #: Optional hard wall-time budget for one acked chunk before it is
+    #: requeued.  ``None`` (the default) disables the budget: liveness is
+    #: proven by heartbeats, so a slow-but-alive worker is never preempted.
+    #: Set a budget only when a chunk has a known wall-time upper bound.
+    chunk_timeout: Optional[float] = None
     #: A worker silent for longer than this is evicted (its chunks requeued).
     heartbeat_timeout: float = 10.0
     #: Total attempts per chunk (first execution + requeues) before failing.
@@ -99,6 +112,26 @@ def chunk_tasks(tasks: Sequence[Task], chunk_size: int) -> List[Tuple[int, Tuple
     ]
 
 
+def drain_queue(target: Any) -> int:
+    """Best-effort removal of everything queued; returns the count removed.
+
+    Used on entry (leftover chunks from an earlier dispatch that completed
+    via a pre-requeue duplicate) and on abort (so attached workers stop
+    picking up orphaned chunks of a dispatch that already failed).  Racing
+    workers may still grab a message between ``get`` calls — harmless, their
+    stale-generation results are discarded by the next dispatch.
+    """
+    removed = 0
+    while True:
+        try:
+            target.get_nowait()
+        except queue.Empty:
+            return removed
+        except Exception:  # proxy connection gone: nothing left to drain
+            return removed
+        removed += 1
+
+
 def dispatch_chunks(
     tasks: Sequence[Task],
     task_queue: Any,
@@ -106,25 +139,36 @@ def dispatch_chunks(
     settings: DispatchSettings,
     *,
     where: str = "remote",
+    generation: int = 0,
+    workers_seen: Optional[Set[str]] = None,
     clock: Callable[[], float] = time.monotonic,
 ) -> List[Any]:
     """Dispatch ``tasks`` over the queue protocol and assemble ordered results.
 
     Runs the parent side of the protocol documented in the module docstring:
-    enqueue every chunk, then collect until each chunk has completed exactly
-    once, requeueing timed-out / orphaned chunks (``settings.max_attempts``
-    total attempts) and evicting workers whose heartbeat went stale.
-    Results land at ``chunk.start + offset`` — task order by construction.
+    enqueue every chunk tagged with this dispatch's ``generation``, then
+    collect until each chunk has completed exactly once, requeueing orphaned
+    chunks (``settings.max_attempts`` total attempts) and evicting workers
+    whose heartbeat went stale.  Chunk-scoped messages from another
+    generation — late completions of a previous dispatch on the same queues
+    — are discarded.  Results land at ``chunk.start + offset`` — task order
+    by construction.  On abort the task queue is drained so workers stop
+    executing orphaned chunks.  ``workers_seen``, when given, accumulates
+    every worker id that ever spoke (backends use it to address one stop
+    sentinel per worker at shutdown).
     """
     if not tasks:
         return []
+    if workers_seen is None:
+        workers_seen = set()
 
+    drain_queue(task_queue)  # leftover chunks from a previous dispatch
     chunks = [
         _Chunk(chunk_id=chunk_id, start=start, tasks=chunk, attempts=1)
         for chunk_id, (start, chunk) in enumerate(chunk_tasks(tasks, settings.chunk_size))
     ]
     for chunk in chunks:
-        task_queue.put(("chunk", chunk.chunk_id, chunk.tasks))
+        task_queue.put(("chunk", generation, chunk.chunk_id, chunk.tasks))
 
     results: List[Any] = [None] * len(tasks)
     remaining = len(chunks)
@@ -143,75 +187,91 @@ def dispatch_chunks(
         chunk.attempts += 1
         chunk.worker = None
         chunk.acked_at = None
-        task_queue.put(("chunk", chunk.chunk_id, chunk.tasks))
+        task_queue.put(("chunk", generation, chunk.chunk_id, chunk.tasks))
         last_progress = clock()
 
-    while remaining:
-        try:
-            message = result_queue.get(timeout=settings.poll)
-        except queue.Empty:
-            message = None
+    try:
+        while remaining:
+            try:
+                message = result_queue.get(timeout=settings.poll)
+            except queue.Empty:
+                message = None
 
-        if message is not None:
-            kind, payload = message[0], message[1:]
-            if kind in ("hello", "heartbeat"):
-                (worker_id,) = payload
-                last_seen[worker_id] = clock()
-                if kind == "hello":
-                    last_progress = clock()
-            elif kind == "ack":
-                chunk_id, worker_id = payload
-                last_seen[worker_id] = clock()
-                chunk = chunks[chunk_id]
-                if not chunk.done:
-                    chunk.worker = worker_id
-                    chunk.acked_at = clock()
-                last_progress = clock()
-            elif kind == "done":
-                chunk_id, worker_id, values = payload
-                last_seen[worker_id] = clock()
-                chunk = chunks[chunk_id]
-                # Accept the first completion only; a requeued chunk's late
-                # duplicate is identical anyway (pure tasks) but must not
-                # decrement the remaining count twice.
-                if not chunk.done:
-                    chunk.done = True
-                    chunk.worker = None
-                    results[chunk.start : chunk.start + len(values)] = values
-                    remaining -= 1
-                    last_progress = clock()
-            elif kind == "task-error":
-                chunk_id, worker_id, offset, detail = payload
-                chunk = chunks[chunk_id]
-                index = chunk.start + offset
-                raise ExperimentError(
-                    f"{where} execution failed at {task_label(tasks[index], index)} "
-                    f"on worker {worker_id!r}: {detail}"
-                )
-            else:  # unknown message kinds are protocol bugs, not data
-                raise ExperimentError(f"{where} dispatch received unknown message {kind!r}")
-            continue
-
-        now = clock()
-        for chunk in chunks:
-            if chunk.done or chunk.acked_at is None:
+            if message is not None:
+                kind, payload = message[0], message[1:]
+                if kind in ("hello", "heartbeat"):
+                    (worker_id,) = payload
+                    workers_seen.add(worker_id)
+                    last_seen[worker_id] = clock()
+                    if kind == "hello":
+                        last_progress = clock()
+                elif kind in ("ack", "done", "task-error"):
+                    msg_generation, chunk_id, worker_id = payload[:3]
+                    workers_seen.add(worker_id)
+                    last_seen[worker_id] = clock()
+                    if msg_generation != generation:
+                        continue  # late message from a previous dispatch
+                    if not 0 <= chunk_id < len(chunks):
+                        raise ExperimentError(
+                            f"{where} dispatch received {kind!r} for chunk {chunk_id} "
+                            f"outside this dispatch's 0..{len(chunks) - 1} (protocol bug)"
+                        )
+                    chunk = chunks[chunk_id]
+                    if kind == "ack":
+                        if not chunk.done:
+                            chunk.worker = worker_id
+                            chunk.acked_at = clock()
+                        last_progress = clock()
+                    elif kind == "done":
+                        values = payload[3]
+                        # Accept the first completion only; a requeued
+                        # chunk's late duplicate is identical anyway (pure
+                        # tasks) but must not decrement the count twice.
+                        if not chunk.done:
+                            chunk.done = True
+                            chunk.worker = None
+                            results[chunk.start : chunk.start + len(values)] = values
+                            remaining -= 1
+                            last_progress = clock()
+                    else:  # task-error: deterministic, aborts immediately
+                        offset, detail = payload[3], payload[4]
+                        index = chunk.start + offset
+                        raise ExperimentError(
+                            f"{where} execution failed at {task_label(tasks[index], index)} "
+                            f"on worker {worker_id!r}: {detail}"
+                        )
+                else:  # unknown message kinds are protocol bugs, not data
+                    raise ExperimentError(
+                        f"{where} dispatch received unknown message {kind!r}"
+                    )
                 continue
-            worker_stale = (
-                chunk.worker is not None
-                and now - last_seen.get(chunk.worker, now) > settings.heartbeat_timeout
-            )
-            if now - chunk.acked_at > settings.chunk_timeout:
-                _requeue(chunk, f"timed out after {settings.chunk_timeout}s")
-            elif worker_stale:
-                _requeue(chunk, f"lost its worker {chunk.worker!r} (heartbeat stale)")
 
-        if now - last_progress > settings.startup_timeout and not any(
-            chunk.acked_at is not None for chunk in chunks if not chunk.done
-        ):
-            raise ExperimentError(
-                f"{where} execution stalled: no worker picked up work for "
-                f"{settings.startup_timeout}s ({len(last_seen)} worker(s) ever seen; "
-                "attach workers with `python -m repro.worker --endpoint HOST:PORT`)"
-            )
+            now = clock()
+            for chunk in chunks:
+                if chunk.done or chunk.acked_at is None:
+                    continue
+                worker_stale = (
+                    chunk.worker is not None
+                    and now - last_seen.get(chunk.worker, now) > settings.heartbeat_timeout
+                )
+                if (
+                    settings.chunk_timeout is not None
+                    and now - chunk.acked_at > settings.chunk_timeout
+                ):
+                    _requeue(chunk, f"timed out after {settings.chunk_timeout}s")
+                elif worker_stale:
+                    _requeue(chunk, f"lost its worker {chunk.worker!r} (heartbeat stale)")
+
+            if now - last_progress > settings.startup_timeout and not any(
+                chunk.acked_at is not None for chunk in chunks if not chunk.done
+            ):
+                raise ExperimentError(
+                    f"{where} execution stalled: no worker picked up work for "
+                    f"{settings.startup_timeout}s ({len(last_seen)} worker(s) ever seen; "
+                    "attach workers with `python -m repro.worker --endpoint HOST:PORT`)"
+                )
+    except ExperimentError:
+        drain_queue(task_queue)  # stop workers executing orphaned chunks
+        raise
 
     return results

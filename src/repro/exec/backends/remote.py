@@ -6,8 +6,9 @@ server holding two queues; any number of ``python -m repro.worker`` processes
 and pull task chunks off the shared queue (work-stealing: whichever worker
 is idle takes the next chunk).  The parent side runs
 :func:`~repro.exec.backends.dispatch.dispatch_chunks`, which owns the
-chunking, per-chunk timeout, capped retry/requeue on worker death,
-heartbeat-based eviction and — crucially — point-order result assembly, so
+chunking, generation-tagged messaging, capped retry/requeue on worker death
+(plus an opt-in per-chunk timeout), heartbeat-based eviction and —
+crucially — point-order result assembly, so
 a sweep sharded over a flaky fleet of workers still produces bit-identical
 :class:`~repro.analysis.experiments.ExperimentResult` payloads (all seeds
 were derived in the parent before dispatch; tasks are pure).
@@ -21,26 +22,31 @@ real workers at ``--workers-endpoint``.
 
 from __future__ import annotations
 
+import os
 import queue
+import secrets
 import subprocess
 import sys
 from multiprocessing.managers import BaseManager
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
 from ...errors import ExperimentError
 from .base import ExecutionBackend, Task
 from .dispatch import DispatchSettings, dispatch_chunks
 
 __all__ = [
-    "DEFAULT_AUTHKEY",
+    "AUTHKEY_ENV",
     "RemoteWorkerBackend",
     "connect_queues",
+    "is_loopback",
     "parse_endpoint",
 ]
 
-#: Default shared secret of the queue manager; override per deployment with
-#: the ``authkey`` backend option / ``--authkey`` worker flag.
-DEFAULT_AUTHKEY = "repro-exec"
+#: Environment variable carrying the shared secret to worker processes.
+#: Spawned workers receive the key this way (never on argv, where it would
+#: be visible in process listings); external workers may export it instead
+#: of passing ``--authkey``.
+AUTHKEY_ENV = "REPRO_WORKER_AUTHKEY"
 
 # ----------------------------------------------------------------------
 # Queue manager plumbing.  The server process owns the two queues; parent
@@ -82,6 +88,11 @@ def parse_endpoint(endpoint: str) -> Tuple[str, int]:
         raise ExperimentError(f"workers endpoint port must be an integer, got {port!r}")
 
 
+def is_loopback(host: str) -> bool:
+    """Whether ``host`` can only be reached from this machine."""
+    return host in ("localhost", "::1") or host.startswith("127.")
+
+
 def connect_queues(endpoint: str, authkey: str) -> Tuple[Any, Any]:
     """Attach to a backend's endpoint; returns ``(task_queue, result_queue)`` proxies.
 
@@ -105,10 +116,19 @@ class RemoteWorkerBackend(ExecutionBackend):
         Number of local worker subprocesses to auto-spawn against the
         loopback endpoint (``0`` = none; attach external workers instead).
     authkey:
-        Shared secret for the manager connection.
+        Shared secret for the manager connection.  ``None`` (the default)
+        generates a random per-run key — safe on any endpoint, and handed
+        to auto-spawned workers through the :data:`AUTHKEY_ENV` environment
+        variable.  A **non-loopback** endpoint requires an explicit key
+        (the manager transport unpickles payloads, so a guessable key on a
+        reachable port is remote code execution); external workers present
+        it via ``--authkey`` or :data:`AUTHKEY_ENV`.
     chunk_size / chunk_timeout / heartbeat_timeout / max_attempts /
     startup_timeout:
         Dispatch tunables, see :class:`~repro.exec.backends.dispatch.DispatchSettings`.
+        ``chunk_timeout`` is ``None`` by default — worker liveness is
+        governed by heartbeats; set it only as an explicit hard per-chunk
+        wall-time budget.
     """
 
     name = "remote"
@@ -117,18 +137,25 @@ class RemoteWorkerBackend(ExecutionBackend):
         self,
         endpoint: str = "127.0.0.1:0",
         workers: int = 0,
-        authkey: str = DEFAULT_AUTHKEY,
+        authkey: Optional[str] = None,
         chunk_size: int = 1,
-        chunk_timeout: float = 300.0,
+        chunk_timeout: Optional[float] = None,
         heartbeat_timeout: float = 15.0,
         max_attempts: int = 2,
         startup_timeout: float = 60.0,
     ) -> None:
         if workers < 0:
             raise ExperimentError(f"remote backend workers must be non-negative, got {workers}")
+        host, _ = parse_endpoint(endpoint)
+        if authkey is None and not is_loopback(host):
+            raise ExperimentError(
+                f"remote backend endpoint {endpoint!r} is reachable from other hosts: "
+                "an explicit authkey is required (pass the same key to workers via "
+                f"--authkey or the {AUTHKEY_ENV} environment variable)"
+            )
         self.endpoint = endpoint
         self.workers = workers
-        self.authkey = authkey
+        self.authkey = authkey if authkey is not None else secrets.token_hex(16)
         self.settings = DispatchSettings(
             chunk_size=chunk_size,
             chunk_timeout=chunk_timeout,
@@ -140,6 +167,8 @@ class RemoteWorkerBackend(ExecutionBackend):
         self._task_queue: Optional[Any] = None
         self._result_queue: Optional[Any] = None
         self._spawned: List[subprocess.Popen] = []
+        self._workers_seen: Set[str] = set()
+        self._generation = 0
         self._chunks_dispatched = 0
 
     @property
@@ -162,6 +191,8 @@ class RemoteWorkerBackend(ExecutionBackend):
         self._task_queue = manager.get_task_queue()
         self._result_queue = manager.get_result_queue()
         for _ in range(self.workers):
+            # The authkey travels in the environment, not on argv, so it
+            # never shows up in process listings.
             self._spawned.append(
                 subprocess.Popen(
                     [
@@ -170,9 +201,8 @@ class RemoteWorkerBackend(ExecutionBackend):
                         "repro.worker",
                         "--endpoint",
                         str(self.address),
-                        "--authkey",
-                        self.authkey,
-                    ]
+                    ],
+                    env={**os.environ, AUTHKEY_ENV: self.authkey},
                 )
             )
         return self
@@ -182,7 +212,10 @@ class RemoteWorkerBackend(ExecutionBackend):
         if self._manager is None:
             return
         try:
-            for _ in range(max(len(self._spawned), 1)):
+            # One sentinel per worker that ever attached (workers also
+            # re-queue the sentinel as they exit, covering attaches the
+            # dispatch loop never observed).
+            for _ in range(max(len(self._spawned), len(self._workers_seen), 1)):
                 self._task_queue.put(("stop",))
         except Exception:  # the server may already be gone; terminate below
             pass
@@ -193,6 +226,7 @@ class RemoteWorkerBackend(ExecutionBackend):
                 process.terminate()
                 process.wait(timeout=5)
         self._spawned = []
+        self._workers_seen = set()
         self._manager.shutdown()
         self._manager = None
         self._task_queue = None
@@ -201,12 +235,18 @@ class RemoteWorkerBackend(ExecutionBackend):
     def submit(self, tasks: Sequence[Task]) -> List[Any]:
         """Dispatch the tasks to the attached workers; ordered, retried, labelled."""
         self.start()
+        # Each submit is its own dispatch generation: late messages from an
+        # earlier submit's requeued chunks are discarded, never misread as
+        # this dispatch's chunk ids (the bit-identity contract).
+        self._generation += 1
         results = dispatch_chunks(
             tasks,
             self._task_queue,
             self._result_queue,
             self.settings,
             where=self.name,
+            generation=self._generation,
+            workers_seen=self._workers_seen,
         )
         self._chunks_dispatched += -(-len(tasks) // self.settings.chunk_size)
         return results

@@ -5,9 +5,11 @@ endpoint: it connects to the backend's queue server, then loops pulling task
 chunks off the shared queue (work-stealing — an idle worker simply takes the
 next chunk), executing them, and pushing ordered per-chunk results back.
 Start as many as the host allows, on as many hosts as can reach the
-endpoint::
+endpoint (the shared secret comes from ``--authkey`` or the
+``REPRO_WORKER_AUTHKEY`` environment variable — prefer the latter, which
+keeps it out of process listings)::
 
-    python -m repro.worker --endpoint 192.168.1.10:7777 --authkey secret
+    REPRO_WORKER_AUTHKEY=secret python -m repro.worker --endpoint 192.168.1.10:7777
 
 Protocol notes (see :mod:`repro.exec.backends.dispatch` for the full spec):
 
@@ -16,7 +18,12 @@ Protocol notes (see :mod:`repro.exec.backends.dispatch` for the full spec):
   the parent evicts workers whose heartbeat goes stale and requeues their
   chunks;
 * every chunk is acknowledged before execution, so the parent can attribute
-  in-flight work and apply its per-chunk timeout;
+  in-flight work, and every chunk-scoped reply echoes the chunk message's
+  dispatch generation verbatim, so a late reply (after a requeue) is
+  discarded by the parent instead of corrupting a later dispatch;
+* a ``stop`` sentinel is re-queued before the worker exits, so one sentinel
+  eventually reaches every worker sharing the queue, and a vanished queue
+  server (the parent shut down) is a clean exit, not a crash;
 * a task raising an exception reports a ``task-error`` with the offset of
   the failing task inside the chunk (the parent turns that into an
   :class:`~repro.errors.ExperimentError` naming the task's index, sweep
@@ -52,7 +59,8 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--authkey",
         default=None,
-        help="shared secret of the endpoint (default: the library default)",
+        help="shared secret of the endpoint (default: the REPRO_WORKER_AUTHKEY "
+        "environment variable, which keeps the key out of process listings)",
     )
     parser.add_argument(
         "--id",
@@ -88,11 +96,20 @@ def run_worker(
     """Serve one endpoint until a stop sentinel arrives; returns chunks executed."""
     # Imported here so `--help` works without the exec layer and so the
     # module stays importable in stripped-down worker containers.
+    from .errors import ExperimentError
     from .exec.backends.base import run_task
-    from .exec.backends.remote import DEFAULT_AUTHKEY, connect_queues
+    from .exec.backends.remote import AUTHKEY_ENV, connect_queues
 
+    key = authkey or os.environ.get(AUTHKEY_ENV)
+    if not key:
+        raise ExperimentError(
+            "worker needs the backend's authkey: pass --authkey or set the "
+            f"{AUTHKEY_ENV} environment variable (auto-spawned workers receive "
+            "it automatically; for external fleets use the key the run was "
+            "started with)"
+        )
     identity = worker_id or f"worker-{os.getpid()}"
-    task_queue, result_queue = connect_queues(endpoint, authkey or DEFAULT_AUTHKEY)
+    task_queue, result_queue = connect_queues(endpoint, key)
     result_queue.put(("hello", identity))
 
     stop_heartbeat = threading.Event()
@@ -115,9 +132,16 @@ def run_worker(
             except queue.Empty:
                 continue
             if message[0] == "stop":
+                # Re-queue the sentinel so sibling workers on the same
+                # queue shut down too (the parent enqueues one per known
+                # worker, but workers it never heard from share this one).
+                try:
+                    task_queue.put(("stop",))
+                except Exception:
+                    pass
                 break
-            _, chunk_id, tasks = message
-            result_queue.put(("ack", chunk_id, identity))
+            _, generation, chunk_id, tasks = message
+            result_queue.put(("ack", generation, chunk_id, identity))
             values = []
             failed = False
             for offset, task in enumerate(tasks):
@@ -127,6 +151,7 @@ def run_worker(
                     result_queue.put(
                         (
                             "task-error",
+                            generation,
                             chunk_id,
                             identity,
                             offset,
@@ -136,8 +161,12 @@ def run_worker(
                     failed = True
                     break
             if not failed:
-                result_queue.put(("done", chunk_id, identity, values))
+                result_queue.put(("done", generation, chunk_id, identity, values))
             executed += 1
+    except (EOFError, ConnectionError):
+        # The queue server went away (parent shut down mid-poll): exit
+        # cleanly rather than crash with a proxy traceback.
+        pass
     finally:
         stop_heartbeat.set()
     return executed

@@ -86,9 +86,9 @@ class TestOrderedAssembly:
         result_queue = _preloaded(
             [
                 ("hello", "w1"),
-                ("done", 2, "w1", values[2]),
-                ("done", 0, "w1", values[0]),
-                ("done", 1, "w1", values[1]),
+                ("done", 0, 2, "w1", values[2]),
+                ("done", 0, 0, "w1", values[0]),
+                ("done", 0, 1, "w1", values[1]),
             ]
         )
         results = dispatch_chunks(tasks, queue.Queue(), result_queue, settings)
@@ -101,13 +101,59 @@ class TestOrderedAssembly:
         result_queue = _preloaded(
             [
                 ("hello", "w1"),
-                ("done", 0, "w1", [run_task(tasks[0])]),
-                ("done", 0, "w2", [run_task(tasks[0])]),  # duplicate, ignored
-                ("done", 1, "w2", [run_task(tasks[1])]),
+                ("done", 0, 0, "w1", [run_task(tasks[0])]),
+                ("done", 0, 0, "w2", [run_task(tasks[0])]),  # duplicate, ignored
+                ("done", 0, 1, "w2", [run_task(tasks[1])]),
             ]
         )
         results = dispatch_chunks(tasks, queue.Queue(), result_queue, settings)
         assert results == _expected(tasks)
+
+    def test_stale_generation_messages_are_discarded(self):
+        """Late replies from a previous dispatch must not touch this one.
+
+        The regression this pins: a backend reuses one queue pair across
+        submits, so after a requeue the losing worker's `done` can arrive
+        during the *next* dispatch, whose chunk ids it must not corrupt.
+        """
+        tasks = _make_tasks(2)
+        settings = _settings(chunk_size=1)
+        result_queue = _preloaded(
+            [
+                ("hello", "w1"),
+                ("done", 6, 0, "zombie", ["wrong-value"]),  # previous dispatch
+                ("task-error", 6, 1, "zombie", 0, "stale boom"),  # must not abort
+                ("ack", 6, 999, "zombie"),  # stale id beyond this chunk list
+                ("done", 7, 0, "w1", [run_task(tasks[0])]),
+                ("done", 7, 1, "w1", [run_task(tasks[1])]),
+            ]
+        )
+        seen = set()
+        results = dispatch_chunks(
+            tasks, queue.Queue(), result_queue, settings, generation=7, workers_seen=seen
+        )
+        assert results == _expected(tasks)
+        # Stale messages still prove their worker exists (liveness/shutdown).
+        assert seen == {"w1", "zombie"}
+
+    def test_chunks_are_tagged_with_the_dispatch_generation(self):
+        tasks = _make_tasks(2)
+        task_queue = queue.Queue()
+        result_queue = _preloaded(
+            [
+                ("done", 3, 0, "w1", [run_task(tasks[0])]),
+                ("done", 3, 1, "w1", [run_task(tasks[1])]),
+            ]
+        )
+        dispatch_chunks(tasks, task_queue, result_queue, _settings(), generation=3)
+        queued = [task_queue.get_nowait() for _ in range(2)]
+        assert [(kind, generation) for kind, generation, _, _ in queued] == [("chunk", 3)] * 2
+
+    def test_in_generation_chunk_id_out_of_range_is_a_protocol_error(self):
+        tasks = _make_tasks(1)
+        result_queue = _preloaded([("done", 0, 5, "w1", ["x"])])
+        with pytest.raises(ExperimentError, match="chunk 5 outside"):
+            dispatch_chunks(tasks, queue.Queue(), result_queue, _settings())
 
     def test_unknown_message_kind_is_a_protocol_error(self):
         tasks = _make_tasks(1)
@@ -124,7 +170,7 @@ class TestFailureTaxonomy:
         result_queue = _preloaded(
             [
                 ("hello", "w1"),
-                ("task-error", 1, "w1", 1, "ValueError: boom"),  # global index 3
+                ("task-error", 0, 1, "w1", 1, "ValueError: boom"),  # global index 3
             ]
         )
         with pytest.raises(ExperimentError) as excinfo:
@@ -134,17 +180,62 @@ class TestFailureTaxonomy:
         assert "point='p3'" in message and "seed=103" in message
         assert "worker 'w1'" in message and "ValueError: boom" in message
 
+    def test_abort_drains_orphaned_chunks_from_the_task_queue(self):
+        """Workers must not keep pulling chunks of a dispatch that failed."""
+        tasks = _make_tasks(4)
+        settings = _settings(chunk_size=1)
+        task_queue = queue.Queue()
+        result_queue = _preloaded(
+            [
+                ("hello", "w1"),
+                ("task-error", 0, 0, "w1", 0, "ValueError: boom"),
+            ]
+        )
+        with pytest.raises(ExperimentError):
+            dispatch_chunks(tasks, task_queue, result_queue, settings)
+        assert task_queue.empty()  # chunks 1..3 were drained on abort
+
     def test_chunk_timeout_exhausting_attempts_names_the_chunk(self):
-        """An acked chunk that never completes is requeued; attempts are capped."""
+        """An acked chunk overrunning the opt-in budget is requeued; attempts cap."""
         tasks = _make_tasks(2)
         settings = _settings(chunk_size=2, chunk_timeout=0.02, max_attempts=1, poll=0.002)
-        result_queue = _preloaded([("hello", "w1"), ("ack", 0, "w1")])
+        result_queue = _preloaded([("hello", "w1"), ("ack", 0, 0, "w1")])
         with pytest.raises(ExperimentError) as excinfo:
             dispatch_chunks(tasks, queue.Queue(), result_queue, settings)
         message = str(excinfo.value)
         assert "chunk 0" in message and "tasks 0..1" in message
         assert "timed out" in message and "exhausted its 1 attempts" in message
         assert "point='p0'" in message  # first task of the chunk is labelled
+
+    def test_chunk_timeout_is_opt_in_and_off_by_default(self):
+        """A slow-but-alive worker must never be preempted by a wall clock.
+
+        With the default ``chunk_timeout=None`` the only requeue trigger is
+        a stale heartbeat, so a chunk that takes arbitrarily long on a
+        worker that keeps heartbeating executes exactly once.
+        """
+        assert DispatchSettings().chunk_timeout is None
+        tasks = _make_tasks(1)
+        settings = _settings(chunk_timeout=None, heartbeat_timeout=0.03, poll=0.002)
+        task_queue, result_queue = queue.Queue(), queue.Queue()
+
+        def slow_but_alive():
+            _, generation, chunk_id, chunk = task_queue.get(timeout=1.0)
+            result_queue.put(("ack", generation, chunk_id, "slow"))
+            for _ in range(6):  # much longer than heartbeat_timeout, stay alive
+                time.sleep(0.02)
+                result_queue.put(("heartbeat", "slow"))
+            result_queue.put(
+                ("done", generation, chunk_id, "slow", [run_task(task) for task in chunk])
+            )
+
+        thread = threading.Thread(target=slow_but_alive, daemon=True)
+        result_queue.put(("hello", "slow"))
+        thread.start()
+        results = dispatch_chunks(tasks, task_queue, result_queue, settings)
+        thread.join(timeout=2)
+        assert results == _expected(tasks)
+        assert task_queue.empty()  # never requeued
 
     def test_startup_stall_raises_a_pointer_to_the_worker_command(self):
         tasks = _make_tasks(1)
@@ -180,15 +271,15 @@ class _FakeWorker(threading.Thread):
                 return
             if message[0] == "stop":
                 return
-            _, chunk_id, tasks = message
+            _, generation, chunk_id, tasks = message
             attempt = self.attempts_seen.get(chunk_id, 0) + 1
             self.attempts_seen[chunk_id] = attempt
-            self.result_queue.put(("ack", chunk_id, self.worker_id))
+            self.result_queue.put(("ack", generation, chunk_id, self.worker_id))
             action = self.behaviour(chunk_id, attempt)
             if action == "die":
                 return  # acked but never completes, never heartbeats again
             self.result_queue.put(
-                ("done", chunk_id, self.worker_id, [run_task(task) for task in tasks])
+                ("done", generation, chunk_id, self.worker_id, [run_task(task) for task in tasks])
             )
             self.completed.append(chunk_id)
 
@@ -235,12 +326,14 @@ class TestRetryAndEviction:
 
         def slow_worker():
             message = task_queue.get(timeout=1.0)
-            _, chunk_id, chunk = message
-            result_queue.put(("ack", chunk_id, "slow"))
+            _, generation, chunk_id, chunk = message
+            result_queue.put(("ack", generation, chunk_id, "slow"))
             for _ in range(4):  # work for ~4x the heartbeat timeout
                 time.sleep(0.05)
                 result_queue.put(("heartbeat", "slow"))
-            result_queue.put(("done", chunk_id, "slow", [run_task(task) for task in chunk]))
+            result_queue.put(
+                ("done", generation, chunk_id, "slow", [run_task(task) for task in chunk])
+            )
 
         thread = threading.Thread(target=slow_worker, daemon=True)
         result_queue.put(("hello", "slow"))

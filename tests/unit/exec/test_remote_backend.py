@@ -86,6 +86,7 @@ class TestRemoteWorkerBackend:
                     "chunks",
                     run_worker(
                         backend.address,
+                        authkey=backend.authkey,
                         worker_id="external-1",
                         heartbeat_interval=0.1,
                         max_chunks=2,
@@ -114,7 +115,12 @@ class TestRemoteWorkerBackend:
             thread = threading.Thread(
                 target=run_worker,
                 args=(backend.address,),
-                kwargs={"worker_id": "w-err", "max_chunks": 2, "poll": 0.05},
+                kwargs={
+                    "authkey": backend.authkey,
+                    "worker_id": "w-err",
+                    "max_chunks": 2,
+                    "poll": 0.05,
+                },
                 daemon=True,
             )
             thread.start()
@@ -129,6 +135,91 @@ class TestRemoteWorkerBackend:
     def test_negative_workers_rejected(self):
         with pytest.raises(ExperimentError, match="non-negative"):
             RemoteWorkerBackend(workers=-1)
+
+    def test_authkey_is_random_per_backend_by_default(self):
+        assert RemoteWorkerBackend().authkey != RemoteWorkerBackend().authkey
+        assert RemoteWorkerBackend(authkey="pinned").authkey == "pinned"
+
+    def test_non_loopback_endpoint_requires_an_explicit_authkey(self):
+        with pytest.raises(ExperimentError, match="explicit authkey"):
+            RemoteWorkerBackend(endpoint="0.0.0.0:7777")
+        RemoteWorkerBackend(endpoint="0.0.0.0:7777", authkey="secret")  # ok
+
+    def test_worker_requires_an_authkey(self, monkeypatch):
+        monkeypatch.delenv("REPRO_WORKER_AUTHKEY", raising=False)
+        with pytest.raises(ExperimentError, match="REPRO_WORKER_AUTHKEY"):
+            run_worker("127.0.0.1:1")
+
+    def test_close_stops_every_external_worker_cleanly(self):
+        """Each attached worker gets a stop sentinel and exits without a crash."""
+        with RemoteWorkerBackend(workers=0, chunk_size=1, startup_timeout=30) as backend:
+            threads = [
+                threading.Thread(
+                    target=run_worker,
+                    args=(backend.address,),
+                    kwargs={
+                        "authkey": backend.authkey,
+                        "worker_id": f"fleet-{i}",
+                        "poll": 0.05,
+                    },
+                    daemon=True,
+                )
+                for i in range(2)
+            ]
+            for thread in threads:
+                thread.start()
+            results = backend.submit(_hypot_tasks(6))
+        assert results == [run_task(task) for task in _hypot_tasks(6)]
+        for thread in threads:
+            # close() enqueued one sentinel per worker seen (and workers
+            # re-queue it on exit), so both loops end instead of blocking
+            # or dying on the shut-down proxy connection.
+            thread.join(timeout=10)
+            assert not thread.is_alive()
+
+    def test_submits_stay_bit_identical_while_workers_come_and_go(self):
+        """Worker churn between submits must not leak state across dispatches.
+
+        A short-lived worker drops out after one chunk; a steady one keeps
+        stealing across both submits on the same reused queue pair — each
+        submit is its own generation, so the second assembles exactly its
+        own results.
+        """
+        tasks = _hypot_tasks(6)
+        expected = [run_task(task) for task in tasks]
+        with RemoteWorkerBackend(workers=0, chunk_size=1, startup_timeout=30) as backend:
+            short_lived = threading.Thread(
+                target=run_worker,
+                args=(backend.address,),
+                kwargs={
+                    "authkey": backend.authkey,
+                    "worker_id": "short-lived",
+                    "heartbeat_interval": 0.1,
+                    "max_chunks": 1,
+                    "poll": 0.05,
+                },
+                daemon=True,
+            )
+            steady = threading.Thread(
+                target=run_worker,
+                args=(backend.address,),
+                kwargs={
+                    "authkey": backend.authkey,
+                    "worker_id": "steady",
+                    "heartbeat_interval": 0.1,
+                    "poll": 0.05,
+                },
+                daemon=True,
+            )
+            short_lived.start()
+            steady.start()
+            first = backend.submit(tasks)
+            second = backend.submit(tasks)
+        # close() stopped the steady worker via its sentinel.
+        short_lived.join(timeout=10)
+        steady.join(timeout=10)
+        assert not short_lived.is_alive() and not steady.is_alive()
+        assert first == expected and second == expected
 
     def test_close_is_idempotent_and_start_rebinds(self):
         backend = RemoteWorkerBackend(workers=0)
