@@ -15,7 +15,10 @@ from .estimators import (
     summarize_scalar,
 )
 from .experiments import ExperimentResult, TrialResult, run_trials
-from .resultsio import load_result, load_sweep, save_result, save_sweep, to_jsonable
+
+# Persistence moved to repro.store (repro.analysis.resultsio remains as a
+# deprecated shim); the historical re-exports here stay warning-free.
+from ..store.serialization import load_result, load_sweep, save_result, save_sweep, to_jsonable
 from .scaling import (
     LinearFit,
     fit_inverse_square_epsilon,

@@ -1,55 +1,24 @@
-"""Persistence of experiment results, reports and run artifacts as JSON.
+"""Deprecated location: persistence moved to :mod:`repro.store`.
 
-Benchmarks, examples and the unified experiment API can save their
-:class:`ExperimentResult` / :class:`SweepResult` objects — and, since the
-``repro.api`` front door, whole :class:`RunArtifact` directories — so that
-reported numbers can be traced back to concrete runs.  JSON is used (rather
-than pickles) so results remain inspectable and diff-able.
+This module used to host the JSON persistence layer — the strict-JSON
+codecs (``to_jsonable``, ``encode_nonfinite``/``decode_nonfinite``), the
+result/sweep writers (``save_result``/``load_result``,
+``save_sweep``/``load_sweep``) and the run-artifact store (``RunArtifact``,
+``save_run``/``load_run``).  All of it now lives in the :mod:`repro.store`
+package, where it gained content addressing (fingerprints, the
+``RunStore`` cache) and atomic writes.
 
-Non-finite floats (``NaN``, ``±Infinity``) are mapped to ``null`` on the way
-out: strict JSON has no token for them, and Python's default
-``allow_nan=True`` would happily emit files no strict parser (browsers,
-``jq``, other languages) accepts.  ``NaN`` measurements arise legitimately —
-e.g. a driver reporting "no trial converged" as a ``NaN`` rounds mean — so
-the mapping is done in :func:`to_jsonable` and ``allow_nan=False`` is passed
-to ``json.dumps`` as a regression guard: a non-finite float that slips past
-the conversion fails loudly at save time instead of producing invalid JSON.
-
-Report tables distinguish ``NaN`` ("no trial converged", rendered ``nan``)
-from ``None`` ("not applicable", rendered ``-``), so collapsing both to
-``null`` would change a reloaded report.  :func:`encode_nonfinite` /
-:func:`decode_nonfinite` therefore tag non-finite floats as
-``{"__nonfinite__": "nan" | "inf" | "-inf"}`` inside report and manifest
-payloads — still strict JSON, but round-tripping to the exact same rendered
-table.
-
-The run-artifact store (:class:`RunArtifact`, :func:`save_run`,
-:func:`load_run`) writes one directory per run: a ``manifest.json`` (spec
-id, resolved execution settings, package version, wall time, file listing),
-the rendered-table payload ``report.json``, and any attached sweep/result
-payloads via the writers above.  Attached sweeps record their canonical
-per-point names (:meth:`repro.analysis.sweeps.SweepResult.point_names`) in
-the manifest, so duplicate grid points stay distinguishable in the artifact
-without re-deriving labels.
+Every historical name keeps working here, forwarded verbatim to its new
+home, so existing drivers, examples and notebooks do not break — artifacts
+written through this shim are bit-identical to ones written through
+:mod:`repro.store`.  The first attribute access emits a single
+:class:`DeprecationWarning` per process pointing at the new package.
 """
 
 from __future__ import annotations
 
-import json
-import math
-import re
-from dataclasses import dataclass, field
-from pathlib import Path
-from typing import TYPE_CHECKING, Any, Dict, Optional, Union
-
-import numpy as np
-
-from ..errors import ExperimentError
-from .experiments import ExperimentResult
-from .sweeps import SweepResult
-
-if TYPE_CHECKING:  # pragma: no cover - annotation-only upward reference
-    from ..experiments.report import ExperimentReport
+import warnings
+from typing import Any
 
 __all__ = [
     "to_jsonable",
@@ -64,302 +33,28 @@ __all__ = [
     "load_run",
 ]
 
-#: Manifest key tagging an encoded non-finite float.
-_NONFINITE_KEY = "__nonfinite__"
-
-#: Current on-disk layout version of a run-artifact directory.
-_ARTIFACT_FORMAT = 1
-
-#: Attached sweep/result payload keys must be safe as file names.
-_PAYLOAD_KEY = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]*$")
+#: Set once the deprecation warning has been emitted for this process.
+_warned = False
 
 
-def _jsonable(value: Any, nonfinite: Any, guard_reserved: bool) -> Any:
-    """Shared recursive conversion behind the two public converters.
-
-    ``nonfinite`` maps a non-finite float to its JSON stand-in;
-    ``guard_reserved`` rejects payloads already using the tag key (only
-    meaningful when ``nonfinite`` produces tagged dicts).
-    """
-    if isinstance(value, dict):
-        if guard_reserved and _NONFINITE_KEY in value:
-            raise ExperimentError(
-                f"payload already contains the reserved key {_NONFINITE_KEY!r}"
-            )
-        return {
-            str(key): _jsonable(item, nonfinite, guard_reserved)
-            for key, item in value.items()
-        }
-    if isinstance(value, (list, tuple)):
-        return [_jsonable(item, nonfinite, guard_reserved) for item in value]
-    if isinstance(value, np.ndarray):
-        return [_jsonable(item, nonfinite, guard_reserved) for item in value.tolist()]
-    if isinstance(value, (np.bool_,)):
-        return bool(value)
-    if isinstance(value, np.integer):
-        return int(value)
-    if isinstance(value, (np.floating, float)):
-        as_float = float(value)
-        return as_float if math.isfinite(as_float) else nonfinite(as_float)
-    return value
-
-
-def to_jsonable(value: Any) -> Any:
-    """Recursively convert a value so strict ``json`` can serialise it.
-
-    Numpy scalars/arrays become their Python equivalents, and non-finite
-    floats (``NaN``, ``±Infinity`` — numpy or builtin) become ``None``, since
-    strict JSON cannot represent them (see the module docstring).
-    """
-    return _jsonable(value, lambda _: None, guard_reserved=False)
-
-
-def _tag_nonfinite(as_float: float) -> Dict[str, str]:
-    """The strict-JSON stand-in for one non-finite float."""
-    if math.isnan(as_float):
-        return {_NONFINITE_KEY: "nan"}
-    return {_NONFINITE_KEY: "inf" if as_float > 0 else "-inf"}
-
-
-def encode_nonfinite(value: Any) -> Any:
-    """Like :func:`to_jsonable`, but keep non-finite floats distinguishable.
-
-    ``NaN`` / ``±Infinity`` become ``{"__nonfinite__": "nan" | "inf" |
-    "-inf"}`` instead of ``null``, so payloads that carry both "no data"
-    (``None``) and "not a number" (``NaN``) — report tables, manifests —
-    survive a round-trip exactly.  :func:`decode_nonfinite` is the inverse.
-    """
-    return _jsonable(value, _tag_nonfinite, guard_reserved=True)
-
-
-def decode_nonfinite(value: Any) -> Any:
-    """Inverse of :func:`encode_nonfinite` (tagged dicts back to floats)."""
-    if isinstance(value, dict):
-        if set(value) == {_NONFINITE_KEY}:
-            return float(value[_NONFINITE_KEY])
-        return {key: decode_nonfinite(item) for key, item in value.items()}
-    if isinstance(value, list):
-        return [decode_nonfinite(item) for item in value]
-    return value
-
-
-def _write_json(payload: Any, path: Path, sort_keys: bool = True) -> Path:
-    """Write an already-jsonable payload as strict JSON (shared writer).
-
-    ``sort_keys=False`` is for payloads whose key order is meaningful —
-    report rows render their columns in insertion order.
-    """
-    path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(json.dumps(payload, indent=2, sort_keys=sort_keys, allow_nan=False))
-    return path
-
-
-def _read_json(path: Path, kind: str) -> Any:
-    """Read one JSON file, raising a labelled error when it is missing."""
-    if not path.exists():
-        raise ExperimentError(f"no {kind} file at {path}")
-    return json.loads(path.read_text())
-
-
-def save_result(result: ExperimentResult, path: Union[str, Path]) -> Path:
-    """Write an :class:`ExperimentResult` to ``path`` as strict JSON and return the path."""
-    return _write_json(to_jsonable(result.to_dict()), Path(path))
-
-
-def load_result(path: Union[str, Path]) -> ExperimentResult:
-    """Read an :class:`ExperimentResult` previously written by :func:`save_result`."""
-    return ExperimentResult.from_dict(_read_json(Path(path), "result"))
-
-
-def save_sweep(sweep: SweepResult, path: Union[str, Path]) -> Path:
-    """Write a :class:`SweepResult` to ``path`` as strict JSON and return the path."""
-    return _write_json(to_jsonable(sweep.to_dict()), Path(path))
-
-
-def load_sweep(path: Union[str, Path]) -> SweepResult:
-    """Read a :class:`SweepResult` previously written by :func:`save_sweep`."""
-    return SweepResult.from_dict(_read_json(Path(path), "sweep"))
-
-
-@dataclass
-class RunArtifact:
-    """One experiment run: resolved inputs, rendered output, provenance.
-
-    Produced by :func:`repro.api.run_experiment` and persisted/reloaded by
-    :func:`save_run` / :func:`load_run`.
-
-    Attributes
-    ----------
-    spec_id:
-        The experiment id from the registry (e.g. ``"E7"``).
-    parameters:
-        The fully resolved parameter values of the run (spec defaults with
-        every override applied).
-    execution:
-        The resolved execution plan summary
-        (:meth:`repro.api.config.ExecutionPlan.describe`).
-    report:
-        The driver's :class:`~repro.experiments.report.ExperimentReport`.
-    version:
-        The ``repro`` package version that produced the run.
-    wall_time_seconds:
-        Wall-clock duration of the driver call.
-    sweeps / results:
-        Optional attached raw payloads, keyed by a file-name-safe label;
-        written via the sweep/result writers above.
-    path:
-        The directory the artifact was saved to / loaded from (``None``
-        while in memory only).
-    """
-
-    spec_id: str
-    parameters: Dict[str, Any] = field(default_factory=dict)
-    execution: Dict[str, Any] = field(default_factory=dict)
-    report: Optional["ExperimentReport"] = None
-    version: str = ""
-    wall_time_seconds: float = 0.0
-    sweeps: Dict[str, SweepResult] = field(default_factory=dict)
-    results: Dict[str, ExperimentResult] = field(default_factory=dict)
-    path: Optional[Path] = None
-
-    def attach_sweep(self, key: str, sweep: SweepResult) -> None:
-        """Attach a raw sweep payload under a file-name-safe key."""
-        _validate_payload_key(key)
-        self.sweeps[key] = sweep
-
-    def attach_result(self, key: str, result: ExperimentResult) -> None:
-        """Attach a raw result payload under a file-name-safe key."""
-        _validate_payload_key(key)
-        self.results[key] = result
-
-
-def _validate_payload_key(key: str) -> None:
-    """Payload keys double as file stems; reject anything path-unsafe."""
-    if not _PAYLOAD_KEY.match(key):
-        raise ExperimentError(
-            f"artifact payload key {key!r} is not a safe file stem "
-            "(letters, digits, '.', '_', '-' only)"
+def __getattr__(name: str) -> Any:
+    """Forward the historical names to :mod:`repro.store`, warning once."""
+    if name not in __all__:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    global _warned
+    if not _warned:
+        _warned = True
+        warnings.warn(
+            "repro.analysis.resultsio is deprecated; the persistence layer moved to "
+            "repro.store (same names, plus the content-addressed RunStore cache)",
+            DeprecationWarning,
+            stacklevel=2,
         )
+    from .. import store
+
+    return getattr(store, name)
 
 
-def _payload_path(source: Path, section: str, key: str, entry: Dict[str, Any]) -> Path:
-    """Resolve one manifest payload entry to a path *inside* the artifact.
-
-    Paths are re-derived from the validated key rather than trusted from the
-    manifest, so a hand-edited ``file`` field (absolute, or ``..``-relative)
-    cannot make the loader read outside the artifact directory.
-    """
-    _validate_payload_key(key)
-    expected = f"{section}/{key}.json"
-    recorded = entry.get("file", expected)
-    if recorded != expected:
-        raise ExperimentError(
-            f"run artifact manifest entry {key!r} records file {recorded!r}, "
-            f"outside the artifact layout (expected {expected!r})"
-        )
-    return source / section / f"{key}.json"
-
-
-def save_run(artifact: RunArtifact, directory: Union[str, Path]) -> Path:
-    """Write a :class:`RunArtifact` to ``directory`` and return the directory.
-
-    Layout: ``manifest.json`` (provenance + file listing), ``report.json``
-    (the rendered-table payload, non-finite floats preserved via
-    :func:`encode_nonfinite`), ``sweeps/<key>.json`` and
-    ``results/<key>.json`` for the attached raw payloads (written with the
-    standard NaN-safe writers).  The manifest records each attached sweep's
-    canonical point names, so duplicate grid points remain distinguishable
-    without re-deriving labels from point values.
-    """
-    if artifact.report is None:
-        raise ExperimentError("cannot save a run artifact without a report")
-    destination = Path(directory)
-    destination.mkdir(parents=True, exist_ok=True)
-
-    # Row/column order is part of a rendered table; keep insertion order.
-    _write_json(
-        encode_nonfinite(artifact.report.to_dict()), destination / "report.json", sort_keys=False
-    )
-
-    sweep_entries: Dict[str, Any] = {}
-    for key, sweep in sorted(artifact.sweeps.items()):
-        _validate_payload_key(key)
-        save_sweep(sweep, destination / "sweeps" / f"{key}.json")
-        sweep_entries[key] = {
-            "file": f"sweeps/{key}.json",
-            "name": sweep.name,
-            "point_names": sweep.point_names(),
-        }
-    result_entries: Dict[str, Any] = {}
-    for key, result in sorted(artifact.results.items()):
-        _validate_payload_key(key)
-        save_result(result, destination / "results" / f"{key}.json")
-        result_entries[key] = {"file": f"results/{key}.json", "name": result.name}
-
-    manifest = {
-        "format": _ARTIFACT_FORMAT,
-        "spec_id": artifact.spec_id,
-        "parameters": artifact.parameters,
-        "execution": artifact.execution,
-        "version": artifact.version,
-        "wall_time_seconds": artifact.wall_time_seconds,
-        "files": {"report": "report.json", "sweeps": sweep_entries, "results": result_entries},
-    }
-    _write_json(encode_nonfinite(manifest), destination / "manifest.json")
-    artifact.path = destination
-    return destination
-
-
-def load_run(directory: Union[str, Path]) -> RunArtifact:
-    """Read a :class:`RunArtifact` previously written by :func:`save_run`.
-
-    Round-trips everything the writer recorded — including non-finite report
-    cells — and re-derives each attached sweep's canonical point names,
-    raising :class:`~repro.errors.ExperimentError` when they disagree with
-    the manifest (a corrupted or hand-edited artifact).
-    """
-    # Imported late: the report type lives one layer up (repro.experiments),
-    # which itself imports this analysis layer at module import time.
-    from ..experiments.report import ExperimentReport
-
-    source = Path(directory)
-    manifest = decode_nonfinite(_read_json(source / "manifest.json", "run manifest"))
-    if manifest.get("format") != _ARTIFACT_FORMAT:
-        raise ExperimentError(
-            f"unsupported run-artifact format {manifest.get('format')!r} at {source} "
-            f"(expected {_ARTIFACT_FORMAT})"
-        )
-    files = manifest.get("files", {})
-
-    report_payload = decode_nonfinite(
-        _read_json(source / files.get("report", "report.json"), "run report")
-    )
-    report = ExperimentReport.from_dict(report_payload)
-
-    sweeps: Dict[str, SweepResult] = {}
-    for key, entry in files.get("sweeps", {}).items():
-        sweep = load_sweep(_payload_path(source, "sweeps", key, entry))
-        if entry.get("point_names") is not None and sweep.point_names() != list(
-            entry["point_names"]
-        ):
-            raise ExperimentError(
-                f"run artifact at {source} records point names {entry['point_names']!r} "
-                f"for sweep {key!r} but the payload derives {sweep.point_names()!r}"
-            )
-        sweeps[key] = sweep
-    results = {
-        key: load_result(_payload_path(source, "results", key, entry))
-        for key, entry in files.get("results", {}).items()
-    }
-
-    return RunArtifact(
-        spec_id=str(manifest["spec_id"]),
-        parameters=dict(manifest.get("parameters", {})),
-        execution=dict(manifest.get("execution", {})),
-        report=report,
-        version=str(manifest.get("version", "")),
-        wall_time_seconds=float(manifest.get("wall_time_seconds", 0.0)),
-        sweeps=sweeps,
-        results=results,
-        path=source,
-    )
+def __dir__() -> list:
+    """Expose the forwarded names to introspection (tab completion, docs)."""
+    return sorted(__all__)

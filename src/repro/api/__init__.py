@@ -12,10 +12,13 @@ experiments (the E1–E11 table in ``README.md``):
   batching :class:`ExecutionPlan` exactly once, validated against the spec
   flags;
 * :mod:`repro.api.run` — :func:`run_experiment`, the single programmatic
-  entry point, returning a :class:`~repro.analysis.resultsio.RunArtifact`
-  that :func:`~repro.analysis.resultsio.save_run` /
-  :func:`~repro.analysis.resultsio.load_run` persist as a per-run directory
-  (manifest + report + raw payloads).
+  entry point, returning a :class:`~repro.store.RunArtifact`
+  that :func:`~repro.store.save_run` /
+  :func:`~repro.store.load_run` persist as a per-run directory
+  (manifest + report + raw payloads).  With a store on the config
+  (``store_path=`` / ``REPRO_STORE`` / the CLI's ``--store``), runs are
+  memoized through the content-addressed :class:`~repro.store.RunStore`
+  keyed by :func:`~repro.store.run_fingerprint`.
 
 Typical use::
 
@@ -25,6 +28,9 @@ Typical use::
     print(artifact.report.render())
     save_run(artifact, "runs/e8-batched")
 
+    # Or memoized: the second call is a cache hit served from the store.
+    artifact = run_experiment("E8", config=ExecutionConfig(store_path="runs/store"))
+
 The canonical sweep point-naming helper
 (:func:`~repro.analysis.sweeps.sweep_point_names`) is re-exported here: it
 is the one rule that disambiguates duplicate grid points, shared by every
@@ -33,8 +39,8 @@ sweep execution path and by the artifact manifests.
 
 from __future__ import annotations
 
-from ..analysis.resultsio import RunArtifact, load_run, save_run
 from ..analysis.sweeps import sweep_point_names
+from ..store import RunArtifact, RunStore, load_run, run_fingerprint, save_run
 from .config import ExecutionConfig, ExecutionPlan, resolve_run_options
 from .run import run_experiment
 from .spec import (
@@ -60,6 +66,8 @@ __all__ = [
     "resolve_run_options",
     "run_experiment",
     "RunArtifact",
+    "RunStore",
+    "run_fingerprint",
     "save_run",
     "load_run",
     "sweep_point_names",

@@ -25,6 +25,7 @@ from __future__ import annotations
 import os
 import warnings
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import TYPE_CHECKING, Any, Dict, List, Mapping, Optional, Tuple, Union
 
 from ..errors import ExperimentError
@@ -67,6 +68,20 @@ class ExecutionConfig:
         authkey, since the queue transport would otherwise accept pickles
         from anyone who can reach the port); validated against the
         backend's recognised option names at resolution time.
+    store_path:
+        Root directory of a content-addressed run store
+        (:class:`repro.store.RunStore`).  When set,
+        :func:`repro.api.run_experiment` consults the store *before*
+        creating any execution backend — an identical semantic request
+        (same spec, version, resolved parameters and batch flag; ``jobs``
+        and ``backend`` deliberately excluded) is served from the store as
+        a cache hit, and a miss is computed and persisted under its
+        fingerprint.  ``None`` (default) keeps the uncached behaviour.
+    cache:
+        Whether the store lookup is consulted (``True``, default).
+        ``cache=False`` with a ``store_path`` is the refresh mode (the
+        CLI's ``--no-cache``): skip the lookup, recompute, and overwrite
+        the stored artifact.  Without a ``store_path`` the flag is inert.
     """
 
     jobs: Optional[int] = None
@@ -75,6 +90,8 @@ class ExecutionConfig:
     trials: Optional[int] = None
     backend: Optional[str] = None
     backend_options: Optional[Mapping[str, Any]] = None
+    store_path: Optional[Union[str, Path]] = None
+    cache: bool = True
 
     @classmethod
     def from_env(cls, variable: str = "REPRO_JOBS", *, batch: bool = False) -> "ExecutionConfig":
@@ -90,16 +107,28 @@ class ExecutionConfig:
         * ``REPRO_WORKERS`` — worker count handed to that backend (pool
           size for ``local``, auto-spawned localhost workers for
           ``remote``), overriding the jobs variable for the backend.
+
+        Two more select the run store:
+
+        * ``REPRO_STORE`` — root directory of a content-addressed run
+          store (unset/empty → no store, the historical behaviour);
+        * ``REPRO_CACHE`` — set to ``0``/``false``/``no``/``off`` to skip
+          the store lookup (the ``--no-cache`` refresh mode); anything
+          else, or unset, keeps caching on.
         """
         raw = os.environ.get(variable, "").strip()
         backend = os.environ.get("REPRO_BACKEND", "").strip() or None
         workers_raw = os.environ.get("REPRO_WORKERS", "").strip()
         backend_options = {"workers": int(workers_raw)} if workers_raw and backend else None
+        store_raw = os.environ.get("REPRO_STORE", "").strip()
+        cache_raw = os.environ.get("REPRO_CACHE", "").strip().lower()
         return cls(
             jobs=int(raw) if raw else None,
             batch=batch,
             backend=backend,
             backend_options=backend_options,
+            store_path=store_raw or None,
+            cache=cache_raw not in ("0", "false", "no", "off"),
         )
 
     def resolve(self, spec_or_id: Union[str, ExperimentSpec]) -> "ExecutionPlan":
@@ -134,6 +163,13 @@ class ExecutionConfig:
             raise ExperimentError(
                 "backend_options were given without a backend; set backend= too"
             )
+        store_path: Optional[Path] = None
+        if self.store_path is not None:
+            store_path = Path(self.store_path)
+            if store_path.exists() and not store_path.is_dir():
+                raise ExperimentError(
+                    f"store path {store_path} exists but is not a directory"
+                )
         if self.batch and not spec.supports_batch:
             raise ExperimentError(
                 f"{spec.experiment_id} has no vectorised batch path; --batch supports the "
@@ -184,6 +220,8 @@ class ExecutionConfig:
             base_seed=self.base_seed,
             backend=self.backend,
             backend_options=dict(self.backend_options) if self.backend_options else None,
+            store_path=store_path,
+            cache=self.cache,
             notes=tuple(notes),
         )
 
@@ -207,6 +245,8 @@ class ExecutionPlan:
     base_seed: Optional[int] = None
     backend: Optional[str] = None
     backend_options: Optional[Dict[str, Any]] = None
+    store_path: Optional[Path] = None
+    cache: bool = True
     notes: Tuple[str, ...] = field(default_factory=tuple)
 
     def create_backend(self) -> Optional[Any]:
@@ -236,6 +276,9 @@ class ExecutionPlan:
             "base_seed": self.base_seed,
             "backend": {"name": self.backend, "options": dict(self.backend_options or {})}
             if self.backend
+            else None,
+            "store": {"path": str(self.store_path), "cache": self.cache}
+            if self.store_path
             else None,
             "notes": list(self.notes),
         }

@@ -5,10 +5,20 @@ set_sizes=(50, 200))`` resolves the experiment spec from the registry,
 resolves the execution settings into a plan exactly once, validates the
 parameter overrides against the spec's declared parameters, invokes the
 driver, and wraps the outcome in a
-:class:`~repro.analysis.resultsio.RunArtifact` carrying the fully resolved
+:class:`~repro.store.RunArtifact` carrying the fully resolved
 inputs (parameters + execution plan), the report, the package version and
-the wall time — everything :func:`repro.analysis.resultsio.save_run` needs
+the wall time — everything :func:`repro.store.save_run` needs
 to persist a reproducible record of the run.
+
+When the plan names a store (``ExecutionConfig(store_path=...)``, the
+CLI's ``--store``, or ``REPRO_STORE``), the run is memoized through the
+content-addressed :class:`~repro.store.RunStore`: the run fingerprint —
+sha256 over spec id, package version, resolved parameters and the
+``batch`` flag, excluding ``jobs``/``backend`` because the determinism
+contract proves them result-irrelevant — is looked up *before* any
+execution backend is created.  A hit loads, verifies and returns the
+stored artifact (``execution["cache"] == "hit"``); a miss computes
+normally and persists the artifact under its fingerprint.
 
 The CLI (``repro-flip experiment``), the benchmark scripts and the examples
 all call this function; per-driver ``run(...)`` signatures remain available
@@ -21,8 +31,8 @@ from __future__ import annotations
 import time
 from typing import Any, Optional, Union
 
-from ..analysis.resultsio import RunArtifact
 from ..errors import ExperimentError
+from ..store import RunArtifact, RunStore, run_fingerprint
 from .config import ExecutionConfig, ExecutionPlan, resolve_run_options
 from .spec import ExperimentSpec, get_spec
 
@@ -58,8 +68,11 @@ def run_experiment(
     -------
     RunArtifact
         The report plus the fully resolved parameters, execution summary,
-        package version and wall time (persist with
-        :func:`repro.analysis.resultsio.save_run`).
+        package version, wall time and fingerprint (persist with
+        :func:`repro.store.save_run`).  With a store on the plan,
+        ``execution["cache"]`` records the memoization outcome (``"hit"``,
+        ``"miss"``, or ``"bypass"`` when ``cache=False``); without one the
+        key is absent, matching the historical manifests.
     """
     # Imported lazily: repro/__init__ does not pull in the api package, so
     # the version attribute is always available by the time a run starts.
@@ -82,8 +95,27 @@ def run_experiment(
     if plan.base_seed is not None:
         parameters["base_seed"] = plan.base_seed
 
+    # The store lookup happens before any backend exists: a cache hit must
+    # not spawn worker pools, open endpoints, or touch the exec layer at
+    # all.  The fingerprint covers the fully *resolved* parameters, so a
+    # default left implicit and the same value passed explicitly hash
+    # identically.
+    fingerprint = run_fingerprint(
+        spec.experiment_id, __version__, parameters, batch=plan.batch
+    )
+    store: Optional[RunStore] = None
+    if plan.store_path is not None:
+        store = RunStore(plan.store_path)
+        if plan.cache:
+            cached = store.get(fingerprint)
+            if cached is not None:
+                cached.execution["cache"] = "hit"
+                return cached
+
     backend = plan.create_backend()
     execution = plan.describe()
+    if store is not None:
+        execution["cache"] = "miss" if plan.cache else "bypass"
     started = time.perf_counter()
     if backend is None:
         report = spec.driver().run(config=plan, **param_overrides)
@@ -103,11 +135,15 @@ def run_experiment(
             execution["backend"] = backend.describe()
     wall_time = time.perf_counter() - started
 
-    return RunArtifact(
+    artifact = RunArtifact(
         spec_id=spec.experiment_id,
         parameters=parameters,
         execution=execution,
         report=report,
         version=__version__,
         wall_time_seconds=wall_time,
+        fingerprint=fingerprint,
     )
+    if store is not None:
+        store.put(artifact)
+    return artifact

@@ -17,8 +17,15 @@ signature introspection) and the parameter names ``--set key=value`` may
 override; :class:`~repro.api.config.ExecutionConfig` resolves ``--jobs`` /
 ``--batch`` / ``--trials`` / ``--seed`` into an execution plan; and
 ``--save DIR`` persists the returned
-:class:`~repro.analysis.resultsio.RunArtifact` (manifest + report payload)
-for later reloading with :func:`~repro.analysis.resultsio.load_run`.
+:class:`~repro.store.RunArtifact` (manifest + report payload)
+for later reloading with :func:`~repro.store.load_run`.
+
+``--store DIR`` memoizes the run through the content-addressed
+:class:`~repro.store.RunStore` (an identical semantic request is a cache
+hit, served without creating any execution backend; ``--no-cache``
+recomputes and refreshes the stored artifact), and the ``store``
+subcommand administers such a store: ``repro-flip store ls|show|verify|gc
+--store DIR``.
 """
 
 from __future__ import annotations
@@ -28,8 +35,8 @@ import ast
 import sys
 from typing import Any, Dict, List, Optional, Sequence
 
-from .analysis.tables import render_kv
-from .api import ExecutionConfig, batchable_experiment_ids, experiment_ids, get_spec, run_experiment, save_run
+from .analysis.tables import render_kv, render_table
+from .api import ExecutionConfig, RunStore, batchable_experiment_ids, experiment_ids, get_spec, run_experiment, save_run
 from .core.broadcast import solve_noisy_broadcast
 from .core.majority import solve_noisy_majority_consensus
 from .core.synchronizer import run_clock_free_broadcast
@@ -138,9 +145,49 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the run artifact (manifest + report payload) to this directory; "
         "reload it with repro.api.load_run",
     )
+    experiment.add_argument(
+        "--store",
+        metavar="DIR",
+        default=None,
+        help="memoize the run through the content-addressed run store rooted here: an "
+        "identical semantic request (same experiment, parameters and batch flag — "
+        "--jobs/--backend deliberately excluded) is served from the store as a cache "
+        "hit; a miss is computed and persisted under its fingerprint. Env equivalent: "
+        "REPRO_STORE",
+    )
+    experiment.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="with --store: skip the cache lookup, recompute, and refresh the stored "
+        "artifact. Env equivalent: REPRO_CACHE=0",
+    )
 
     subparsers.add_parser(
         "list-experiments", help="list the registered experiment drivers and their parameters"
+    )
+
+    store = subparsers.add_parser(
+        "store", help="administer a content-addressed run store (ls, show, verify, gc)"
+    )
+    store.add_argument(
+        "action",
+        choices=["ls", "show", "verify", "gc"],
+        help="ls: list stored runs; show: print one run's manifest summary and report; "
+        "verify: recompute and check every stored fingerprint; gc: sweep stale staging "
+        "directories and corrupt artifacts, then rebuild the index",
+    )
+    store.add_argument(
+        "fingerprint",
+        nargs="?",
+        default=None,
+        help="a stored run's fingerprint (any unambiguous prefix); required for show, "
+        "optional for verify (default: verify everything)",
+    )
+    store.add_argument(
+        "--store",
+        metavar="DIR",
+        required=True,
+        help="root directory of the run store to administer",
     )
     return parser
 
@@ -226,6 +273,8 @@ def _run_experiment(args: argparse.Namespace, parser: argparse.ArgumentParser) -
     if backend_options and args.backend != "remote":
         parser.error("--workers-endpoint/--workers-authkey only apply to --backend remote")
     backend_options = backend_options or None
+    if args.no_cache and args.store is None:
+        parser.error("--no-cache only applies together with --store")
     config = ExecutionConfig(
         jobs=args.jobs,
         batch=args.batch,
@@ -233,6 +282,8 @@ def _run_experiment(args: argparse.Namespace, parser: argparse.ArgumentParser) -
         base_seed=args.seed,
         backend=args.backend,
         backend_options=backend_options,
+        store_path=args.store,
+        cache=not args.no_cache,
     )
     overrides = _parse_overrides(args.overrides, parser)
     try:
@@ -245,11 +296,94 @@ def _run_experiment(args: argparse.Namespace, parser: argparse.ArgumentParser) -
         parser.error(str(error))
     for note in artifact.execution.get("notes", []):
         print(f"note: {note}", file=sys.stderr)
+    if args.store is not None:
+        print(
+            f"store: cache {artifact.execution.get('cache', '?')} "
+            f"(fingerprint {artifact.fingerprint})",
+            file=sys.stderr,
+        )
     print(artifact.report.render())
     if args.save is not None:
         destination = save_run(artifact, args.save)
         print(f"run artifact saved to {destination}", file=sys.stderr)
     return 0
+
+
+def _run_store(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
+    """Administer a run store: ``ls`` / ``show`` / ``verify`` / ``gc``."""
+    store = RunStore(args.store)
+    try:
+        if args.action == "ls":
+            if args.fingerprint is not None:
+                parser.error("store ls takes no fingerprint; use show to inspect one run")
+            entries = store.entries()
+            if not entries:
+                print(f"store at {store.root}: empty")
+                return 0
+            rows = [
+                {
+                    "fingerprint": entry["fingerprint"][:12],
+                    "spec": str(entry.get("spec_id", "?")),
+                    "version": str(entry.get("version", "?")),
+                    "wall_s": entry.get("wall_time_seconds"),
+                    "indexed": "yes" if entry["indexed"] else "NO (run gc)",
+                }
+                for entry in entries
+            ]
+            print(render_table(rows, title=f"store at {store.root}"))
+            return 0
+        if args.action == "show":
+            if args.fingerprint is None:
+                parser.error("store show needs a fingerprint (any unambiguous prefix)")
+            fingerprint = store.resolve_prefix(args.fingerprint)
+            artifact = store.get(fingerprint)
+            print(
+                render_kv(
+                    {
+                        "fingerprint": fingerprint,
+                        "spec_id": artifact.spec_id,
+                        "version": artifact.version,
+                        "wall_time_seconds": artifact.wall_time_seconds,
+                        "path": str(store.artifact_dir(fingerprint)),
+                    }
+                )
+            )
+            print(artifact.report.render())
+            return 0
+        if args.action == "verify":
+            fingerprint = (
+                store.resolve_prefix(args.fingerprint) if args.fingerprint else None
+            )
+            report = store.verify(fingerprint)
+            failures = 0
+            for outcome in report:
+                if outcome["ok"]:
+                    print(f"ok      {outcome['fingerprint']}")
+                else:
+                    failures += 1
+                    print(f"CORRUPT {outcome['fingerprint']}: {outcome['error']}")
+            print(f"{len(report)} checked, {failures} corrupt")
+            return 1 if failures else 0
+        if args.action == "gc":
+            if args.fingerprint is not None:
+                parser.error("store gc takes no fingerprint; it sweeps the whole store")
+            summary = store.gc()
+            print(
+                render_kv(
+                    {
+                        "removed_stale": len(summary["removed_stale"]),
+                        "removed_corrupt": len(summary["removed_corrupt"]),
+                        "kept": summary["kept"],
+                    }
+                )
+            )
+            for fingerprint in summary["removed_corrupt"]:
+                print(f"removed corrupt artifact {fingerprint}", file=sys.stderr)
+            return 0
+    except ExperimentError as error:
+        parser.error(str(error))
+    parser.error(f"unknown store action {args.action!r}")
+    return 2
 
 
 def _list_experiments() -> int:
@@ -283,6 +417,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _run_experiment(args, parser)
     if args.command == "list-experiments":
         return _list_experiments()
+    if args.command == "store":
+        return _run_store(args, parser)
     parser.error(f"unknown command {args.command!r}")
     return 2
 

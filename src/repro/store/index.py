@@ -1,0 +1,103 @@
+"""The append-safe store index: one JSON line per stored run.
+
+``index.jsonl`` at the store root is a lookup accelerator (and a ``ls``
+listing source) for the content-addressed layout — the artifact directories
+themselves remain the source of truth.  The format is chosen for safe
+concurrent appends:
+
+* every entry is one compact JSON object terminated by a newline, written
+  with a **single** ``write`` call on a file opened in append mode — on
+  POSIX, ``O_APPEND`` writes of one small line do not interleave, so two
+  processes recording runs concurrently cannot corrupt each other's entries;
+* readers parse line by line and *skip* anything unparseable (a torn final
+  line from a crashed writer, a truncated copy), so a damaged index degrades
+  to a slower listing, never to an error;
+* re-recording a fingerprint is idempotent: readers keep the **last** entry
+  per fingerprint, so refreshed runs simply append a newer line.
+
+:func:`rebuild` regenerates the file from the layout scan (atomically, via
+temp-file + ``os.replace``) — ``RunStore.gc`` calls it after sweeping.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, Iterable, Union
+
+from ..errors import ExperimentError
+from .layout import INDEX_FILE
+
+__all__ = ["index_path", "append_entry", "read_entries", "rebuild"]
+
+
+def index_path(root: Union[str, Path]) -> Path:
+    """The index file path under a store root."""
+    return Path(root) / INDEX_FILE
+
+
+def append_entry(root: Union[str, Path], entry: Dict[str, Any]) -> None:
+    """Record one run in the index (one atomic single-write JSON line).
+
+    ``entry`` must be strict-JSON-serialisable and carry at least a
+    ``fingerprint`` key; anything else (spec id, version, wall time) is
+    caller-defined metadata surfaced by listings.
+    """
+    if "fingerprint" not in entry:
+        raise ExperimentError("a store index entry must carry a 'fingerprint' key")
+    line = json.dumps(entry, sort_keys=True, separators=(",", ":"), allow_nan=False) + "\n"
+    path = index_path(root)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "a", encoding="utf-8") as stream:
+        stream.write(line)
+
+
+def read_entries(root: Union[str, Path]) -> Dict[str, Dict[str, Any]]:
+    """Read the index into a ``fingerprint -> entry`` mapping (last wins).
+
+    Unparseable lines — a torn tail from a crashed writer — are skipped
+    rather than raised, so the index can always be read after a crash; the
+    layout scan (``RunStore.entries`` / ``gc``) backfills anything the index
+    is missing.
+    """
+    path = index_path(root)
+    entries: Dict[str, Dict[str, Any]] = {}
+    if not path.exists():
+        return entries
+    for line in path.read_text(encoding="utf-8").splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            entry = json.loads(line)
+        except json.JSONDecodeError:
+            continue  # torn/partial line: tolerated by design
+        if isinstance(entry, dict) and isinstance(entry.get("fingerprint"), str):
+            entries[entry["fingerprint"]] = entry
+    return entries
+
+
+def rebuild(root: Union[str, Path], entries: Iterable[Dict[str, Any]]) -> Path:
+    """Atomically rewrite the index from ``entries`` (temp file + replace)."""
+    path = index_path(root)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    lines = [
+        json.dumps(entry, sort_keys=True, separators=(",", ":"), allow_nan=False)
+        for entry in entries
+    ]
+    handle, temp_name = tempfile.mkstemp(
+        prefix=f".{INDEX_FILE}.", suffix=".tmp", dir=str(path.parent)
+    )
+    try:
+        with os.fdopen(handle, "w", encoding="utf-8") as stream:
+            stream.write("".join(line + "\n" for line in lines))
+        os.replace(temp_name, path)
+    except BaseException:
+        try:
+            os.unlink(temp_name)
+        except OSError:  # pragma: no cover - already promoted or removed
+            pass
+        raise
+    return path

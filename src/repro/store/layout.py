@@ -1,0 +1,113 @@
+"""On-disk layout of a content-addressed run store.
+
+A store root holds run-artifact directories addressed by their fingerprint,
+sharded by the first two hex characters to keep any single directory small::
+
+    store_root/
+        index.jsonl                  append-safe lookup index (repro.store.index)
+        ab/
+            ab3f...e1/               one run artifact (manifest.json, report.json, ...)
+            .ab3f...e1.XXXX.tmp/     staging directory of an in-flight save (transient)
+
+The fingerprint *is* the address: :func:`artifact_dir` derives the path from
+a validated fingerprint, never from user-controlled strings, so a corrupted
+index entry cannot point a reader outside the store.  Staging directories
+(written by :func:`repro.store.artifact.save_run` before its atomic
+``os.replace`` promotion) are recognisable by their ``.``-prefixed names;
+:func:`iter_stale_dirs` finds any that a crashed writer left behind so
+``RunStore.gc`` can sweep them.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import Iterator, Tuple, Union
+
+from ..errors import ExperimentError
+
+__all__ = [
+    "INDEX_FILE",
+    "validate_fingerprint",
+    "artifact_dir",
+    "relative_artifact_path",
+    "iter_artifact_dirs",
+    "iter_stale_dirs",
+]
+
+#: File name of the append-safe store index, at the store root.
+INDEX_FILE = "index.jsonl"
+
+#: A fingerprint is a full sha256 hex digest — nothing else is accepted.
+_FINGERPRINT = re.compile(r"^[0-9a-f]{64}$")
+
+#: A shard directory is the first two hex characters of a fingerprint.
+_SHARD = re.compile(r"^[0-9a-f]{2}$")
+
+
+def validate_fingerprint(fingerprint: str) -> str:
+    """Return ``fingerprint`` if it is a sha256 hex digest, else raise.
+
+    Derived paths are built from this value, so anything that is not a
+    64-character lowercase hex string is rejected with a labelled
+    :class:`~repro.errors.ExperimentError` before it can touch the
+    filesystem.
+    """
+    if not isinstance(fingerprint, str) or not _FINGERPRINT.match(fingerprint):
+        raise ExperimentError(
+            f"{fingerprint!r} is not a run fingerprint (expected 64 lowercase hex characters)"
+        )
+    return fingerprint
+
+
+def relative_artifact_path(fingerprint: str) -> str:
+    """The store-relative path of a fingerprint's artifact directory."""
+    validate_fingerprint(fingerprint)
+    return f"{fingerprint[:2]}/{fingerprint}"
+
+
+def artifact_dir(root: Union[str, Path], fingerprint: str) -> Path:
+    """The artifact directory for ``fingerprint`` under ``root``."""
+    return Path(root) / fingerprint[:2] / validate_fingerprint(fingerprint)
+
+
+def iter_artifact_dirs(root: Union[str, Path]) -> Iterator[Tuple[str, Path]]:
+    """Yield ``(fingerprint, directory)`` for every artifact in the layout.
+
+    Only directories whose names are layout-conforming (a two-hex shard
+    containing full-fingerprint directories) are yielded; staging/garbage
+    directories and foreign files are skipped.  Sorted for deterministic
+    listings.
+    """
+    base = Path(root)
+    if not base.is_dir():
+        return
+    for shard in sorted(base.iterdir()):
+        if not shard.is_dir() or not _SHARD.match(shard.name):
+            continue
+        for candidate in sorted(shard.iterdir()):
+            if (
+                candidate.is_dir()
+                and _FINGERPRINT.match(candidate.name)
+                and candidate.name.startswith(shard.name)
+            ):
+                yield candidate.name, candidate
+
+
+def iter_stale_dirs(root: Union[str, Path]) -> Iterator[Path]:
+    """Yield leftover staging/graveyard directories from interrupted saves.
+
+    :func:`repro.store.artifact.save_run` stages into ``.``-prefixed sibling
+    directories and promotes atomically; a crash can only ever leave such a
+    transient directory behind, never a torn artifact.  ``RunStore.gc``
+    removes what this yields.
+    """
+    base = Path(root)
+    if not base.is_dir():
+        return
+    for shard in sorted(base.iterdir()):
+        if not shard.is_dir() or not _SHARD.match(shard.name):
+            continue
+        for candidate in sorted(shard.iterdir()):
+            if candidate.is_dir() and candidate.name.startswith("."):
+                yield candidate

@@ -1,0 +1,192 @@
+"""Strict-JSON codecs and the result/sweep writers behind the run store.
+
+Benchmarks, examples and the unified experiment API save their
+:class:`~repro.analysis.experiments.ExperimentResult` /
+:class:`~repro.analysis.sweeps.SweepResult` objects so that reported numbers
+can be traced back to concrete runs.  JSON is used (rather than pickles) so
+results remain inspectable and diff-able.
+
+Non-finite floats (``NaN``, ``±Infinity``) are mapped to ``null`` on the way
+out: strict JSON has no token for them, and Python's default
+``allow_nan=True`` would happily emit files no strict parser (browsers,
+``jq``, other languages) accepts.  ``NaN`` measurements arise legitimately —
+e.g. a driver reporting "no trial converged" as a ``NaN`` rounds mean — so
+the mapping is done in :func:`to_jsonable` and ``allow_nan=False`` is passed
+to ``json.dumps`` as a regression guard: a non-finite float that slips past
+the conversion fails loudly at save time instead of producing invalid JSON.
+
+Report tables distinguish ``NaN`` ("no trial converged", rendered ``nan``)
+from ``None`` ("not applicable", rendered ``-``), so collapsing both to
+``null`` would change a reloaded report.  :func:`encode_nonfinite` /
+:func:`decode_nonfinite` therefore tag non-finite floats as
+``{"__nonfinite__": "nan" | "inf" | "-inf"}`` inside report, manifest and
+fingerprint payloads — still strict JSON, but round-tripping to the exact
+same rendered table (and hashing to the exact same fingerprint, see
+:mod:`repro.store.fingerprint`).
+
+Every file written here goes through :func:`write_json`, which writes to a
+temporary file in the destination directory and promotes it with
+:func:`os.replace` — a crashed or concurrent writer can therefore never
+leave a torn half-written JSON file behind for a reader to trip over.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import tempfile
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Dict, Union
+
+import numpy as np
+
+from ..errors import ExperimentError
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only upward references
+    from ..analysis.experiments import ExperimentResult
+    from ..analysis.sweeps import SweepResult
+
+__all__ = [
+    "to_jsonable",
+    "encode_nonfinite",
+    "decode_nonfinite",
+    "write_json",
+    "read_json",
+    "save_result",
+    "load_result",
+    "save_sweep",
+    "load_sweep",
+]
+
+#: Payload key tagging an encoded non-finite float.
+NONFINITE_KEY = "__nonfinite__"
+
+
+def _jsonable(value: Any, nonfinite: Any, guard_reserved: bool) -> Any:
+    """Shared recursive conversion behind the two public converters.
+
+    ``nonfinite`` maps a non-finite float to its JSON stand-in;
+    ``guard_reserved`` rejects payloads already using the tag key (only
+    meaningful when ``nonfinite`` produces tagged dicts).
+    """
+    if isinstance(value, dict):
+        if guard_reserved and NONFINITE_KEY in value:
+            raise ExperimentError(
+                f"payload already contains the reserved key {NONFINITE_KEY!r}"
+            )
+        return {
+            str(key): _jsonable(item, nonfinite, guard_reserved)
+            for key, item in value.items()
+        }
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(item, nonfinite, guard_reserved) for item in value]
+    if isinstance(value, np.ndarray):
+        return [_jsonable(item, nonfinite, guard_reserved) for item in value.tolist()]
+    if isinstance(value, (np.bool_,)):
+        return bool(value)
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, (np.floating, float)):
+        as_float = float(value)
+        return as_float if math.isfinite(as_float) else nonfinite(as_float)
+    return value
+
+
+def to_jsonable(value: Any) -> Any:
+    """Recursively convert a value so strict ``json`` can serialise it.
+
+    Numpy scalars/arrays become their Python equivalents, and non-finite
+    floats (``NaN``, ``±Infinity`` — numpy or builtin) become ``None``, since
+    strict JSON cannot represent them (see the module docstring).
+    """
+    return _jsonable(value, lambda _: None, guard_reserved=False)
+
+
+def _tag_nonfinite(as_float: float) -> Dict[str, str]:
+    """The strict-JSON stand-in for one non-finite float."""
+    if math.isnan(as_float):
+        return {NONFINITE_KEY: "nan"}
+    return {NONFINITE_KEY: "inf" if as_float > 0 else "-inf"}
+
+
+def encode_nonfinite(value: Any) -> Any:
+    """Like :func:`to_jsonable`, but keep non-finite floats distinguishable.
+
+    ``NaN`` / ``±Infinity`` become ``{"__nonfinite__": "nan" | "inf" |
+    "-inf"}`` instead of ``null``, so payloads that carry both "no data"
+    (``None``) and "not a number" (``NaN``) — report tables, manifests —
+    survive a round-trip exactly.  :func:`decode_nonfinite` is the inverse.
+    """
+    return _jsonable(value, _tag_nonfinite, guard_reserved=True)
+
+
+def decode_nonfinite(value: Any) -> Any:
+    """Inverse of :func:`encode_nonfinite` (tagged dicts back to floats)."""
+    if isinstance(value, dict):
+        if set(value) == {NONFINITE_KEY}:
+            return float(value[NONFINITE_KEY])
+        return {key: decode_nonfinite(item) for key, item in value.items()}
+    if isinstance(value, list):
+        return [decode_nonfinite(item) for item in value]
+    return value
+
+
+def write_json(payload: Any, path: Path, sort_keys: bool = True) -> Path:
+    """Write an already-jsonable payload as strict JSON, atomically.
+
+    The text lands in a temporary sibling file first and is promoted into
+    place with :func:`os.replace`, so readers only ever observe the old file
+    or the complete new one — never a torn write.  ``sort_keys=False`` is
+    for payloads whose key order is meaningful — report rows render their
+    columns in insertion order.
+    """
+    path.parent.mkdir(parents=True, exist_ok=True)
+    text = json.dumps(payload, indent=2, sort_keys=sort_keys, allow_nan=False)
+    handle, temp_name = tempfile.mkstemp(
+        prefix=f".{path.name}.", suffix=".tmp", dir=str(path.parent)
+    )
+    try:
+        with os.fdopen(handle, "w") as stream:
+            stream.write(text)
+        os.replace(temp_name, path)
+    except BaseException:
+        try:
+            os.unlink(temp_name)
+        except OSError:  # pragma: no cover - already promoted or removed
+            pass
+        raise
+    return path
+
+
+def read_json(path: Path, kind: str) -> Any:
+    """Read one JSON file, raising a labelled error when it is missing."""
+    if not path.exists():
+        raise ExperimentError(f"no {kind} file at {path}")
+    return json.loads(path.read_text())
+
+
+def save_result(result: "ExperimentResult", path: Union[str, Path]) -> Path:
+    """Write an :class:`ExperimentResult` to ``path`` as strict JSON and return the path."""
+    return write_json(to_jsonable(result.to_dict()), Path(path))
+
+
+def load_result(path: Union[str, Path]) -> "ExperimentResult":
+    """Read an :class:`ExperimentResult` previously written by :func:`save_result`."""
+    # Imported late: the result types live in the analysis layer, which
+    # itself re-exports this module's writers at package import time.
+    from ..analysis.experiments import ExperimentResult
+
+    return ExperimentResult.from_dict(read_json(Path(path), "result"))
+
+
+def save_sweep(sweep: "SweepResult", path: Union[str, Path]) -> Path:
+    """Write a :class:`SweepResult` to ``path`` as strict JSON and return the path."""
+    return write_json(to_jsonable(sweep.to_dict()), Path(path))
+
+
+def load_sweep(path: Union[str, Path]) -> "SweepResult":
+    """Read a :class:`SweepResult` previously written by :func:`save_sweep`."""
+    from ..analysis.sweeps import SweepResult
+
+    return SweepResult.from_dict(read_json(Path(path), "sweep"))

@@ -1,10 +1,10 @@
-"""Unit tests for repro.analysis.experiments, .sweeps, .tables and .resultsio."""
+"""Unit tests for repro.analysis.experiments, .sweeps, .tables and persistence."""
 
 import numpy as np
 import pytest
 
 from repro.analysis.experiments import ExperimentResult, TrialResult, run_trials
-from repro.analysis.resultsio import (
+from repro.store import (
     load_result,
     load_sweep,
     save_result,

@@ -70,8 +70,22 @@ class TestResolution:
             "trials": 3,
             "base_seed": 9,
             "backend": None,
+            "store": None,
             "notes": [],
         }
+
+    def test_store_path_flows_into_the_plan_and_describe(self, tmp_path):
+        plan = ExecutionConfig(store_path=tmp_path / "store").resolve("E8")
+        assert plan.store_path == tmp_path / "store" and plan.cache
+        assert plan.describe()["store"] == {"path": str(tmp_path / "store"), "cache": True}
+        bypass = ExecutionConfig(store_path=str(tmp_path / "store"), cache=False).resolve("E8")
+        assert bypass.describe()["store"]["cache"] is False
+
+    def test_store_path_pointing_at_a_file_is_rejected(self, tmp_path):
+        target = tmp_path / "not-a-dir"
+        target.write_text("occupied")
+        with pytest.raises(ExperimentError, match="not a directory"):
+            ExecutionConfig(store_path=target).resolve("E8")
 
 
 class TestBackendResolution:
@@ -167,6 +181,26 @@ class TestFromEnv:
         monkeypatch.setenv("REPRO_BACKEND", "  ")
         config = ExecutionConfig.from_env("REPRO_TEST_JOBS")
         assert config.backend is None
+
+    def test_repro_store_selects_the_run_store(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TEST_JOBS", raising=False)
+        monkeypatch.delenv("REPRO_BACKEND", raising=False)
+        monkeypatch.setenv("REPRO_STORE", " runs/store ")
+        monkeypatch.delenv("REPRO_CACHE", raising=False)
+        config = ExecutionConfig.from_env("REPRO_TEST_JOBS")
+        assert config.store_path == "runs/store" and config.cache
+
+    def test_repro_cache_falsy_values_disable_the_lookup(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TEST_JOBS", raising=False)
+        monkeypatch.delenv("REPRO_BACKEND", raising=False)
+        monkeypatch.delenv("REPRO_STORE", raising=False)
+        for raw in ("0", "false", "No", "OFF"):
+            monkeypatch.setenv("REPRO_CACHE", raw)
+            assert not ExecutionConfig.from_env("REPRO_TEST_JOBS").cache
+        monkeypatch.setenv("REPRO_CACHE", "1")
+        assert ExecutionConfig.from_env("REPRO_TEST_JOBS").cache
+        monkeypatch.delenv("REPRO_CACHE", raising=False)
+        assert ExecutionConfig.from_env("REPRO_TEST_JOBS").cache
 
 
 class TestResolveRunOptions:

@@ -7,7 +7,7 @@ import math
 
 import pytest
 
-from repro.analysis.resultsio import (
+from repro.store import (
     RunArtifact,
     decode_nonfinite,
     encode_nonfinite,

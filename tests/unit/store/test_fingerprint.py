@@ -1,0 +1,146 @@
+"""Unit tests for the run-fingerprint contract (repro.store.fingerprint).
+
+The fingerprint is the cache address: two requests must hash identically
+exactly when the determinism contract says their results are bit-identical.
+These tests pin both directions — canonicalization invariances (dict key
+order, tuple-vs-list, non-finite floats, default-vs-explicit overrides,
+``jobs``/``backend`` changes) must collapse to one fingerprint, while
+semantic changes (parameters, version, the ``batch`` flag) must not.
+"""
+
+from __future__ import annotations
+
+import math
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro import __version__
+from repro.api import ExecutionConfig, run_experiment
+from repro.errors import ExperimentError
+from repro.store import (
+    EXCLUDED_PLAN_FIELDS,
+    FINGERPRINT_FIELDS,
+    canonical_json,
+    run_fingerprint,
+)
+
+PARAMS = {"n": 100, "epsilon": 0.3, "sizes": (10, 20)}
+
+
+class TestCanonicalization:
+    def test_dict_key_order_is_irrelevant(self):
+        shuffled = {"sizes": (10, 20), "n": 100, "epsilon": 0.3}
+        assert run_fingerprint("E1", "1.0.0", PARAMS) == run_fingerprint(
+            "E1", "1.0.0", shuffled
+        )
+
+    def test_tuples_and_lists_hash_identically(self):
+        as_list = dict(PARAMS, sizes=[10, 20])
+        assert run_fingerprint("E1", "1.0.0", PARAMS) == run_fingerprint(
+            "E1", "1.0.0", as_list
+        )
+
+    def test_nonfinite_values_are_canonical_and_strict_json(self):
+        weird = {"a": float("nan"), "b": float("inf"), "c": -float("inf")}
+        first = run_fingerprint("E1", "1.0.0", weird)
+        second = run_fingerprint("E1", "1.0.0", dict(reversed(list(weird.items()))))
+        assert first == second
+        # The canonical encoding itself must be strict JSON (no NaN tokens).
+        encoded = canonical_json(weird)
+        assert "NaN" not in encoded and "Infinity" not in encoded
+
+    def test_numpy_scalars_hash_like_python_scalars(self):
+        import numpy as np
+
+        assert run_fingerprint("E1", "1.0.0", {"n": np.int64(100)}) == run_fingerprint(
+            "E1", "1.0.0", {"n": 100}
+        )
+
+    def test_fingerprint_is_a_sha256_hex_digest(self):
+        fingerprint = run_fingerprint("E1", "1.0.0", PARAMS)
+        assert len(fingerprint) == 64 and int(fingerprint, 16) >= 0
+
+
+class TestSemanticSensitivity:
+    def test_parameters_version_spec_and_batch_all_matter(self):
+        base = run_fingerprint("E1", "1.0.0", PARAMS)
+        assert run_fingerprint("E2", "1.0.0", PARAMS) != base
+        assert run_fingerprint("E1", "1.0.1", PARAMS) != base
+        assert run_fingerprint("E1", "1.0.0", dict(PARAMS, n=101)) != base
+        assert run_fingerprint("E1", "1.0.0", PARAMS, batch=True) != base
+
+    def test_contract_constants_name_the_ins_and_outs(self):
+        assert "execution.batch" in FINGERPRINT_FIELDS
+        for excluded in ("jobs", "backend"):
+            assert excluded in EXCLUDED_PLAN_FIELDS
+
+
+class TestResolvedRunInvariance:
+    """Fingerprints computed through run_experiment's resolution layer."""
+
+    E1_TOY = {"sizes": (250, 400), "epsilon": 0.3, "trials": 1}
+
+    def test_default_and_explicit_override_collapse_to_one_fingerprint(self, tmp_path):
+        # trials passed as a parameter override vs. on the ExecutionConfig:
+        # both resolve to the same parameters, hence the same fingerprint.
+        store = tmp_path / "store"
+        via_param = run_experiment(
+            "E1", config=ExecutionConfig(store_path=store), **self.E1_TOY
+        )
+        via_config = run_experiment(
+            "E1",
+            config=ExecutionConfig(store_path=store, trials=1),
+            sizes=(250, 400),
+            epsilon=0.3,
+        )
+        assert via_param.fingerprint == via_config.fingerprint
+        assert via_config.execution["cache"] == "hit"
+
+    def test_jobs_and_backend_do_not_change_the_fingerprint(self, tmp_path):
+        store = tmp_path / "store"
+        serial = run_experiment(
+            "E1", config=ExecutionConfig(store_path=store), **self.E1_TOY
+        )
+        parallel = run_experiment(
+            "E1", config=ExecutionConfig(store_path=store, jobs=2), **self.E1_TOY
+        )
+        in_process = run_experiment(
+            "E1",
+            config=ExecutionConfig(store_path=store, backend="in-process"),
+            **self.E1_TOY,
+        )
+        assert serial.fingerprint == parallel.fingerprint == in_process.fingerprint
+        assert serial.execution["cache"] == "miss"
+        assert parallel.execution["cache"] == "hit"
+        assert in_process.execution["cache"] == "hit"
+
+    def test_cross_backend_hit_serves_the_golden_digest(self, tmp_path):
+        """A run stored serially must satisfy a local-pool request — and the
+        served report must still match the pinned E8 golden digest."""
+        sys.path.insert(0, str(Path(__file__).resolve().parents[1]))
+        from _golden_grid import grid_digest
+
+        e8_toy = dict(n=60, epsilon=0.3, set_sizes=(10,), biases=(0.2,), trials=2, base_seed=5)
+        reference = grid_digest("E8", False, e8_toy)
+
+        store = tmp_path / "store"
+        cold = run_experiment("E8", config=ExecutionConfig(store_path=store), **e8_toy)
+        assert cold.execution["cache"] == "miss"
+        pooled = ExecutionConfig(store_path=store, backend="local", backend_options={"workers": 2})
+        digest = grid_digest("E8", False, e8_toy, config=pooled)
+        assert digest == reference
+        warm = run_experiment("E8", config=pooled, **e8_toy)
+        assert warm.execution["cache"] == "hit"
+
+    def test_rejects_non_mapping_parameters(self):
+        with pytest.raises((ExperimentError, TypeError, ValueError)):
+            run_fingerprint("E1", "1.0.0", 42)
+
+    def test_version_pins_the_package(self):
+        # The live package version participates, so upgrading repro
+        # invalidates every stored run by construction.
+        a = run_experiment("E1", **self.E1_TOY)
+        assert a.fingerprint == run_fingerprint("E1", __version__, a.parameters)
+        assert not math.isnan(a.wall_time_seconds)

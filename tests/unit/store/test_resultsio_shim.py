@@ -1,0 +1,61 @@
+"""Unit tests for the deprecated repro.analysis.resultsio re-export shim.
+
+The contract: every historical name keeps working and resolves to the
+*same object* as its new home in :mod:`repro.store` (so artifacts written
+through the shim are bit-identical), the first attribute access emits
+exactly one :class:`DeprecationWarning` per process, and unknown names
+still raise :class:`AttributeError`.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+import repro.analysis.resultsio as shim
+import repro.store as store
+
+FORWARDED = [
+    "to_jsonable",
+    "encode_nonfinite",
+    "decode_nonfinite",
+    "save_result",
+    "load_result",
+    "save_sweep",
+    "load_sweep",
+    "RunArtifact",
+    "save_run",
+    "load_run",
+]
+
+
+class TestShim:
+    def test_every_historical_name_is_the_store_object(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            for name in FORWARDED:
+                assert getattr(shim, name) is getattr(store, name), name
+
+    def test_warns_exactly_once_per_process(self, monkeypatch):
+        monkeypatch.setattr(shim, "_warned", False)
+        with pytest.warns(DeprecationWarning, match="moved to repro.store"):
+            shim.save_run
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            shim.load_run  # second access: silent
+
+    def test_unknown_names_raise_attribute_error(self):
+        with pytest.raises(AttributeError, match="no attribute"):
+            shim.definitely_not_a_name
+
+    def test_dir_lists_the_forwarded_names(self):
+        assert set(FORWARDED) <= set(dir(shim))
+
+    def test_importing_repro_analysis_is_warning_free(self):
+        # The analysis package re-exports the persistence helpers without
+        # routing through the shim, so plain `import repro.analysis` (or its
+        # re-exports) must not warn.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            from repro.analysis import save_result  # noqa: F401

@@ -1,0 +1,244 @@
+"""Unit tests for the content-addressed run store (repro.store.cache et al.).
+
+Covers the cache policy (hit / miss / bypass with byte-identical served
+reports), the atomicity guarantee of ``save_run`` (an interrupted write
+leaves the destination untouched), the append-safe index (torn tails are
+skipped, ``gc`` rebuilds), fingerprint verification on load (tampered
+manifests are refused with a labelled error), and the maintenance surface
+behind ``repro-flip store`` (``entries``/``resolve_prefix``/``verify``/``gc``).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.api import ExecutionConfig, run_experiment
+from repro.errors import ExperimentError
+from repro.store import RunStore, load_run, save_run
+from repro.store.index import append_entry, index_path, read_entries
+from repro.store.layout import relative_artifact_path, validate_fingerprint
+
+E1_TOY = {"sizes": (250, 400), "epsilon": 0.3, "trials": 1}
+
+
+def _cold_run(store_root, **extra):
+    return run_experiment("E1", config=ExecutionConfig(store_path=store_root, **extra), **E1_TOY)
+
+
+class TestCachePolicy:
+    def test_miss_then_hit_with_byte_identical_report(self, tmp_path):
+        store = tmp_path / "store"
+        cold = _cold_run(store)
+        warm = _cold_run(store)
+        assert cold.execution["cache"] == "miss"
+        assert warm.execution["cache"] == "hit"
+        assert warm.fingerprint == cold.fingerprint
+        assert warm.report.render() == cold.report.render()
+        assert warm.report.rows == cold.report.rows
+
+    def test_hit_is_served_without_touching_the_exec_layer(self, tmp_path, monkeypatch):
+        store = tmp_path / "store"
+        _cold_run(store)
+        from repro.api.config import ExecutionPlan
+
+        def _no_backend(self):
+            raise AssertionError("cache hit must not create an execution backend")
+
+        monkeypatch.setattr(ExecutionPlan, "create_backend", _no_backend)
+        assert _cold_run(store).execution["cache"] == "hit"
+
+    def test_no_cache_bypasses_the_lookup_but_refreshes_the_store(self, tmp_path):
+        store = tmp_path / "store"
+        cold = _cold_run(store)
+        bypass = _cold_run(store, cache=False)
+        assert bypass.execution["cache"] == "bypass"
+        assert bypass.report.render() == cold.report.render()
+        # The refreshed stored manifest records the bypass, and a subsequent
+        # cached run serves it as a hit again.
+        manifest = json.loads(
+            (RunStore(store).artifact_dir(cold.fingerprint) / "manifest.json").read_text()
+        )
+        assert manifest["execution"]["cache"] == "bypass"
+        assert _cold_run(store).execution["cache"] == "hit"
+
+    def test_runs_without_a_store_record_no_cache_key(self):
+        artifact = run_experiment("E1", **E1_TOY)
+        assert "cache" not in artifact.execution
+        assert artifact.fingerprint  # still computed for the manifest
+
+    def test_get_or_run_shares_the_run_experiment_policy(self, tmp_path):
+        store = RunStore(tmp_path / "store")
+        cold = store.get_or_run("E1", **E1_TOY)
+        warm = store.get_or_run("E1", **E1_TOY)
+        assert cold.execution["cache"] == "miss" and warm.execution["cache"] == "hit"
+
+    def test_get_or_run_rejects_a_conflicting_store(self, tmp_path):
+        store = RunStore(tmp_path / "store")
+        other = ExecutionConfig(store_path=tmp_path / "elsewhere")
+        with pytest.raises(ExperimentError, match="one store"):
+            store.get_or_run("E1", config=other, **E1_TOY)
+
+    def test_get_or_run_rejects_a_resolved_plan(self, tmp_path):
+        plan = ExecutionConfig().resolve("E1")
+        with pytest.raises(ExperimentError, match="ExecutionConfig"):
+            RunStore(tmp_path / "store").get_or_run("E1", config=plan, **E1_TOY)
+
+    def test_store_root_must_not_be_a_file(self, tmp_path):
+        occupied = tmp_path / "occupied"
+        occupied.write_text("not a directory")
+        with pytest.raises(ExperimentError, match="not a directory"):
+            RunStore(occupied)
+
+
+class TestAtomicSave:
+    def test_interrupted_write_leaves_the_destination_untouched(self, tmp_path, monkeypatch):
+        """Kill the writer mid-save: the previously stored artifact must
+        survive, and only a sweepable ``.``-prefixed staging dir may remain."""
+        store = tmp_path / "store"
+        cold = _cold_run(store)
+        destination = RunStore(store).artifact_dir(cold.fingerprint)
+        before = sorted(p.name for p in destination.iterdir())
+
+        import repro.store.artifact as artifact_module
+
+        real_write = artifact_module.write_json
+        calls = {"n": 0}
+
+        def _dies_midway(payload, path, sort_keys=True):
+            calls["n"] += 1
+            if calls["n"] >= 2:  # report written, manifest about to be
+                raise KeyboardInterrupt("simulated crash mid-save")
+            return real_write(payload, path, sort_keys=sort_keys)
+
+        monkeypatch.setattr(artifact_module, "write_json", _dies_midway)
+        with pytest.raises(KeyboardInterrupt):
+            save_run(cold, destination)
+
+        monkeypatch.undo()
+        assert sorted(p.name for p in destination.iterdir()) == before
+        reloaded = load_run(destination)
+        assert reloaded.fingerprint == cold.fingerprint
+        # The staging directory was cleaned up by save_run's error path.
+        stray = [p for p in destination.parent.iterdir() if p.name.startswith(".")]
+        assert stray == []
+
+    def test_resave_replaces_an_existing_artifact_whole(self, tmp_path):
+        store = tmp_path / "store"
+        cold = _cold_run(store)
+        destination = RunStore(store).artifact_dir(cold.fingerprint)
+        cold.wall_time_seconds = 123.0
+        save_run(cold, destination)
+        assert load_run(destination).wall_time_seconds == 123.0
+        assert not list(destination.parent.glob(".*"))  # no graveyard left
+
+
+class TestVerificationOnLoad:
+    def test_tampered_manifest_is_refused_with_a_labelled_error(self, tmp_path):
+        store = tmp_path / "store"
+        cold = _cold_run(store)
+        manifest_path = RunStore(store).artifact_dir(cold.fingerprint) / "manifest.json"
+        manifest = json.loads(manifest_path.read_text())
+        manifest["parameters"]["epsilon"] = 0.4  # the lie
+        manifest_path.write_text(json.dumps(manifest))
+        with pytest.raises(ExperimentError, match="fingerprint mismatch"):
+            load_run(manifest_path.parent)
+        # And the store layer labels it instead of serving or masking it.
+        with pytest.raises(ExperimentError, match="failed verification.*gc"):
+            RunStore(store).get(cold.fingerprint)
+
+    def test_artifact_filed_under_the_wrong_address_is_refused(self, tmp_path):
+        store = RunStore(tmp_path / "store")
+        cold = _cold_run(store.root)
+        wrong = "0" * 64
+        wrong_dir = store.artifact_dir(wrong)
+        wrong_dir.parent.mkdir(parents=True, exist_ok=True)
+        save_run(cold, wrong_dir)
+        with pytest.raises(ExperimentError, match="carries fingerprint"):
+            store.get(wrong)
+
+    def test_format_1_artifacts_still_load_without_verification(self, tmp_path):
+        cold = run_experiment("E1", **E1_TOY)
+        destination = tmp_path / "legacy"
+        save_run(cold, destination)
+        manifest_path = destination / "manifest.json"
+        manifest = json.loads(manifest_path.read_text())
+        manifest["format"] = 1
+        del manifest["fingerprint"]
+        manifest_path.write_text(json.dumps(manifest))
+        assert load_run(destination).fingerprint is None
+
+    def test_validate_fingerprint_rejects_non_hashes(self):
+        for bad in ("", "xyz", "A" * 64, "0" * 63, "0" * 65, "../escape"):
+            with pytest.raises(ExperimentError, match="fingerprint"):
+                validate_fingerprint(bad)
+
+
+class TestIndexAndMaintenance:
+    def test_index_survives_a_torn_tail(self, tmp_path):
+        store = RunStore(tmp_path / "store")
+        cold = _cold_run(store.root)
+        with open(index_path(store.root), "a", encoding="utf-8") as handle:
+            handle.write('{"fingerprint": "torn-off-mid-wri')  # no newline, no close
+        entries = read_entries(store.root)
+        assert list(entries) == [cold.fingerprint]
+        listing = store.entries()
+        assert len(listing) == 1 and listing[0]["indexed"]
+
+    def test_unindexed_artifacts_are_listed_and_gc_backfills(self, tmp_path):
+        store = RunStore(tmp_path / "store")
+        cold = _cold_run(store.root)
+        index_path(store.root).unlink()
+        listing = store.entries()
+        assert listing[0]["indexed"] is False
+        summary = store.gc()
+        assert summary["kept"] == 1 and not summary["removed_corrupt"]
+        rebuilt = read_entries(store.root)
+        assert rebuilt[cold.fingerprint]["spec_id"] == "E1"
+        assert store.entries()[0]["indexed"]
+
+    def test_gc_sweeps_stale_staging_and_corrupt_artifacts(self, tmp_path):
+        store = RunStore(tmp_path / "store")
+        cold = _cold_run(store.root)
+        second = run_experiment(
+            "E1", config=ExecutionConfig(store_path=store.root), sizes=(250, 400), epsilon=0.35, trials=1
+        )
+        # A stale staging dir (interrupted save) and a tampered artifact.
+        stale = store.artifact_dir(cold.fingerprint).parent / f".{cold.fingerprint}.xyz.tmp"
+        stale.mkdir()
+        manifest_path = store.artifact_dir(second.fingerprint) / "manifest.json"
+        manifest_path.write_text(manifest_path.read_text().replace("0.35", "0.36"))
+        summary = store.gc()
+        assert summary["removed_stale"] and summary["removed_corrupt"] == [second.fingerprint]
+        assert summary["kept"] == 1
+        assert not stale.exists()
+        assert store.get(cold.fingerprint) is not None
+        assert store.get(second.fingerprint) is None  # clean miss now
+
+    def test_verify_reports_per_artifact(self, tmp_path):
+        store = RunStore(tmp_path / "store")
+        cold = _cold_run(store.root)
+        report = store.verify()
+        assert report == [{"fingerprint": cold.fingerprint, "ok": True, "error": None}]
+
+    def test_resolve_prefix(self, tmp_path):
+        store = RunStore(tmp_path / "store")
+        cold = _cold_run(store.root)
+        assert store.resolve_prefix(cold.fingerprint[:8]) == cold.fingerprint
+        with pytest.raises(ExperimentError, match="no stored run"):
+            store.resolve_prefix("ffff")
+        with pytest.raises(ExperimentError, match="empty"):
+            store.resolve_prefix("")
+
+    def test_append_entry_requires_a_fingerprint(self, tmp_path):
+        with pytest.raises(ExperimentError, match="fingerprint"):
+            append_entry(tmp_path, {"spec_id": "E1"})
+
+    def test_layout_is_sharded_by_fingerprint_prefix(self, tmp_path):
+        store = RunStore(tmp_path / "store")
+        cold = _cold_run(store.root)
+        assert relative_artifact_path(cold.fingerprint) == (
+            f"{cold.fingerprint[:2]}/{cold.fingerprint}"
+        )
+        assert store.artifact_dir(cold.fingerprint).is_dir()

@@ -31,10 +31,10 @@ from pathlib import Path
 import pytest
 
 from repro.analysis.experiments import run_trials
-from repro.analysis.resultsio import load_result, load_sweep, save_result, save_sweep
 from repro.analysis.sweeps import run_sweep
 from repro.api import ExecutionConfig, load_run, run_experiment
 from repro.cli import main as cli_main
+from repro.store import load_result, load_sweep, save_result, save_sweep
 
 BENCHMARKS_DIR = Path(__file__).resolve().parents[2] / "benchmarks"
 BENCHMARK_SCRIPTS = sorted(BENCHMARKS_DIR.glob("bench_*.py"))
@@ -156,6 +156,40 @@ class TestCliArtifactRoundTrip:
         assert voter_rows and math.isnan(voter_rows[0]["mean_rounds"])
 
 
+class TestCliStoreCacheGate:
+    """The store CI gate: the same CLI experiment twice with ``--store`` —
+    the second invocation must be a cache hit with a byte-identical report
+    (also an explicit CI step, see ``.github/workflows/ci.yml``)."""
+
+    E1_ARGS = [
+        "experiment",
+        "E1",
+        "--trials",
+        "1",
+        "--set",
+        "epsilon=0.3",
+        "--set",
+        "sizes=(250, 400)",
+    ]
+
+    def test_second_cli_run_is_a_cache_hit_with_identical_report(self, tmp_path, capsys):
+        store = tmp_path / "store"
+        assert cli_main([*self.E1_ARGS, "--store", str(store)]) == 0
+        first = capsys.readouterr()
+        assert "cache miss" in first.err
+
+        assert cli_main([*self.E1_ARGS, "--store", str(store)]) == 0
+        second = capsys.readouterr()
+        assert "cache hit" in second.err
+        assert second.out == first.out
+
+        # Both runs print the same fingerprint, and --no-cache recomputes.
+        assert first.err.split("fingerprint")[1] == second.err.split("fingerprint")[1]
+        assert cli_main([*self.E1_ARGS, "--store", str(store), "--no-cache"]) == 0
+        third = capsys.readouterr()
+        assert "cache bypass" in third.err and third.out == first.out
+
+
 class TestBackendSmoke:
     """The execution-backend CI gate: one toy sweep per backend, equal digests.
 
@@ -218,6 +252,16 @@ class TestStageBenchAndAggregatorSmoke:
         assert payload["seconds"]["local_reuse"] > 0
         assert payload["seconds"]["remote"] > 0
         assert "local_reuse_vs_per_call" in payload["speedup_vs_serial"]
+
+    def test_store_cache_bench_measures_at_toy_sizes(self):
+        module = _load_script(BENCHMARKS_DIR / "bench_store_cache.py", "_smoke_store_bench")
+        payload = module.measure(module.build_workloads(toy=True))
+        assert payload["seconds"]["cold"] > 0
+        assert payload["seconds"]["warm"] > 0
+        assert payload["workload"]["cross_jobs_hit"] is True
+        # Every request after the cold one hit the store.
+        assert payload["workload"]["hits"] == payload["workload"]["requests"] - 1
+        assert "warm_vs_cold" in payload["speedup_vs_serial"]
 
     def test_e12_fault_sweep_bench_measures_at_toy_sizes(self):
         module = _load_script(
