@@ -41,8 +41,8 @@ from __future__ import annotations
 
 from ..analysis.sweeps import sweep_point_names
 from ..store import RunArtifact, RunStore, load_run, run_fingerprint, save_run
-from .config import ExecutionConfig, ExecutionPlan, resolve_run_options
-from .run import run_experiment
+from .config import SERVICE_EXECUTION_KEYS, ExecutionConfig, ExecutionPlan, resolve_run_options
+from .run import ResolvedRun, resolve_run_inputs, run_experiment
 from .spec import (
     REGISTRY,
     ExperimentSpec,
@@ -63,7 +63,10 @@ __all__ = [
     "batchable_experiment_ids",
     "ExecutionConfig",
     "ExecutionPlan",
+    "SERVICE_EXECUTION_KEYS",
     "resolve_run_options",
+    "ResolvedRun",
+    "resolve_run_inputs",
     "run_experiment",
     "RunArtifact",
     "RunStore",

@@ -34,7 +34,18 @@ from .spec import ExperimentSpec, batchable_experiment_ids, get_spec
 if TYPE_CHECKING:  # pragma: no cover - avoids importing the exec layer eagerly
     from ..exec.runner import TrialRunner
 
-__all__ = ["ExecutionConfig", "ExecutionPlan", "resolve_run_options"]
+__all__ = [
+    "SERVICE_EXECUTION_KEYS",
+    "ExecutionConfig",
+    "ExecutionPlan",
+    "resolve_run_options",
+]
+
+#: Execution options a service request's JSON body may set — the
+#: experiment-shaping subset of :class:`ExecutionConfig`.  ``store_path``
+#: and ``cache`` are deliberately absent: the service owns its store, and
+#: requests must not redirect persistence or disable memoization.
+SERVICE_EXECUTION_KEYS = ("jobs", "batch", "trials", "base_seed", "backend", "backend_options")
 
 
 @dataclass(frozen=True)
@@ -130,6 +141,35 @@ class ExecutionConfig:
             store_path=store_raw or None,
             cache=cache_raw not in ("0", "false", "no", "off"),
         )
+
+    @classmethod
+    def for_service(
+        cls,
+        store_path: Union[str, Path],
+        options: Optional[Mapping[str, Any]] = None,
+    ) -> "ExecutionConfig":
+        """Build a per-request config for the experiment service.
+
+        The service's defaults differ from the library's in exactly two
+        ways, both fixed here: every request is **memoized** through the
+        service's store (``store_path`` is mandatory, ``cache`` always on —
+        the whole point of serving is that repeated parameter points are
+        hits), and the execution options come from an untrusted JSON body,
+        so only the whitelisted keys in :data:`SERVICE_EXECUTION_KEYS` are
+        accepted (``jobs``, ``batch``, ``trials``, ``base_seed``,
+        ``backend``, ``backend_options``).  Anything else — notably
+        ``store_path``/``cache`` themselves, which a request must not
+        redirect — raises a labelled :class:`~repro.errors.ExperimentError`
+        that the service maps to a ``400``.
+        """
+        settings = dict(options or {})
+        unknown = sorted(set(settings) - set(SERVICE_EXECUTION_KEYS))
+        if unknown:
+            raise ExperimentError(
+                f"unknown execution option(s) {', '.join(unknown)}; a service request "
+                f"may set: {', '.join(SERVICE_EXECUTION_KEYS)}"
+            )
+        return cls(store_path=Path(store_path), cache=True, **settings)
 
     def resolve(self, spec_or_id: Union[str, ExperimentSpec]) -> "ExecutionPlan":
         """Resolve into the runner + batching plan for one experiment.

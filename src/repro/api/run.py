@@ -18,7 +18,19 @@ sha256 over spec id, package version, resolved parameters and the
 contract proves them result-irrelevant — is looked up *before* any
 execution backend is created.  A hit loads, verifies and returns the
 stored artifact (``execution["cache"] == "hit"``); a miss computes
-normally and persists the artifact under its fingerprint.
+normally and persists the artifact under its fingerprint.  The miss path
+is **double-checked** under the store's per-fingerprint compute lock
+(:meth:`~repro.store.RunStore.compute_lock`): two threads submitting the
+identical request simultaneously — the experiment service's duplicate-
+submission case — run the simulation exactly once, with the loser of the
+race served the winner's freshly persisted artifact as a hit.
+
+:func:`resolve_run_inputs` is the first half of this function on its own:
+spec + plan + fully resolved parameters + fingerprint, with *no*
+execution.  The service layer (:mod:`repro.service`) calls it to answer
+"is this request already stored?" and to address jobs before any worker
+picks them up, guaranteed to agree with what ``run_experiment`` would
+compute because ``run_experiment`` itself goes through it.
 
 The CLI (``repro-flip experiment``), the benchmark scripts and the examples
 all call this function; per-driver ``run(...)`` signatures remain available
@@ -29,14 +41,112 @@ but are a deprecation-shimmed compatibility path (see
 from __future__ import annotations
 
 import time
-from typing import Any, Optional, Union
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Union
 
 from ..errors import ExperimentError
 from ..store import RunArtifact, RunStore, run_fingerprint
 from .config import ExecutionConfig, ExecutionPlan, resolve_run_options
 from .spec import ExperimentSpec, get_spec
 
-__all__ = ["run_experiment"]
+__all__ = ["ResolvedRun", "resolve_run_inputs", "run_experiment"]
+
+
+@dataclass(frozen=True)
+class ResolvedRun:
+    """The fully resolved inputs of one prospective experiment run.
+
+    Produced by :func:`resolve_run_inputs`; everything
+    :func:`run_experiment` decides from before executing anything —
+    notably the content ``fingerprint``, which is what the run store and
+    the service's job queue key on.
+    """
+
+    spec: ExperimentSpec
+    plan: ExecutionPlan
+    parameters: Dict[str, Any]
+    fingerprint: str
+
+
+def resolve_run_inputs(
+    spec_or_id: Union[str, ExperimentSpec],
+    *,
+    config: Optional[Union[ExecutionConfig, ExecutionPlan]] = None,
+    **param_overrides: Any,
+) -> ResolvedRun:
+    """Resolve spec, plan, parameters and fingerprint — without running.
+
+    Performs exactly the validation and resolution :func:`run_experiment`
+    performs up front: the spec is fetched from the registry, the config is
+    resolved into an :class:`~repro.api.config.ExecutionPlan` (validated
+    against the spec's capability flags), the parameter overrides are
+    checked against the declared parameters, ``trials``/``base_seed``
+    double-specification is rejected, and the defaults are merged with the
+    overrides into the fully resolved parameter mapping the fingerprint
+    hashes.  Raises :class:`~repro.errors.ExperimentError` on any invalid
+    input — which is why the service layer calls this *before* accepting a
+    job, so a bad request fails at submission time with a ``400`` instead
+    of inside a worker thread.
+    """
+    from .. import __version__
+
+    spec = get_spec(spec_or_id)
+    plan = resolve_run_options(spec.experiment_id, config=config or ExecutionConfig())
+    spec.validate_overrides(param_overrides)
+    for name in ("trials", "base_seed"):
+        if name in param_overrides and getattr(plan, name) is not None:
+            raise ExperimentError(
+                f"{name} was set both as a parameter override and on the ExecutionConfig; "
+                "pass it once"
+            )
+
+    parameters = spec.defaults()
+    parameters.update(param_overrides)
+    if plan.trials is not None:
+        parameters["trials"] = plan.trials
+    if plan.base_seed is not None:
+        parameters["base_seed"] = plan.base_seed
+
+    # The fingerprint covers the fully *resolved* parameters, so a default
+    # left implicit and the same value passed explicitly hash identically.
+    fingerprint = run_fingerprint(spec.experiment_id, __version__, parameters, batch=plan.batch)
+    return ResolvedRun(spec=spec, plan=plan, parameters=parameters, fingerprint=fingerprint)
+
+
+def _execute(resolved: ResolvedRun, execution: Dict[str, Any], **param_overrides: Any) -> RunArtifact:
+    """Drive the experiment described by ``resolved`` and package the artifact."""
+    from .. import __version__
+
+    plan = resolved.plan
+    backend = plan.create_backend()
+    started = time.perf_counter()
+    if backend is None:
+        report = resolved.spec.driver().run(config=plan, **param_overrides)
+    else:
+        # One backend per run: started once, installed for every dispatch
+        # the driver performs (trial fan-outs, point-parallel sweeps,
+        # batched task lists), closed when the driver returns.  This is
+        # where the persistent backends earn their keep — the local pool is
+        # spawned once here instead of per sweep-point family, and remote
+        # workers serve the whole run.
+        from ..exec.backends import use_backend
+
+        with backend, use_backend(backend):
+            report = resolved.spec.driver().run(config=plan, **param_overrides)
+            # Record the *live* summary (resolved endpoint, spawned workers,
+            # chunks dispatched) before close() tears the backend down.
+            execution["backend"] = backend.describe()
+    wall_time = time.perf_counter() - started
+
+    return RunArtifact(
+        spec_id=resolved.spec.experiment_id,
+        parameters=resolved.parameters,
+        execution=execution,
+        report=report,
+        version=__version__,
+        wall_time_seconds=wall_time,
+        fingerprint=resolved.fingerprint,
+    )
 
 
 def run_experiment(
@@ -74,76 +184,43 @@ def run_experiment(
         ``"miss"``, or ``"bypass"`` when ``cache=False``); without one the
         key is absent, matching the historical manifests.
     """
-    # Imported lazily: repro/__init__ does not pull in the api package, so
-    # the version attribute is always available by the time a run starts.
-    from .. import __version__
-
-    spec = get_spec(spec_or_id)
-    plan = resolve_run_options(spec.experiment_id, config=config or ExecutionConfig())
-    spec.validate_overrides(param_overrides)
-    for name in ("trials", "base_seed"):
-        if name in param_overrides and getattr(plan, name) is not None:
-            raise ExperimentError(
-                f"{name} was set both as a parameter override and on the ExecutionConfig; "
-                "pass it once"
-            )
-
-    parameters = spec.defaults()
-    parameters.update(param_overrides)
-    if plan.trials is not None:
-        parameters["trials"] = plan.trials
-    if plan.base_seed is not None:
-        parameters["base_seed"] = plan.base_seed
+    resolved = resolve_run_inputs(spec_or_id, config=config, **param_overrides)
+    plan = resolved.plan
 
     # The store lookup happens before any backend exists: a cache hit must
     # not spawn worker pools, open endpoints, or touch the exec layer at
-    # all.  The fingerprint covers the fully *resolved* parameters, so a
-    # default left implicit and the same value passed explicitly hash
-    # identically.
-    fingerprint = run_fingerprint(
-        spec.experiment_id, __version__, parameters, batch=plan.batch
-    )
+    # all.
     store: Optional[RunStore] = None
     if plan.store_path is not None:
         store = RunStore(plan.store_path)
         if plan.cache:
-            cached = store.get(fingerprint)
+            cached = store.get(resolved.fingerprint)
             if cached is not None:
                 cached.execution["cache"] = "hit"
                 return cached
 
-    backend = plan.create_backend()
     execution = plan.describe()
-    if store is not None:
-        execution["cache"] = "miss" if plan.cache else "bypass"
-    started = time.perf_counter()
-    if backend is None:
-        report = spec.driver().run(config=plan, **param_overrides)
-    else:
-        # One backend per run: started once, installed for every dispatch
-        # the driver performs (trial fan-outs, point-parallel sweeps,
-        # batched task lists), closed when the driver returns.  This is
-        # where the persistent backends earn their keep — the local pool is
-        # spawned once here instead of per sweep-point family, and remote
-        # workers serve the whole run.
-        from ..exec.backends import use_backend
+    if store is None:
+        return _execute(resolved, execution, **param_overrides)
 
-        with backend, use_backend(backend):
-            report = spec.driver().run(config=plan, **param_overrides)
-            # Record the *live* summary (resolved endpoint, spawned workers,
-            # chunks dispatched) before close() tears the backend down.
-            execution["backend"] = backend.describe()
-    wall_time = time.perf_counter() - started
+    if not plan.cache:
+        # Bypass/refresh mode: recompute unconditionally, overwrite the
+        # stored artifact.  No compute lock — refreshes are explicit and
+        # save_run's atomic promotion keeps concurrent writers safe.
+        execution["cache"] = "bypass"
+        artifact = _execute(resolved, execution, **param_overrides)
+        store.put(artifact)
+        return artifact
 
-    artifact = RunArtifact(
-        spec_id=spec.experiment_id,
-        parameters=parameters,
-        execution=execution,
-        report=report,
-        version=__version__,
-        wall_time_seconds=wall_time,
-        fingerprint=fingerprint,
-    )
-    if store is not None:
+    # Double-checked miss: serialise identical submissions on the store's
+    # per-fingerprint compute lock so the simulation runs exactly once.
+    # Distinct fingerprints take distinct locks and never contend.
+    with store.compute_lock(resolved.fingerprint):
+        cached = store.get(resolved.fingerprint)
+        if cached is not None:
+            cached.execution["cache"] = "hit"
+            return cached
+        execution["cache"] = "miss"
+        artifact = _execute(resolved, execution, **param_overrides)
         store.put(artifact)
     return artifact

@@ -26,6 +26,11 @@ hit, served without creating any execution backend; ``--no-cache``
 recomputes and refreshes the stored artifact), and the ``store``
 subcommand administers such a store: ``repro-flip store ls|show|verify|gc
 --store DIR``.
+
+``repro-flip serve --store DIR`` stands the experiment service up
+(:mod:`repro.service`): submit runs over HTTP as async jobs, poll
+results, and let every repeated parameter point be a store-served cache
+hit — see the "Serving experiments" section of ``README.md``.
 """
 
 from __future__ import annotations
@@ -164,6 +169,43 @@ def build_parser() -> argparse.ArgumentParser:
 
     subparsers.add_parser(
         "list-experiments", help="list the registered experiment drivers and their parameters"
+    )
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="serve experiments over HTTP: submit runs as async jobs, poll results, "
+        "with every completed run memoized through the content-addressed store",
+    )
+    serve.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="interface to bind (default 127.0.0.1; bind 0.0.0.0 only behind a trusted proxy "
+        "— the service has no authentication of its own)",
+    )
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=8000,
+        help="TCP port to bind (0 = OS-assigned ephemeral port, printed on startup; default 8000)",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        metavar="N",
+        help="worker threads executing submitted jobs (bounds concurrent simulations; default 2)",
+    )
+    serve.add_argument(
+        "--store",
+        metavar="DIR",
+        required=True,
+        help="root directory of the content-addressed run store backing the service; repeated "
+        "parameter points are served from it as cache hits without running any simulation",
+    )
+    serve.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress per-request access logging",
     )
 
     store = subparsers.add_parser(
@@ -417,6 +459,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _run_experiment(args, parser)
     if args.command == "list-experiments":
         return _list_experiments()
+    if args.command == "serve":
+        # Imported here: the service layer (http.server, job queue) is only
+        # paid for by the one subcommand that serves traffic.
+        from .service import serve as run_service
+
+        return run_service(
+            args.store,
+            host=args.host,
+            port=args.port,
+            workers=args.workers,
+            verbose=not args.quiet,
+        )
     if args.command == "store":
         return _run_store(args, parser)
     parser.error(f"unknown command {args.command!r}")

@@ -1,0 +1,49 @@
+"""repro.service — the experiment-serving layer (HTTP API + async job queue).
+
+The "millions of users" unlock of ROADMAP item 1, layered strictly *on top
+of* the unified API front door: a stdlib-only HTTP service that turns
+:func:`repro.api.run_experiment` + the content-addressed
+:class:`~repro.store.RunStore` into a traffic-facing system where repeated
+parameter points are served from disk in sub-millisecond time and only
+genuinely new requests pay for simulation.
+
+* :mod:`repro.service.jobs` — the in-memory :class:`JobQueue`: a bounded
+  worker-thread pool, job states ``queued → running → done/failed/
+  cancelled``, deterministic job ids, fingerprint-keyed duplicate
+  coalescing, per-job manifests;
+* :mod:`repro.service.app` — the REST resources
+  (``POST/GET/DELETE /v1/runs``, ``GET /v1/experiments``,
+  ``GET /v1/store/<prefix>``, ``/healthz``, ``/metrics``) on
+  ``http.server.ThreadingHTTPServer``, behind the socket-free
+  :class:`ExperimentService`;
+* :mod:`repro.service.client` — :class:`ServiceClient`, the typed
+  submit/wait/result client the tests, benchmarks and CI gate drive.
+
+Serve from the CLI (``repro-flip serve --store runs/store --port 8000``)
+or embed::
+
+    from repro.service import ServiceClient, create_server
+
+    server = create_server("runs/store", port=0, workers=2)
+    threading.Thread(target=server.serve_forever, daemon=True).start()
+    client = ServiceClient(port=server.server_address[1])
+    print(client.run("E1", params={"epsilon": 0.3})["result"]["rendered"])
+"""
+
+from __future__ import annotations
+
+from .app import ExperimentService, ServiceMetrics, create_server, serve
+from .client import ServiceClient, ServiceError
+from .jobs import Job, JobQueue, JobState
+
+__all__ = [
+    "Job",
+    "JobQueue",
+    "JobState",
+    "ExperimentService",
+    "ServiceMetrics",
+    "create_server",
+    "serve",
+    "ServiceClient",
+    "ServiceError",
+]

@@ -1,0 +1,175 @@
+"""A small typed client for the experiment service (stdlib ``http.client``).
+
+Used by the service's own tests, the CI smoke gate and
+``benchmarks/bench_service_load.py`` — and usable as a library client
+wherever an HTTP round-trip to a running ``repro-flip serve`` instance is
+wanted without hand-rolling requests::
+
+    client = ServiceClient(port=8000)
+    submission = client.submit("E1", params={"sizes": [250], "epsilon": 0.3},
+                               execution={"batch": True, "trials": 1})
+    final = client.result(submission)          # waits if a job was queued
+    print(final["result"]["rendered"])         # the report table
+
+Every method returns the decoded JSON body (``encode_nonfinite`` tags from
+the server are decoded back to real ``NaN``/``±inf`` floats, so report
+payloads round-trip exactly).  Non-2xx responses raise
+:class:`ServiceError`, an :class:`~repro.errors.ExperimentError` carrying
+``status`` and the error ``payload`` — tests assert on both.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import Any, Dict, List, Optional
+
+from ..errors import ExperimentError
+from ..store import decode_nonfinite
+from .jobs import JobState
+
+__all__ = ["ServiceError", "ServiceClient"]
+
+
+class ServiceError(ExperimentError):
+    """A non-2xx service response, carrying the status and decoded body."""
+
+    def __init__(self, status: int, payload: Any):
+        """Build from the HTTP status and the decoded JSON error body."""
+        message = payload.get("error") if isinstance(payload, dict) else None
+        super().__init__(f"service responded {status}: {message or payload!r}")
+        self.status = status
+        self.payload = payload
+
+
+class ServiceClient:
+    """Typed submit/wait/result access to one experiment-service endpoint.
+
+    One short-lived ``http.client.HTTPConnection`` per request — no shared
+    mutable state, so a single client instance is safe to use from many
+    threads (the load benchmark does exactly that).
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8000, timeout: float = 30.0):
+        """Point the client at ``host:port`` (per-request socket ``timeout``)."""
+        self.host = host
+        self.port = int(port)
+        self.timeout = timeout
+
+    # ------------------------------------------------------------ plumbing
+
+    def request(self, method: str, path: str, payload: Optional[Any] = None) -> Dict[str, Any]:
+        """One HTTP round-trip; decoded JSON body, :class:`ServiceError` on 4xx/5xx."""
+        body: Optional[bytes] = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            body = json.dumps(payload, allow_nan=False).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        connection = http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
+        try:
+            connection.request(method, path, body=body, headers=headers)
+            response = connection.getresponse()
+            raw = response.read()
+            status = response.status
+        finally:
+            connection.close()
+        try:
+            decoded = decode_nonfinite(json.loads(raw.decode("utf-8"))) if raw else {}
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise ExperimentError(
+                f"service returned a non-JSON body for {method} {path} "
+                f"(status {status}): {error}"
+            ) from error
+        if status >= 400:
+            raise ServiceError(status, decoded)
+        return decoded
+
+    # ------------------------------------------------------------ resources
+
+    def submit(
+        self,
+        experiment: str,
+        params: Optional[Dict[str, Any]] = None,
+        execution: Optional[Dict[str, Any]] = None,
+    ) -> Dict[str, Any]:
+        """``POST /v1/runs``: an immediate-hit body (``status == "done"``,
+        result attached) or a job submission body (``job_id`` set)."""
+        return self.request(
+            "POST",
+            "/v1/runs",
+            {"experiment": experiment, "params": params or {}, "execution": execution or {}},
+        )
+
+    def status(self, job_id: str) -> Dict[str, Any]:
+        """``GET /v1/runs/<id>``: the job's manifest (+ result when done)."""
+        return self.request("GET", f"/v1/runs/{job_id}")
+
+    def wait(self, job_id: str, timeout: float = 120.0, poll_interval: float = 0.05) -> Dict[str, Any]:
+        """Poll a job until it reaches a terminal state; return that body.
+
+        Raises :class:`~repro.errors.ExperimentError` if ``timeout``
+        elapses first (the job keeps running server-side).  Does *not*
+        raise on ``failed``/``cancelled`` — the caller inspects
+        ``body["status"]``; :meth:`result` is the raising convenience.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            body = self.status(job_id)
+            if body["status"] in JobState.TERMINAL:
+                return body
+            if time.monotonic() >= deadline:
+                raise ExperimentError(
+                    f"job {job_id} still {body['status']} after {timeout}s"
+                )
+            time.sleep(poll_interval)
+
+    def result(self, submission: Dict[str, Any], timeout: float = 120.0) -> Dict[str, Any]:
+        """Resolve a :meth:`submit` body to its final ``done`` body.
+
+        An immediate hit is returned as-is; a queued submission is waited
+        on.  A ``failed`` or ``cancelled`` outcome raises
+        :class:`~repro.errors.ExperimentError` with the job's error text.
+        """
+        body = submission
+        if body.get("status") != JobState.DONE:
+            body = self.wait(body["job_id"], timeout=timeout)
+        if body["status"] != JobState.DONE:
+            raise ExperimentError(
+                f"job {body.get('job_id')} ended {body['status']}: {body.get('error')}"
+            )
+        return body
+
+    def run(
+        self,
+        experiment: str,
+        params: Optional[Dict[str, Any]] = None,
+        execution: Optional[Dict[str, Any]] = None,
+        timeout: float = 120.0,
+    ) -> Dict[str, Any]:
+        """Submit and block until done: the one-call convenience wrapper."""
+        return self.result(self.submit(experiment, params, execution), timeout=timeout)
+
+    def cancel(self, job_id: str) -> Dict[str, Any]:
+        """``DELETE /v1/runs/<id>``: cancel a queued job."""
+        return self.request("DELETE", f"/v1/runs/{job_id}")
+
+    def jobs(self) -> List[Dict[str, Any]]:
+        """``GET /v1/runs``: manifests of all tracked jobs."""
+        return self.request("GET", "/v1/runs")["jobs"]
+
+    def experiments(self) -> List[Dict[str, Any]]:
+        """``GET /v1/experiments``: the experiment registry listing."""
+        return self.request("GET", "/v1/experiments")["experiments"]
+
+    def store(self, fingerprint_prefix: str) -> Dict[str, Any]:
+        """``GET /v1/store/<prefix>``: a stored artifact by prefix."""
+        return self.request("GET", f"/v1/store/{fingerprint_prefix}")
+
+    def health(self) -> Dict[str, Any]:
+        """``GET /healthz``: liveness and queue gauges."""
+        return self.request("GET", "/healthz")
+
+    def metrics(self) -> Dict[str, Any]:
+        """``GET /metrics``: the service counters snapshot."""
+        return self.request("GET", "/metrics")

@@ -1,0 +1,315 @@
+"""The service's async job queue: bounded workers over :func:`run_experiment`.
+
+An in-memory queue, deliberately simple: the durable state of the service
+is the content-addressed :class:`~repro.store.RunStore` (every completed
+run is persisted under its fingerprint before the job reports ``done``),
+so the queue itself only has to track *in-flight* work.  Restarting the
+service loses queued jobs but never completed results — resubmitting the
+same request after a restart is a cache hit.
+
+Life cycle of a job::
+
+    queued ──> running ──> done
+       │           └─────> failed
+       └─────> cancelled
+
+* **Deterministic job ids.**  ``<submission-sequence>-<fingerprint[:12]>``
+  — e.g. ``000003-9f2c41a0b7d1`` — so ids are stable across identical
+  submission orders, sort chronologically, and carry the content address
+  they will resolve to.
+* **Duplicate coalescing.**  :meth:`JobQueue.submit` keys in-flight jobs
+  by fingerprint: a second identical submission while the first is queued
+  or running *joins* the existing job (same id, ``created=False``) instead
+  of enqueueing a duplicate.  The race the in-memory map cannot see (a
+  duplicate arriving just as the original leaves the map) is closed one
+  layer down by :func:`repro.api.run_experiment`'s double-checked
+  per-fingerprint compute lock — either way the simulation runs once.
+* **Per-job manifests.**  :meth:`JobQueue.manifest` snapshots everything a
+  poll needs: state, fingerprint, cache outcome (``hit``/``miss`` once
+  finished), timestamps and the error text of a failed run.
+
+Workers are daemon threads; :meth:`JobQueue.close` drains them cleanly
+(one sentinel per worker) and is idempotent.
+"""
+
+from __future__ import annotations
+
+import queue as queue_module
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union
+
+from ..api.config import ExecutionConfig
+from ..api.run import run_experiment
+from ..errors import ExperimentError
+from ..store import RunArtifact
+
+__all__ = ["JobState", "Job", "JobQueue"]
+
+
+class JobState:
+    """The job life-cycle states (plain strings, JSON-friendly)."""
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+    #: States in which a job still occupies its fingerprint (dedup key).
+    ACTIVE = (QUEUED, RUNNING)
+    #: States a job can never leave.
+    TERMINAL = (DONE, FAILED, CANCELLED)
+
+
+@dataclass
+class Job:
+    """One submitted experiment run tracked by the :class:`JobQueue`.
+
+    Mutable fields (``state``, timestamps, ``artifact``, ``error``,
+    ``cache``) are only written under the owning queue's lock; read a
+    consistent snapshot via :meth:`JobQueue.manifest` rather than the raw
+    fields.
+    """
+
+    job_id: str
+    spec_id: str
+    fingerprint: str
+    parameters: Dict[str, Any]
+    batch: bool
+    config: ExecutionConfig = field(repr=False, default=None)  # type: ignore[assignment]
+    overrides: Dict[str, Any] = field(repr=False, default_factory=dict)
+    state: str = JobState.QUEUED
+    submitted_at: float = field(default_factory=time.time)
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    cache: Optional[str] = None
+    error: Optional[str] = None
+    artifact: Optional[RunArtifact] = field(repr=False, default=None)
+
+    def manifest(self) -> Dict[str, Any]:
+        """JSON-safe snapshot of the job (no artifact payload — poll bodies
+        attach that separately so a large report is serialised only when
+        the job is actually done)."""
+        elapsed = (self.finished_at or time.time()) - self.submitted_at
+        return {
+            "job_id": self.job_id,
+            "spec_id": self.spec_id,
+            "fingerprint": self.fingerprint,
+            "state": self.state,
+            "batch": self.batch,
+            "parameters": dict(self.parameters),
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "elapsed_seconds": round(elapsed, 6),
+            "cache": self.cache,
+            "error": self.error,
+        }
+
+
+class JobQueue:
+    """Bounded worker-thread pool executing submitted experiment runs.
+
+    Parameters
+    ----------
+    store_root:
+        The service's run-store root; every job's
+        :class:`~repro.api.config.ExecutionConfig` points here, so results
+        persist (and duplicate computes dedup) through the normal
+        :func:`~repro.api.run_experiment` store path.
+    workers:
+        Worker-thread count (clamped to at least 1).  This bounds how many
+        simulations execute concurrently; submissions beyond it queue.
+    run:
+        The execution callable, ``run(spec_id, config=..., **overrides) ->
+        RunArtifact``.  Defaults to :func:`repro.api.run_experiment`; tests
+        inject stubs to script slow/failing runs.
+    on_finish:
+        Optional callback invoked (outside the queue lock) with each job
+        that reaches a terminal state — the service wires its metrics here.
+    """
+
+    def __init__(
+        self,
+        store_root: Union[str, Path],
+        *,
+        workers: int = 2,
+        run: Optional[Callable[..., RunArtifact]] = None,
+        on_finish: Optional[Callable[[Job], None]] = None,
+    ):
+        """Start ``workers`` daemon worker threads over an empty queue."""
+        self.store_root = Path(store_root)
+        self._run = run if run is not None else run_experiment
+        self._on_finish = on_finish
+        self._lock = threading.Lock()
+        self._jobs: Dict[str, Job] = {}
+        self._order: List[str] = []
+        self._in_flight: Dict[str, str] = {}  # fingerprint -> active job id
+        self._tasks: "queue_module.Queue[Optional[str]]" = queue_module.Queue()
+        self._sequence = 0
+        self._closed = False
+        self.workers = max(1, int(workers))
+        self._threads = [
+            threading.Thread(
+                target=self._worker_loop, name=f"repro-service-worker-{index}", daemon=True
+            )
+            for index in range(self.workers)
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    # ------------------------------------------------------------------ API
+
+    def submit(
+        self,
+        spec_id: str,
+        fingerprint: str,
+        parameters: Dict[str, Any],
+        *,
+        config: ExecutionConfig,
+        overrides: Optional[Dict[str, Any]] = None,
+    ) -> Tuple[Job, bool]:
+        """Enqueue a run (or join the in-flight job for its fingerprint).
+
+        Returns ``(job, created)``: ``created=False`` means an identical
+        submission was already queued or running and the caller was handed
+        that job — the service reports such submissions as deduplicated.
+        The caller passes inputs already resolved by
+        :func:`repro.api.resolve_run_inputs`, so nothing here can fail
+        validation inside a worker.
+        """
+        with self._lock:
+            if self._closed:
+                raise ExperimentError("the job queue is shut down; no further submissions")
+            active_id = self._in_flight.get(fingerprint)
+            if active_id is not None:
+                return self._jobs[active_id], False
+            self._sequence += 1
+            job_id = f"{self._sequence:06d}-{fingerprint[:12]}"
+            job = Job(
+                job_id=job_id,
+                spec_id=spec_id,
+                fingerprint=fingerprint,
+                parameters=dict(parameters),
+                batch=bool(config.batch),
+                config=config,
+                overrides=dict(overrides or {}),
+            )
+            self._jobs[job_id] = job
+            self._order.append(job_id)
+            self._in_flight[fingerprint] = job_id
+            self._tasks.put(job_id)
+            return job, True
+
+    def get(self, job_id: str) -> Optional[Job]:
+        """The job for ``job_id``, or ``None`` if the id is unknown."""
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def manifest(self, job_id: str) -> Optional[Dict[str, Any]]:
+        """A consistent manifest snapshot of one job (``None`` if unknown)."""
+        with self._lock:
+            job = self._jobs.get(job_id)
+            return job.manifest() if job is not None else None
+
+    def cancel(self, job_id: str) -> bool:
+        """Cancel a *queued* job; returns whether the cancellation took.
+
+        Only ``queued`` jobs are cancellable — a ``running`` simulation is
+        not interrupted (it will complete and persist normally), and
+        terminal jobs are past cancelling; both return ``False`` so the
+        service can answer ``409``.  An unknown id raises.
+        """
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is None:
+                raise ExperimentError(f"unknown job id {job_id!r}")
+            if job.state != JobState.QUEUED:
+                return False
+            job.state = JobState.CANCELLED
+            job.finished_at = time.time()
+            self._release_fingerprint(job)
+            finished = job
+        self._notify(finished)
+        return True
+
+    def depth(self) -> int:
+        """How many jobs are currently waiting for a worker."""
+        with self._lock:
+            return sum(1 for job in self._jobs.values() if job.state == JobState.QUEUED)
+
+    def running(self) -> int:
+        """How many jobs are currently executing on a worker."""
+        with self._lock:
+            return sum(1 for job in self._jobs.values() if job.state == JobState.RUNNING)
+
+    def jobs(self) -> List[Dict[str, Any]]:
+        """Manifests of every tracked job, in submission order."""
+        with self._lock:
+            return [self._jobs[job_id].manifest() for job_id in self._order]
+
+    def close(self, timeout: float = 10.0) -> None:
+        """Stop accepting submissions and drain the workers (idempotent).
+
+        Queued jobs that no worker has picked up yet are drained as
+        cancelled; a running job finishes its simulation first (bounded by
+        ``timeout`` per worker join — workers are daemons, so a stuck
+        simulation never blocks interpreter exit).
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        for _ in self._threads:
+            self._tasks.put(None)
+        for thread in self._threads:
+            thread.join(timeout=timeout)
+
+    # ------------------------------------------------------------ internals
+
+    def _release_fingerprint(self, job: Job) -> None:
+        """Drop the in-flight dedup entry held by ``job`` (lock held)."""
+        if self._in_flight.get(job.fingerprint) == job.job_id:
+            del self._in_flight[job.fingerprint]
+
+    def _notify(self, job: Job) -> None:
+        """Invoke the finish callback outside the lock (errors swallowed —
+        a metrics bug must not take a worker thread down)."""
+        if self._on_finish is None:
+            return
+        try:
+            self._on_finish(job)
+        except Exception:  # pragma: no cover - defensive
+            pass
+
+    def _worker_loop(self) -> None:
+        """One worker: pull job ids, execute, record outcome, repeat."""
+        while True:
+            job_id = self._tasks.get()
+            if job_id is None:
+                return
+            with self._lock:
+                job = self._jobs[job_id]
+                if job.state != JobState.QUEUED:
+                    continue  # cancelled while waiting
+                job.state = JobState.RUNNING
+                job.started_at = time.time()
+            try:
+                artifact = self._run(job.spec_id, config=job.config, **job.overrides)
+            except Exception as error:  # driver/validation/backend failures
+                with self._lock:
+                    job.state = JobState.FAILED
+                    job.error = f"{type(error).__name__}: {error}"
+                    job.finished_at = time.time()
+                    self._release_fingerprint(job)
+            else:
+                with self._lock:
+                    job.state = JobState.DONE
+                    job.artifact = artifact
+                    job.cache = artifact.execution.get("cache")
+                    job.finished_at = time.time()
+                    self._release_fingerprint(job)
+            self._notify(job)

@@ -44,7 +44,7 @@ from .fingerprint import (
     fingerprint_payload,
     run_fingerprint,
 )
-from .index import append_entry, read_entries
+from .index import append_entry, index_lock, read_entries
 from .layout import artifact_dir, iter_artifact_dirs, validate_fingerprint
 from .serialization import (
     decode_nonfinite,
@@ -77,5 +77,6 @@ __all__ = [
     "iter_artifact_dirs",
     "validate_fingerprint",
     "append_entry",
+    "index_lock",
     "read_entries",
 ]

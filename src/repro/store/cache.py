@@ -29,9 +29,10 @@ staging directories and corrupt artifacts, then rebuild the index).
 from __future__ import annotations
 
 import shutil
+import threading
 from dataclasses import replace
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Union
+from typing import Any, Dict, List, Optional, Tuple, Union
 
 from ..errors import ExperimentError
 from .artifact import RunArtifact, load_run, save_run
@@ -45,6 +46,14 @@ from .layout import (
 )
 
 __all__ = ["RunStore"]
+
+#: Process-wide per-``(store root, fingerprint)`` compute locks.  Keyed by
+#: the *resolved* root so two ``RunStore`` objects wrapping the same
+#: directory share locks; guarded by one registry mutex.  Entries are tiny
+#: ``threading.Lock`` objects and are kept for the process lifetime — the
+#: population is bounded by the number of distinct fingerprints computed.
+_COMPUTE_LOCKS: Dict[Tuple[str, str], threading.Lock] = {}
+_COMPUTE_LOCKS_GUARD = threading.Lock()
 
 
 class RunStore:
@@ -118,6 +127,24 @@ class RunStore:
         )
         return destination
 
+    def compute_lock(self, fingerprint: str) -> threading.Lock:
+        """The process-wide compute lock for one fingerprint of this store.
+
+        :func:`repro.api.run_experiment` wraps its miss path in this lock
+        and re-checks the store after acquiring it (the classic
+        double-checked pattern), so two simultaneous identical submissions
+        — e.g. the same request arriving twice at the experiment service —
+        run the simulation exactly once: the second submitter blocks on the
+        first's lock, then finds the freshly persisted artifact and serves
+        it as a hit.  Distinct fingerprints never contend.
+        """
+        key = (str(self.root.resolve()), validate_fingerprint(fingerprint))
+        with _COMPUTE_LOCKS_GUARD:
+            lock = _COMPUTE_LOCKS.get(key)
+            if lock is None:
+                lock = _COMPUTE_LOCKS[key] = threading.Lock()
+        return lock
+
     def get_or_run(self, spec_or_id: Any, *, config: Any = None, **overrides: Any) -> RunArtifact:
         """Run an experiment through this store: cache hit, or compute + persist.
 
@@ -166,7 +193,14 @@ class RunStore:
         return listing
 
     def resolve_prefix(self, prefix: str) -> str:
-        """Resolve a unique fingerprint prefix against the stored artifacts."""
+        """Resolve a unique fingerprint prefix against the stored artifacts.
+
+        An ambiguous prefix raises an :class:`~repro.errors.ExperimentError`
+        that *lists* the matching fingerprints (truncated, at most eight) —
+        the service surfaces this message in its ``409`` responses, so a
+        caller can immediately re-request with a longer prefix instead of
+        guessing.
+        """
         if not prefix:
             raise ExperimentError("empty fingerprint prefix")
         matches = [
@@ -177,8 +211,12 @@ class RunStore:
         if not matches:
             raise ExperimentError(f"no stored run matches fingerprint prefix {prefix!r}")
         if len(matches) > 1:
+            shown = [candidate[: max(len(prefix) + 6, 12)] for candidate in sorted(matches)[:8]]
+            if len(matches) > len(shown):
+                shown.append("...")
             raise ExperimentError(
-                f"fingerprint prefix {prefix!r} is ambiguous ({len(matches)} matches)"
+                f"fingerprint prefix {prefix!r} is ambiguous ({len(matches)} matches: "
+                f"{', '.join(shown)}); extend the prefix to pick one"
             )
         return matches[0]
 

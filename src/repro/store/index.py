@@ -15,22 +15,78 @@ concurrent appends:
 * re-recording a fingerprint is idempotent: readers keep the **last** entry
   per fingerprint, so refreshed runs simply append a newer line.
 
+Single-line ``O_APPEND`` writes make *whole entries* safe, but an OS is
+free to interleave appends from many writers at arbitrary granularity on
+some filesystems (NFS being the notorious one), and the service layer
+(:mod:`repro.service`) adds many concurrent in-process writers.  Appends
+are therefore additionally serialised through a per-store **lock file**
+(``index.jsonl.lock``): :func:`index_lock` takes an exclusive advisory
+lock via ``fcntl`` on POSIX or ``msvcrt`` on Windows (and degrades to a
+no-op where neither exists — the single-write discipline still holds).
+The lock file is a separate, empty sibling so locking never touches the
+index's own contents.
+
 :func:`rebuild` regenerates the file from the layout scan (atomically, via
 temp-file + ``os.replace``) — ``RunStore.gc`` calls it after sweeping.
 """
 
 from __future__ import annotations
 
+import contextlib
 import json
 import os
 import tempfile
 from pathlib import Path
-from typing import Any, Dict, Iterable, Union
+from typing import Any, Dict, Iterable, Iterator, Union
 
 from ..errors import ExperimentError
 from .layout import INDEX_FILE
 
-__all__ = ["index_path", "append_entry", "read_entries", "rebuild"]
+try:  # POSIX advisory locks
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platform
+    fcntl = None
+try:  # Windows region locks
+    import msvcrt
+except ImportError:
+    msvcrt = None
+
+__all__ = ["index_path", "index_lock", "append_entry", "read_entries", "rebuild"]
+
+#: Name of the per-store lock file serialising index appends.
+LOCK_FILE = INDEX_FILE + ".lock"
+
+
+@contextlib.contextmanager
+def index_lock(root: Union[str, Path]) -> Iterator[None]:
+    """Hold the store's exclusive index-append lock for the ``with`` body.
+
+    Locks ``index.jsonl.lock`` (created on first use) with ``fcntl.flock``
+    on POSIX or ``msvcrt.locking`` on Windows; both are advisory, block
+    until the holder releases, and are released by the OS even if the
+    holding process dies.  On platforms with neither primitive the context
+    is a no-op — entries are still whole because each is one single-write
+    appended line.
+    """
+    path = Path(root) / LOCK_FILE
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "a+b") as handle:
+        if fcntl is not None:
+            fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+            try:
+                yield
+            finally:
+                fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+        elif msvcrt is not None:  # pragma: no cover - Windows only
+            handle.seek(0)
+            msvcrt.locking(handle.fileno(), msvcrt.LK_LOCK, 1)
+            try:
+                yield
+            finally:
+                handle.seek(0)
+                msvcrt.locking(handle.fileno(), msvcrt.LK_UNLCK, 1)
+        else:  # pragma: no cover - exotic platform
+            yield
 
 
 def index_path(root: Union[str, Path]) -> Path:
@@ -44,14 +100,20 @@ def append_entry(root: Union[str, Path], entry: Dict[str, Any]) -> None:
     ``entry`` must be strict-JSON-serialisable and carry at least a
     ``fingerprint`` key; anything else (spec id, version, wall time) is
     caller-defined metadata surfaced by listings.
+
+    The write happens under the store's :func:`index_lock`, so concurrent
+    writers — service worker threads, parallel CLI invocations — append
+    strictly one after another instead of relying on the filesystem's
+    append-interleaving behaviour.
     """
     if "fingerprint" not in entry:
         raise ExperimentError("a store index entry must carry a 'fingerprint' key")
     line = json.dumps(entry, sort_keys=True, separators=(",", ":"), allow_nan=False) + "\n"
     path = index_path(root)
     path.parent.mkdir(parents=True, exist_ok=True)
-    with open(path, "a", encoding="utf-8") as stream:
-        stream.write(line)
+    with index_lock(root):
+        with open(path, "a", encoding="utf-8") as stream:
+            stream.write(line)
 
 
 def read_entries(root: Union[str, Path]) -> Dict[str, Dict[str, Any]]:

@@ -1,0 +1,152 @@
+"""Concurrent-writer safety of the run store, pinned for the service layer.
+
+The experiment service turns the store into a multi-writer system: worker
+threads persist completed runs while request threads answer lookups.  This
+module pins the three guarantees the service relies on:
+
+* ``index.jsonl`` appends from many threads stay whole — every line parses,
+  every put is indexed (the per-store ``index_lock`` file);
+* two simultaneous identical ``run_experiment`` calls against one store
+  compute **once** — the double-checked per-fingerprint compute lock turns
+  the loser of the race into a cache hit;
+* ``resolve_prefix`` ambiguity errors list the matching fingerprints, so a
+  service ``409`` is actionable.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.api import ExecutionConfig, run_experiment
+from repro.errors import ExperimentError
+from repro.experiments.report import ExperimentReport
+from repro.store import RunArtifact, RunStore
+from repro.store.index import index_path, read_entries
+
+E1_TOY = dict(sizes=(60, 90), epsilon=0.3, trials=1)
+
+
+def _toy_artifact(index: int) -> RunArtifact:
+    """A minimal, valid artifact whose fingerprint varies with ``index``."""
+    report = ExperimentReport(
+        experiment_id="E1",
+        title="toy",
+        claim="toy",
+        rows=[{"n": index, "rounds": 3 * index}],
+    )
+    return RunArtifact(spec_id="E1", parameters={"n": index}, report=report, version="0.0-test")
+
+
+class TestConcurrentIndexAppends:
+    """Multi-thread puts: one whole, parseable index line per artifact."""
+
+    def test_multithreaded_puts_keep_every_index_line_whole(self, tmp_path):
+        store = RunStore(tmp_path / "store")
+        threads_count, per_thread = 8, 6
+        errors = []
+        barrier = threading.Barrier(threads_count)
+
+        def hammer(thread_index: int) -> None:
+            try:
+                barrier.wait()
+                for position in range(per_thread):
+                    store.put(_toy_artifact(thread_index * per_thread + position))
+            except Exception as error:  # pragma: no cover - failure reporting
+                errors.append(error)
+
+        threads = [threading.Thread(target=hammer, args=(index,)) for index in range(threads_count)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+
+        total = threads_count * per_thread
+        raw_lines = [
+            line for line in index_path(store.root).read_text().splitlines() if line.strip()
+        ]
+        # Every line must parse — a torn/interleaved append would fail here.
+        parsed = [json.loads(line) for line in raw_lines]
+        assert len(parsed) == total
+        assert len(read_entries(store.root)) == total
+        assert len(store.entries()) == total
+        assert all(entry["indexed"] for entry in store.entries())
+
+
+class TestDuplicateSubmissionsComputeOnce:
+    """The double-checked miss path: identical concurrent runs → one compute."""
+
+    def test_simultaneous_identical_runs_compute_once(self, tmp_path):
+        config = ExecutionConfig(batch=True, store_path=tmp_path / "store")
+        outcomes = []
+        errors = []
+        barrier = threading.Barrier(2)
+
+        def submit() -> None:
+            try:
+                barrier.wait()
+                artifact = run_experiment("E1", config=config, **E1_TOY)
+                outcomes.append(artifact.execution["cache"])
+            except Exception as error:  # pragma: no cover - failure reporting
+                errors.append(error)
+
+        threads = [threading.Thread(target=submit) for _ in range(2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        # Exactly one thread paid for the simulation; the other was served
+        # the winner's freshly persisted artifact from inside the lock.
+        assert sorted(outcomes) == ["hit", "miss"]
+
+        store = RunStore(tmp_path / "store")
+        assert len(store.entries()) == 1
+
+    def test_compute_lock_is_shared_per_resolved_root(self, tmp_path):
+        fingerprint = "ab" * 32
+        one = RunStore(tmp_path / "store")
+        two = RunStore(tmp_path / "store")
+        assert one.compute_lock(fingerprint) is two.compute_lock(fingerprint)
+        assert one.compute_lock(fingerprint) is not one.compute_lock("cd" * 32)
+
+
+class TestResolvePrefixAmbiguityListing:
+    """The 409-backing error names the matches, truncated."""
+
+    @staticmethod
+    def _put_forged(store: RunStore, prefix: str, count: int) -> list:
+        """Store ``count`` artifacts whose fingerprints share ``prefix``."""
+        fingerprints = []
+        for index in range(count):
+            artifact = _toy_artifact(index)
+            width = 64 - len(prefix)
+            artifact.fingerprint = prefix + format(index, f"0{width}x")
+            store.put(artifact)
+            fingerprints.append(artifact.fingerprint)
+        return fingerprints
+
+    def test_ambiguous_prefix_lists_matches(self, tmp_path):
+        store = RunStore(tmp_path / "store")
+        fingerprints = self._put_forged(store, "ab" * 5, 3)
+        with pytest.raises(ExperimentError) as excinfo:
+            store.resolve_prefix("ab" * 5)
+        message = str(excinfo.value)
+        assert "ambiguous" in message and "extend the prefix" in message
+        assert "3 matches" in message
+        for fingerprint in fingerprints:
+            assert fingerprint[:12] in message
+
+    def test_ambiguous_prefix_lists_at_most_eight(self, tmp_path):
+        store = RunStore(tmp_path / "store")
+        self._put_forged(store, "cd" * 5, 12)
+        with pytest.raises(ExperimentError) as excinfo:
+            store.resolve_prefix("cd" * 5)
+        message = str(excinfo.value)
+        assert "12 matches" in message and "..." in message
+        # Eight shown plus the truncation marker, never the full dozen.
+        listed = message.split("matches:")[1]
+        assert listed.count("cdcdcdcdcd") == 8

@@ -263,6 +263,19 @@ class TestStageBenchAndAggregatorSmoke:
         assert payload["workload"]["hits"] == payload["workload"]["requests"] - 1
         assert "warm_vs_cold" in payload["speedup_vs_serial"]
 
+    def test_service_load_bench_measures_at_toy_sizes(self):
+        module = _load_script(
+            BENCHMARKS_DIR / "bench_service_load.py", "_smoke_service_bench"
+        )
+        payload = module.measure(module.build_workloads(toy=True))
+        assert payload["seconds"]["cold_phase"] > 0
+        assert payload["seconds"]["warm_phase"] > 0
+        assert payload["requests_per_second"]["warm"] > 0
+        # Every warm request was a store hit, so the service's own metrics
+        # must report a dominant hit rate.
+        assert payload["workload"]["cache_hit_rate"] > 0.5
+        assert "warm_vs_cold_rps" in payload["speedup_vs_serial"]
+
     def test_e12_fault_sweep_bench_measures_at_toy_sizes(self):
         module = _load_script(
             BENCHMARKS_DIR / "bench_e12_fault_sweep.py", "_smoke_e12_bench"
