@@ -45,7 +45,7 @@ from dataclasses import dataclass
 from typing import Any, Dict, Optional, Union
 
 from ..errors import ExperimentError
-from ..store import RunArtifact, RunStore, run_fingerprint
+from ..store import RunArtifact, RunStore, StoreWriteError, run_fingerprint
 from .config import ExecutionConfig, ExecutionPlan, resolve_run_options
 from .spec import ExperimentSpec, get_spec
 
@@ -209,7 +209,7 @@ def run_experiment(
         # save_run's atomic promotion keeps concurrent writers safe.
         execution["cache"] = "bypass"
         artifact = _execute(resolved, execution, **param_overrides)
-        store.put(artifact)
+        _put_or_degrade(store, artifact)
         return artifact
 
     # Double-checked miss: serialise identical submissions on the store's
@@ -222,5 +222,30 @@ def run_experiment(
             return cached
         execution["cache"] = "miss"
         artifact = _execute(resolved, execution, **param_overrides)
-        store.put(artifact)
+        _put_or_degrade(store, artifact)
     return artifact
+
+
+def _put_or_degrade(store: RunStore, artifact: RunArtifact) -> None:
+    """Persist ``artifact``, degrading to compute-only on a failed write.
+
+    A :class:`~repro.store.StoreWriteError` — disk full, read-only
+    filesystem — must not destroy a simulation that already succeeded: the
+    computed artifact is returned to the caller with the failure recorded
+    as ``execution["store_error"]`` (and a :class:`RuntimeWarning`), so a
+    library caller still gets its result, the CLI still prints its report,
+    and the experiment service flips into degraded mode off the recorded
+    reason instead of failing the job.  Every other exception (corrupt
+    data, programming errors) propagates unchanged.
+    """
+    import warnings
+
+    try:
+        store.put(artifact)
+    except StoreWriteError as error:
+        artifact.execution["store_error"] = str(error)
+        warnings.warn(
+            f"run {artifact.fingerprint} computed but not persisted: {error}",
+            RuntimeWarning,
+            stacklevel=3,
+        )

@@ -203,6 +203,20 @@ def build_parser() -> argparse.ArgumentParser:
         "parameter points are served from it as cache hits without running any simulation",
     )
     serve.add_argument(
+        "--max-queued",
+        type=int,
+        default=None,
+        metavar="N",
+        help="bound on jobs waiting for a worker; submissions beyond it are shed with "
+        "429 + Retry-After instead of queueing unboundedly (default: unbounded)",
+    )
+    serve.add_argument(
+        "--no-journal",
+        action="store_true",
+        help="disable the crash-recovery job journal (journal.jsonl beside the store); "
+        "jobs in flight when the process dies are then lost instead of replayed on restart",
+    )
+    serve.add_argument(
         "--quiet",
         action="store_true",
         help="suppress per-request access logging",
@@ -470,6 +484,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             port=args.port,
             workers=args.workers,
             verbose=not args.quiet,
+            max_queued=args.max_queued,
+            journal=not args.no_journal,
         )
     if args.command == "store":
         return _run_store(args, parser)

@@ -58,6 +58,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from ...errors import ExperimentError
+from ...testing import chaos
 from .base import Task, task_label
 
 __all__ = ["DispatchSettings", "chunk_tasks", "dispatch_chunks", "drain_queue"]
@@ -224,6 +225,12 @@ def dispatch_chunks(
                         last_progress = clock()
                     elif kind == "done":
                         values = payload[3]
+                        if chaos.fire("dispatch.done", chunk_id=chunk_id, worker=worker_id) == "drop":
+                            # Chaos: the completion is lost in transport.
+                            # The chunk stays un-done and is requeued by the
+                            # normal timeout/eviction path — exactly the
+                            # failure a killed worker mid-ack produces.
+                            continue
                         # Accept the first completion only; a requeued
                         # chunk's late duplicate is identical anyway (pure
                         # tasks) but must not decrement the count twice.

@@ -10,14 +10,21 @@ genuinely new requests pay for simulation.
 * :mod:`repro.service.jobs` — the in-memory :class:`JobQueue`: a bounded
   worker-thread pool, job states ``queued → running → done/failed/
   cancelled``, deterministic job ids, fingerprint-keyed duplicate
-  coalescing, per-job manifests;
+  coalescing, ``max_queued`` backpressure (:class:`QueueSaturated`),
+  per-job manifests, and journal-replay crash recovery
+  (:meth:`JobQueue.recover`);
+* :mod:`repro.service.journal` — :class:`JobJournal`, the append-only
+  ``journal.jsonl`` durability log replayed on startup so a crash loses
+  no submitted work;
 * :mod:`repro.service.app` — the REST resources
   (``POST/GET/DELETE /v1/runs``, ``GET /v1/experiments``,
   ``GET /v1/store/<prefix>``, ``/healthz``, ``/metrics``) on
   ``http.server.ThreadingHTTPServer``, behind the socket-free
-  :class:`ExperimentService`;
+  :class:`ExperimentService` — including 429 load shedding, degraded
+  compute-only mode and SIGTERM draining;
 * :mod:`repro.service.client` — :class:`ServiceClient`, the typed
-  submit/wait/result client the tests, benchmarks and CI gate drive.
+  submit/wait/result client (with :class:`RetryPolicy` backoff) the
+  tests, benchmarks and CI gate drive.
 
 Serve from the CLI (``repro-flip serve --store runs/store --port 8000``)
 or embed::
@@ -33,17 +40,22 @@ or embed::
 from __future__ import annotations
 
 from .app import ExperimentService, ServiceMetrics, create_server, serve
-from .client import ServiceClient, ServiceError
-from .jobs import Job, JobQueue, JobState
+from .client import RetryPolicy, ServiceClient, ServiceError
+from .jobs import Job, JobQueue, JobState, QueueSaturated, RecoveryReport
+from .journal import JobJournal
 
 __all__ = [
     "Job",
     "JobQueue",
     "JobState",
+    "QueueSaturated",
+    "RecoveryReport",
+    "JobJournal",
     "ExperimentService",
     "ServiceMetrics",
     "create_server",
     "serve",
+    "RetryPolicy",
     "ServiceClient",
     "ServiceError",
 ]

@@ -28,15 +28,30 @@ GET       ``/v1/experiments``         the experiment registry, parameters and
 GET       ``/v1/store/<fp-prefix>``   fetch a stored artifact by fingerprint
                                       prefix (``409`` lists the matches when
                                       ambiguous)
-GET       ``/healthz``                liveness + queue depth
+GET       ``/healthz``                liveness + queue depth + degraded /
+                                      recovery status
 GET       ``/metrics``                request counts, queue depth, cache hit
                                       rate, per-spec latency histograms
 ========  ==========================  =========================================
 
 Error mapping is uniform: unknown experiment/job/fingerprint → ``404``,
 invalid body/parameters/execution options → ``400``, ambiguous prefix or
-un-cancellable job → ``409``, all with ``{"error": <message>}`` bodies
-carrying the underlying :class:`~repro.errors.ExperimentError` text.
+un-cancellable job → ``409``, a saturated queue → ``429`` with a
+``Retry-After`` header, all with ``{"error": <message>}`` bodies carrying
+the underlying :class:`~repro.errors.ExperimentError` text.
+
+**Crash safety and graceful degradation.**  The service journals every
+job transition through the :class:`~repro.service.journal.JobJournal` and
+replays it at startup (:meth:`~repro.service.jobs.JobQueue.recover`), so
+jobs in flight when a previous process died are re-enqueued — or, when
+their artifact already made it into the store, served as cache hits —
+under their original ids.  A store or journal write failure flips the
+service to **degraded compute-only** mode: runs still execute and return
+results, persistence is skipped, and ``/healthz`` answers ``"degraded"``
+with the reason (HTTP 200 — the process is alive and serving; degraded is
+a state to alert on, not an outage).  SIGTERM triggers a graceful drain:
+running jobs finish and persist, still-queued jobs stay journaled for the
+next process.
 
 :class:`ExperimentService` holds all behaviour; the request handler only
 parses paths and moves JSON, so the service logic is unit-testable without
@@ -48,7 +63,9 @@ behind ``repro-flip serve``.
 from __future__ import annotations
 
 import json
+import math
 import re
+import signal
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
@@ -61,13 +78,21 @@ from ..api.run import resolve_run_inputs
 from ..api.spec import experiment_ids, iter_specs
 from ..errors import ExperimentError
 from ..store import RunArtifact, RunStore, encode_nonfinite
-from .jobs import JobQueue, JobState
+from ..testing import chaos
+from .jobs import JobQueue, JobState, QueueSaturated
+from .journal import JobJournal, revive_literals
 
 __all__ = ["ServiceMetrics", "ExperimentService", "create_server", "serve"]
 
 #: Upper edges of the latency histogram buckets (seconds); the last bucket
 #: is unbounded.  Spans sub-millisecond cache hits to multi-minute sweeps.
 LATENCY_BUCKETS = (0.001, 0.01, 0.1, 1.0, 10.0, 60.0)
+
+#: Cap on distinct per-spec latency histograms; overflow aggregates under
+#: ``"_other"`` so ``/metrics`` memory stays bounded no matter how many
+#: spec ids flow past (the registry holds ~a dozen, but the cap makes the
+#: bound structural rather than incidental).
+MAX_LATENCY_SPECS = 32
 
 
 class ServiceMetrics:
@@ -85,7 +110,9 @@ class ServiceMetrics:
         self._lock = threading.Lock()
         self._requests: Dict[str, int] = {}
         self._responses: Dict[str, int] = {}
-        self._cache: Dict[str, int] = {"hit": 0, "miss": 0, "deduplicated": 0, "failed": 0}
+        self._cache: Dict[str, int] = {
+            "hit": 0, "miss": 0, "deduplicated": 0, "failed": 0, "shed": 0,
+        }
         self._latency: Dict[str, Dict[str, Any]] = {}
 
     def observe_request(self, route: str, status: int) -> None:
@@ -101,8 +128,15 @@ class ServiceMetrics:
             self._cache[outcome] = self._cache.get(outcome, 0) + 1
 
     def observe_latency(self, spec_id: str, seconds: float) -> None:
-        """Add one completed request's latency to its spec's histogram."""
+        """Add one completed request's latency to its spec's histogram.
+
+        At most :data:`MAX_LATENCY_SPECS` distinct spec histograms are
+        kept; later spec ids fold into an ``"_other"`` aggregate so the
+        metrics footprint is fixed-size regardless of traffic shape.
+        """
         with self._lock:
+            if spec_id not in self._latency and len(self._latency) >= MAX_LATENCY_SPECS:
+                spec_id = "_other"
             histogram = self._latency.setdefault(
                 spec_id,
                 {"buckets": list(LATENCY_BUCKETS), "counts": [0] * (len(LATENCY_BUCKETS) + 1),
@@ -175,18 +209,51 @@ class ExperimentService:
         *,
         workers: int = 2,
         run: Optional[Callable[..., RunArtifact]] = None,
+        max_queued: Optional[int] = None,
+        journal: bool = True,
     ):
-        """Wire the store, queue (``workers`` threads) and metrics together."""
+        """Wire store, journal, queue and metrics together, then recover.
+
+        With ``journal=True`` (the default) a
+        :class:`~repro.service.journal.JobJournal` is attached at the store
+        root and its pending entries are replayed **before** the service
+        accepts traffic — jobs a crashed predecessor left queued or
+        running re-enter the queue (or resolve as store hits) under their
+        original ids.  ``max_queued`` bounds the waiting queue; beyond it
+        submissions are shed with ``429``.
+        """
         self.store = RunStore(store_root)
         self.metrics = ServiceMetrics()
+        self._degraded_lock = threading.Lock()
+        self.degraded_reason: Optional[str] = None
+        self.journal = JobJournal(self.store.root, on_error=self._degrade) if journal else None
         self.queue = JobQueue(
-            store_root, workers=workers, run=run, on_finish=self._record_finished_job
+            store_root,
+            workers=workers,
+            run=run,
+            on_finish=self._record_finished_job,
+            journal=self.journal,
+            max_queued=max_queued,
         )
+        self.recovery = self.queue.recover(self.store)
+        if self.journal is not None and self.recovery.total:
+            # Compact the replayed history; a terminal line lost to the
+            # (benign) rewrite race merely replays as a store hit next time.
+            self.journal.checkpoint()
         self.started_at = time.time()
 
-    def close(self) -> None:
-        """Shut the job queue down (blocks until workers drain)."""
-        self.queue.close()
+    def close(self, *, drain: bool = False) -> None:
+        """Shut the job queue down (blocks until workers drain).
+
+        ``drain=True`` is the SIGTERM contract: running jobs finish and
+        persist, still-queued jobs are left journaled for the successor
+        process instead of being started against a shutdown deadline.  The
+        journal is checkpointed either way so the next startup replays a
+        compact file.
+        """
+        self.queue.close(finish_queued=not drain)
+        if self.journal is not None:
+            self.journal.checkpoint()
 
     # ----------------------------------------------------------- resources
 
@@ -215,7 +282,7 @@ class ExperimentService:
             return 400, {"error": "'params' must be a JSON object of parameter overrides"}
         if not isinstance(execution, dict):
             return 400, {"error": "'execution' must be a JSON object of execution options"}
-        overrides = {key: _revive_literals(value) for key, value in params.items()}
+        overrides = {key: revive_literals(value) for key, value in params.items()}
         try:
             config = ExecutionConfig.for_service(self.store.root, execution)
             resolved = resolve_run_inputs(spec_id, config=config, **overrides)
@@ -238,13 +305,24 @@ class ExperimentService:
                 "result": artifact_payload(artifact),
             }
 
-        job, created = self.queue.submit(
-            spec_id,
-            resolved.fingerprint,
-            resolved.parameters,
-            config=config,
-            overrides=overrides,
-        )
+        try:
+            job, created = self.queue.submit(
+                spec_id,
+                resolved.fingerprint,
+                resolved.parameters,
+                config=config,
+                overrides=overrides,
+                raw_params=params,
+                raw_execution=execution,
+            )
+        except QueueSaturated as error:
+            self.metrics.observe_cache("shed")
+            return 429, {
+                "error": str(error),
+                "retry_after": error.retry_after,
+                "queue_depth": error.depth,
+                "max_queued": error.max_queued,
+            }
         if not created:
             self.metrics.observe_cache("deduplicated")
         body = job.manifest()
@@ -323,45 +401,65 @@ class ExperimentService:
         return 200, {"fingerprint": fingerprint, "result": artifact_payload(artifact)}
 
     def health(self) -> Tuple[int, Dict[str, Any]]:
-        """``GET /healthz``: liveness, queue gauges, store root."""
-        return 200, {
-            "status": "ok",
+        """``GET /healthz``: liveness, queue gauges, degraded + recovery state.
+
+        Degraded mode answers ``200`` with ``"status": "degraded"`` and the
+        reason — the process is alive and computing; only durability is
+        impaired.  A 5xx here would make monitors restart a service that is
+        still doing useful work.
+        """
+        degraded = self.degraded_reason
+        body = {
+            "status": "ok" if degraded is None else "degraded",
             "uptime_seconds": round(time.time() - self.started_at, 3),
             "queue_depth": self.queue.depth(),
             "running": self.queue.running(),
             "workers": self.queue.workers,
             "store": str(self.store.root),
+            "journal": self.journal is not None and self.journal.disabled_reason is None,
+            "recovery": self.recovery.summary(),
         }
+        if degraded is not None:
+            body["degraded_reason"] = degraded
+        return 200, body
 
     def metrics_payload(self) -> Tuple[int, Dict[str, Any]]:
-        """``GET /metrics``: the counters snapshot."""
-        return 200, self.metrics.snapshot(self.queue.depth(), self.queue.running())
+        """``GET /metrics``: the counters snapshot plus service status."""
+        body = self.metrics.snapshot(self.queue.depth(), self.queue.running())
+        degraded = self.degraded_reason
+        body["service"] = {
+            "status": "ok" if degraded is None else "degraded",
+            "degraded_reason": degraded,
+            "recovery": self.recovery.summary(),
+        }
+        return 200, body
 
     # ------------------------------------------------------------ internals
 
+    def _degrade(self, reason: str) -> None:
+        """Flip to degraded compute-only mode (first reason wins, sticky)."""
+        with self._degraded_lock:
+            if self.degraded_reason is None:
+                self.degraded_reason = reason
+
     def _record_finished_job(self, job: Any) -> None:
-        """Queue finish callback: fold job outcomes into the metrics."""
+        """Queue finish callback: fold job outcomes into the metrics.
+
+        Also where store-write failures surface: a job that computed but
+        could not persist carries ``execution["store_error"]`` (see
+        :func:`repro.api.run._put_or_degrade`), which flips the service
+        degraded.
+        """
         if job.state == JobState.DONE:
             self.metrics.observe_cache(job.cache if job.cache in ("hit", "miss") else "miss")
             if job.finished_at is not None:
                 self.metrics.observe_latency(job.spec_id, job.finished_at - job.submitted_at)
+            if job.artifact is not None:
+                store_error = job.artifact.execution.get("store_error")
+                if store_error:
+                    self._degrade(str(store_error))
         elif job.state == JobState.FAILED:
             self.metrics.observe_cache("failed")
-
-
-def _revive_literals(value: Any) -> Any:
-    """JSON arrays back to the tuples the experiment parameters expect.
-
-    JSON has no tuple type, but the drivers' sweep parameters (``sizes``,
-    ``epsilons``, ...) are declared as tuples; the fingerprint canonicaliser
-    treats the two identically, and reviving keeps driver-side
-    ``isinstance`` expectations intact.
-    """
-    if isinstance(value, list):
-        return tuple(_revive_literals(item) for item in value)
-    if isinstance(value, dict):
-        return {key: _revive_literals(item) for key, item in value.items()}
-    return value
 
 
 #: Routes: (method, compiled path pattern) -> service method name + groups.
@@ -445,11 +543,21 @@ class _RequestHandler(BaseHTTPRequestHandler):
             return None, f"request body is not valid JSON: {error}"
 
     def _write_json(self, status: int, body: Dict[str, Any]) -> None:
-        """Serialise ``body`` (non-finite floats tagged) and send it."""
+        """Serialise ``body`` (non-finite floats tagged) and send it.
+
+        A shed (``429``) or unavailable (``503``) reply whose body carries
+        ``retry_after`` also gets the standard ``Retry-After`` header
+        (integer seconds, rounded up), so generic HTTP clients back off
+        without parsing the JSON.
+        """
         encoded = json.dumps(encode_nonfinite(body), allow_nan=False).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(encoded)))
+        if status in (429, 503) and isinstance(body, dict):
+            retry_after = body.get("retry_after")
+            if isinstance(retry_after, (int, float)) and retry_after > 0:
+                self.send_header("Retry-After", str(int(math.ceil(retry_after))))
         self.end_headers()
         self.wfile.write(encoded)
 
@@ -462,6 +570,8 @@ def create_server(
     workers: int = 2,
     run: Optional[Callable[..., RunArtifact]] = None,
     verbose: bool = False,
+    max_queued: Optional[int] = None,
+    journal: bool = True,
 ) -> ThreadingHTTPServer:
     """Bind an experiment-service HTTP server (not yet serving).
 
@@ -470,10 +580,14 @@ def create_server(
     :class:`ExperimentService` as ``server.service``; call
     ``serve_forever()`` to serve (typically from a thread in tests) and
     ``server.service.close()`` after ``shutdown()`` to drain the workers.
+    Journal recovery runs inside the :class:`ExperimentService`
+    constructor, i.e. before the first request can land.
     """
     server = ThreadingHTTPServer((host, port), _RequestHandler)
     server.daemon_threads = True
-    server.service = ExperimentService(store_root, workers=workers, run=run)  # type: ignore[attr-defined]
+    server.service = ExperimentService(  # type: ignore[attr-defined]
+        store_root, workers=workers, run=run, max_queued=max_queued, journal=journal
+    )
     server.verbose = verbose  # type: ignore[attr-defined]
     return server
 
@@ -485,17 +599,44 @@ def serve(
     port: int = 8000,
     workers: int = 2,
     verbose: bool = True,
+    max_queued: Optional[int] = None,
+    journal: bool = True,
 ) -> int:
     """Blocking entry point behind ``repro-flip serve``.
 
     Prints the bound endpoint (flushed, so a supervising process — e.g.
     the CI smoke gate — can scrape the ephemeral port), serves until
-    interrupted, then drains the job queue.
+    interrupted, then drains the job queue.  SIGTERM (when installable,
+    i.e. serving from the main thread) triggers the graceful drain:
+    accepting stops, running jobs finish and persist, queued jobs stay
+    journaled for the next process.  ``REPRO_CHAOS`` fault points are
+    armed here so the chaos harness can torment a real subprocess.
     """
-    server = create_server(store_root, host=host, port=port, workers=workers, verbose=verbose)
+    chaos.install_from_env()
+    server = create_server(
+        store_root, host=host, port=port, workers=workers, verbose=verbose,
+        max_queued=max_queued, journal=journal,
+    )
+    service: ExperimentService = server.service  # type: ignore[attr-defined]
     bound_host, bound_port = server.server_address[:2]
+    recovered = service.recovery.summary()
+    suffix = f", recovered: {recovered}" if service.recovery.total else ""
     print(f"repro experiment service listening on http://{bound_host}:{bound_port} "
-          f"(store: {Path(store_root)}, workers: {max(1, int(workers))})", flush=True)
+          f"(store: {Path(store_root)}, workers: {max(1, int(workers))}{suffix})", flush=True)
+
+    draining = threading.Event()
+
+    def _drain(signum: int, frame: Any) -> None:  # pragma: no cover - signal path
+        draining.set()
+        # shutdown() blocks until serve_forever()'s loop exits, which
+        # cannot happen while this handler occupies the main thread — so
+        # trigger it from a helper thread and return immediately.
+        threading.Thread(target=server.shutdown, name="repro-service-drain", daemon=True).start()
+
+    try:
+        previous = signal.signal(signal.SIGTERM, _drain)
+    except ValueError:  # pragma: no cover - not on the main thread
+        previous = None
     try:
         server.serve_forever()
     except KeyboardInterrupt:  # pragma: no cover - interactive shutdown
@@ -503,5 +644,10 @@ def serve(
     finally:
         server.shutdown()
         server.server_close()
-        server.service.close()  # type: ignore[attr-defined]
+        service.close(drain=draining.is_set())
+        if previous is not None:  # pragma: no branch - restore for embedders
+            signal.signal(signal.SIGTERM, previous)
+    if draining.is_set():  # pragma: no cover - signal path
+        print("repro experiment service drained: running jobs persisted, "
+              "queued jobs left journaled for recovery", flush=True)
     return 0

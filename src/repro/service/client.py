@@ -16,6 +16,16 @@ the server are decoded back to real ``NaN``/``±inf`` floats, so report
 payloads round-trip exactly).  Non-2xx responses raise
 :class:`ServiceError`, an :class:`~repro.errors.ExperimentError` carrying
 ``status`` and the error ``payload`` — tests assert on both.
+
+The client is **retrying** by default: connection failures (service
+restarting — the crash-recovery story's client half) and retryable
+statuses (``429`` shed load, ``503``) back off exponentially with
+deterministic jitter under a :class:`RetryPolicy`, honouring the server's
+``Retry-After`` hint and an end-to-end deadline.  Retrying ``POST
+/v1/runs`` is safe because submissions are fingerprint-deduplicated
+server-side (a repeat joins the in-flight job) and completed runs are
+memoized — the service's idempotence is what makes the client's
+persistence correct.  Client errors (400/404/409) never retry.
 """
 
 from __future__ import annotations
@@ -23,24 +33,66 @@ from __future__ import annotations
 import http.client
 import json
 import time
+from dataclasses import dataclass
 from typing import Any, Dict, List, Optional
 
 from ..errors import ExperimentError
 from ..store import decode_nonfinite
 from .jobs import JobState
 
-__all__ = ["ServiceError", "ServiceClient"]
+__all__ = ["RetryPolicy", "ServiceError", "ServiceClient"]
+
+#: HTTP statuses worth retrying: shed load and transient unavailability.
+RETRYABLE_STATUSES = (429, 503)
 
 
 class ServiceError(ExperimentError):
-    """A non-2xx service response, carrying the status and decoded body."""
+    """A non-2xx service response, carrying the status and decoded body.
 
-    def __init__(self, status: int, payload: Any):
+    ``retry_after`` is the server's backoff hint in seconds (from the
+    ``Retry-After`` header or the JSON body), ``None`` when absent.
+    """
+
+    def __init__(self, status: int, payload: Any, retry_after: Optional[float] = None):
         """Build from the HTTP status and the decoded JSON error body."""
         message = payload.get("error") if isinstance(payload, dict) else None
         super().__init__(f"service responded {status}: {message or payload!r}")
         self.status = status
         self.payload = payload
+        self.retry_after = retry_after
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Capped exponential backoff with deterministic jitter.
+
+    ``attempts`` is the *total* number of tries (``attempts=1`` disables
+    retrying); ``deadline`` is the end-to-end budget in seconds across all
+    tries and backoffs — whichever of the two runs out first stops the
+    loop and re-raises the last failure.  Jitter is deterministic (a fixed
+    mix of the attempt number), matching the repo-wide reproducibility
+    contract: two identical client runs back off identically.
+    """
+
+    attempts: int = 4
+    base_delay: float = 0.1
+    max_delay: float = 5.0
+    multiplier: float = 2.0
+    deadline: Optional[float] = None
+
+    def delay(self, attempt: int, retry_after: Optional[float] = None) -> float:
+        """Seconds to sleep before retry ``attempt`` (1-based).
+
+        Exponential in ``attempt``, capped at ``max_delay``, scaled by a
+        deterministic jitter factor in ``[0.5, 1.0]`` — and never below
+        the server's ``retry_after`` hint when one was given.
+        """
+        raw = min(self.max_delay, self.base_delay * self.multiplier ** (attempt - 1))
+        jitter = 0.5 + 0.5 * ((attempt * 2654435761) % 1000) / 999.0
+        delay = raw * jitter
+        if retry_after is not None:
+            delay = max(delay, retry_after)
+        return delay
 
 
 class ServiceClient:
@@ -51,15 +103,59 @@ class ServiceClient:
     threads (the load benchmark does exactly that).
     """
 
-    def __init__(self, host: str = "127.0.0.1", port: int = 8000, timeout: float = 30.0):
-        """Point the client at ``host:port`` (per-request socket ``timeout``)."""
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8000,
+        timeout: float = 30.0,
+        retry: Optional[RetryPolicy] = None,
+    ):
+        """Point the client at ``host:port`` (per-request socket ``timeout``).
+
+        ``retry`` defaults to the standard :class:`RetryPolicy`; pass
+        ``RetryPolicy(attempts=1)`` for fail-fast single attempts (tests
+        asserting on 429 bodies do).
+        """
         self.host = host
         self.port = int(port)
         self.timeout = timeout
+        self.retry = retry if retry is not None else RetryPolicy()
 
     # ------------------------------------------------------------ plumbing
 
     def request(self, method: str, path: str, payload: Optional[Any] = None) -> Dict[str, Any]:
+        """One logical request: HTTP round-trips under the retry policy.
+
+        Connection-level failures (refused, reset — the service is down or
+        restarting) and :data:`RETRYABLE_STATUSES` back off and retry;
+        everything else raises immediately.  The decoded JSON body on
+        success, :class:`ServiceError` on a final 4xx/5xx.
+        """
+        policy = self.retry
+        started = time.monotonic()
+        attempt = 0
+        while True:
+            attempt += 1
+            retry_after: Optional[float] = None
+            try:
+                return self._request_once(method, path, payload)
+            except ServiceError as error:
+                if error.status not in RETRYABLE_STATUSES:
+                    raise
+                failure: Exception = error
+                retry_after = error.retry_after
+            except (ConnectionError, http.client.HTTPException, TimeoutError) as error:
+                failure = error
+            if attempt >= policy.attempts:
+                raise failure
+            delay = policy.delay(attempt, retry_after)
+            if policy.deadline is not None:
+                elapsed = time.monotonic() - started
+                if elapsed + delay >= policy.deadline:
+                    raise failure
+            time.sleep(delay)
+
+    def _request_once(self, method: str, path: str, payload: Optional[Any] = None) -> Dict[str, Any]:
         """One HTTP round-trip; decoded JSON body, :class:`ServiceError` on 4xx/5xx."""
         body: Optional[bytes] = None
         headers = {"Accept": "application/json"}
@@ -72,6 +168,7 @@ class ServiceClient:
             response = connection.getresponse()
             raw = response.read()
             status = response.status
+            retry_header = response.getheader("Retry-After")
         finally:
             connection.close()
         try:
@@ -82,7 +179,17 @@ class ServiceClient:
                 f"(status {status}): {error}"
             ) from error
         if status >= 400:
-            raise ServiceError(status, decoded)
+            retry_after: Optional[float] = None
+            if retry_header is not None:
+                try:
+                    retry_after = float(retry_header)
+                except ValueError:
+                    retry_after = None
+            elif isinstance(decoded, dict) and isinstance(
+                decoded.get("retry_after"), (int, float)
+            ):
+                retry_after = float(decoded["retry_after"])
+            raise ServiceError(status, decoded, retry_after)
         return decoded
 
     # ------------------------------------------------------------ resources
@@ -105,24 +212,37 @@ class ServiceClient:
         """``GET /v1/runs/<id>``: the job's manifest (+ result when done)."""
         return self.request("GET", f"/v1/runs/{job_id}")
 
-    def wait(self, job_id: str, timeout: float = 120.0, poll_interval: float = 0.05) -> Dict[str, Any]:
+    def wait(
+        self,
+        job_id: str,
+        timeout: float = 120.0,
+        poll_interval: float = 0.05,
+        max_poll_interval: float = 1.0,
+    ) -> Dict[str, Any]:
         """Poll a job until it reaches a terminal state; return that body.
 
-        Raises :class:`~repro.errors.ExperimentError` if ``timeout``
+        The poll interval starts at ``poll_interval`` and grows 1.5× per
+        poll up to ``max_poll_interval`` — sub-second jobs are noticed
+        almost immediately while a multi-minute sweep costs ~1 request/s
+        instead of the 20/s a fixed 50 ms poll would hammer the service
+        with.  Raises :class:`~repro.errors.ExperimentError` if ``timeout``
         elapses first (the job keeps running server-side).  Does *not*
         raise on ``failed``/``cancelled`` — the caller inspects
         ``body["status"]``; :meth:`result` is the raising convenience.
         """
         deadline = time.monotonic() + timeout
+        interval = poll_interval
         while True:
             body = self.status(job_id)
             if body["status"] in JobState.TERMINAL:
                 return body
-            if time.monotonic() >= deadline:
+            now = time.monotonic()
+            if now >= deadline:
                 raise ExperimentError(
                     f"job {job_id} still {body['status']} after {timeout}s"
                 )
-            time.sleep(poll_interval)
+            time.sleep(min(interval, deadline - now))
+            interval = min(interval * 1.5, max_poll_interval)
 
     def result(self, submission: Dict[str, Any], timeout: float = 120.0) -> Dict[str, Any]:
         """Resolve a :meth:`submit` body to its final ``done`` body.

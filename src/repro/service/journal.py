@@ -1,0 +1,278 @@
+"""The durable job journal: crash-safe bookkeeping for the service's queue.
+
+The :class:`~repro.service.jobs.JobQueue` is in-memory by design — the
+*results* of completed jobs are durable in the content-addressed
+:class:`~repro.store.RunStore` — but before this module a crash of the
+serving process lost every queued and running job: clients held job ids
+that would answer 404 forever, and the work simply vanished.  The
+:class:`JobJournal` closes that gap with an append-only ``journal.jsonl``
+kept at the store root beside ``index.jsonl``, reusing the store index's
+write discipline wholesale (:func:`repro.store.index.append_jsonl` /
+:func:`~repro.store.index.read_jsonl`): one compact JSON object per line,
+single-``write`` appends serialised through an advisory file lock, and a
+torn tail from a crashed writer skipped on read rather than raised.
+
+One line is appended per life-cycle transition::
+
+    {"event": "submit", "job_id": "000003-9f2c41a0b7d1", "spec_id": "E1",
+     "fingerprint": "...", "params": {...}, "execution": {...}, "time": ...}
+    {"event": "start",  "job_id": "000003-9f2c41a0b7d1", ...}
+    {"event": "finish", "job_id": "000003-9f2c41a0b7d1", "cache": "miss", ...}
+
+``submit`` carries the *raw request payload* (the client's parameter
+overrides and whitelisted execution options, both plain JSON) — exactly
+what is needed to resubmit the job through the normal front door after a
+restart.  :meth:`JobJournal.replay` folds the lines into per-job state
+(last event wins) and reports the jobs that were still ``submit``-ed or
+``start``-ed when the process died; :meth:`repro.service.jobs.JobQueue.recover`
+re-enqueues those under their **original job ids**, so a client polling
+across the crash sees its job finish instead of a 404.
+
+Replay is **idempotent by construction**: a replayed job re-runs through
+:func:`repro.api.run_experiment`, which is fingerprint-memoized — if the
+crashed process had already persisted the artifact (the crash landed
+between the store put and the ``finish`` line), the replay resolves as a
+store hit and no simulation is repeated.
+
+Journal writes are deliberately non-fatal: on an environmental failure
+(disk full, read-only store) the journal disarms itself, reports the
+reason through its ``on_error`` callback (the service flips to *degraded*
+mode), and the queue keeps serving — durability degrades before
+availability does.  :meth:`JobJournal.checkpoint` compacts the file,
+dropping terminal jobs whose results the store already owns.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Union
+
+from ..store.index import append_jsonl, file_lock, read_jsonl
+from ..testing import chaos
+
+__all__ = ["JOURNAL_FILE", "JournalRecord", "JournalReplay", "JobJournal", "revive_literals"]
+
+#: File name of the job journal, at the store root beside ``index.jsonl``.
+JOURNAL_FILE = "journal.jsonl"
+
+#: Events that carry the full resubmission payload.
+_SUBMIT_EVENTS = ("submit",)
+
+#: Events after which a job needs recovery if nothing terminal follows.
+_PENDING_EVENTS = ("submit", "start")
+
+#: Events a job can never leave (mirrors ``JobState.TERMINAL``).
+_TERMINAL_EVENTS = ("finish", "fail", "cancel")
+
+
+def revive_literals(value: Any) -> Any:
+    """JSON arrays back to the tuples the experiment parameters expect.
+
+    JSON has no tuple type, but the drivers' sweep parameters (``sizes``,
+    ``epsilons``, ...) are declared as tuples; the fingerprint
+    canonicaliser treats the two identically, and reviving keeps
+    driver-side ``isinstance`` expectations intact.  Shared by the service
+    handlers (reviving request bodies) and the journal replay (reviving
+    journaled submissions).
+    """
+    if isinstance(value, list):
+        return tuple(revive_literals(item) for item in value)
+    if isinstance(value, dict):
+        return {key: revive_literals(item) for key, item in value.items()}
+    return value
+
+
+@dataclass
+class JournalRecord:
+    """The folded journal state of one job (its last event wins).
+
+    ``params``/``execution`` are the raw JSON payloads of the job's most
+    recent ``submit`` event — everything :meth:`JobJournal.replay`'s caller
+    needs to resubmit the job through the normal validation path.
+    """
+
+    job_id: str
+    spec_id: str = ""
+    fingerprint: str = ""
+    params: Dict[str, Any] = field(default_factory=dict)
+    execution: Dict[str, Any] = field(default_factory=dict)
+    last_event: str = ""
+    error: Optional[str] = None
+
+    @property
+    def sequence(self) -> int:
+        """The submission sequence parsed from the job id (0 if unparseable)."""
+        head = self.job_id.split("-", 1)[0]
+        return int(head) if head.isdigit() else 0
+
+
+@dataclass
+class JournalReplay:
+    """What :meth:`JobJournal.replay` found in the journal.
+
+    ``pending`` lists the jobs whose last event was non-terminal — the work
+    a crash interrupted — in submission order; ``max_sequence`` lets the
+    queue continue its job-id numbering past everything ever journaled
+    (ids must never be reused: a client may still hold the old ones).
+    """
+
+    pending: List[JournalRecord] = field(default_factory=list)
+    terminal: int = 0
+    max_sequence: int = 0
+    entries: int = 0
+
+
+class JobJournal:
+    """Append-only durability for job life-cycle transitions.
+
+    Parameters
+    ----------
+    store_root:
+        The service's store root; the journal lives there as
+        ``journal.jsonl`` so one ``--store`` flag names *all* durable
+        state (artifacts, index, journal) and a restart against the same
+        store finds everything it needs.
+    on_error:
+        Optional callback invoked with a reason string the first time an
+        append fails environmentally; the journal disarms itself after
+        calling it (durability is lost, serving continues) and the service
+        surfaces the reason via ``/healthz``.
+    """
+
+    def __init__(
+        self,
+        store_root: Union[str, Path],
+        *,
+        on_error: Optional[Callable[[str], None]] = None,
+    ):
+        """Point the journal at ``<store_root>/journal.jsonl`` (created lazily)."""
+        self.path = Path(store_root) / JOURNAL_FILE
+        self._on_error = on_error
+        self.disabled_reason: Optional[str] = None
+
+    def record(self, event: str, job_id: str, **fields: Any) -> bool:
+        """Append one life-cycle transition; returns whether it was durable.
+
+        ``fields`` is JSON-safe extra payload (``submit`` events carry
+        ``spec_id``/``fingerprint``/``params``/``execution``; ``fail``
+        carries ``error``; ``finish`` carries ``cache``).  An environmental
+        write failure (or an armed ``journal.append`` chaos fault) disables
+        the journal — the first failure reports through ``on_error``, and
+        every later call returns ``False`` immediately.  The queue never
+        blocks on journaling problems.
+        """
+        if self.disabled_reason is not None:
+            return False
+        entry = {"event": event, "job_id": job_id, "time": time.time(), **fields}
+        try:
+            chaos.fire("journal.append", event=event, job_id=job_id)
+            append_jsonl(self.path, entry)
+        except OSError as error:
+            self.disabled_reason = f"journal append failed: {type(error).__name__}: {error}"
+            if self._on_error is not None:
+                self._on_error(self.disabled_reason)
+            return False
+        return True
+
+    def replay(self) -> JournalReplay:
+        """Fold the journal into per-job state and report recoverable work.
+
+        Last event per job id wins.  Jobs whose last event is ``submit`` or
+        ``start`` were interrupted by a crash and appear in ``pending`` (in
+        submission order); jobs that reached ``finish``/``fail``/``cancel``
+        are counted but need nothing.  Torn or foreign lines are skipped by
+        the underlying :func:`~repro.store.index.read_jsonl`, so a journal
+        damaged by the very crash being recovered from still replays.
+        """
+        records: Dict[str, JournalRecord] = {}
+        order: List[str] = []
+        replay = JournalReplay()
+        for entry in read_jsonl(self.path):
+            job_id = entry.get("job_id")
+            event = entry.get("event")
+            if not isinstance(job_id, str) or not isinstance(event, str):
+                continue
+            replay.entries += 1
+            record = records.get(job_id)
+            if record is None:
+                record = records[job_id] = JournalRecord(job_id=job_id)
+                order.append(job_id)
+            record.last_event = event
+            if event in _SUBMIT_EVENTS:
+                record.spec_id = str(entry.get("spec_id", record.spec_id))
+                record.fingerprint = str(entry.get("fingerprint", record.fingerprint))
+                params = entry.get("params")
+                execution = entry.get("execution")
+                record.params = dict(params) if isinstance(params, dict) else {}
+                record.execution = dict(execution) if isinstance(execution, dict) else {}
+            elif event == "fail":
+                record.error = entry.get("error")
+        for job_id in order:
+            record = records[job_id]
+            replay.max_sequence = max(replay.max_sequence, record.sequence)
+            if record.last_event in _TERMINAL_EVENTS:
+                replay.terminal += 1
+            elif record.last_event in _PENDING_EVENTS:
+                replay.pending.append(record)
+        replay.pending.sort(key=lambda record: record.sequence)
+        return replay
+
+    def checkpoint(self) -> int:
+        """Compact the journal to just the still-pending submissions.
+
+        Rewrites the file atomically (temp sibling + ``os.replace``, under
+        the same advisory lock appends take) keeping one fresh ``submit``
+        line per pending job and dropping everything terminal — those
+        results are durable in the store, so carrying their history only
+        grows the file.  Called on graceful shutdown (SIGTERM drain) and
+        after recovery.  Returns the number of pending jobs kept.
+        """
+        import json
+        import os
+        import tempfile
+
+        if self.disabled_reason is not None:
+            return 0
+        replay = self.replay()
+        lines = []
+        for record in replay.pending:
+            lines.append(
+                json.dumps(
+                    {
+                        "event": "submit",
+                        "job_id": record.job_id,
+                        "spec_id": record.spec_id,
+                        "fingerprint": record.fingerprint,
+                        "params": record.params,
+                        "execution": record.execution,
+                        "time": time.time(),
+                    },
+                    sort_keys=True,
+                    separators=(",", ":"),
+                    allow_nan=False,
+                )
+            )
+        try:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            with file_lock(self.path.with_name(self.path.name + ".lock")):
+                handle, temp_name = tempfile.mkstemp(
+                    prefix=f".{JOURNAL_FILE}.", suffix=".tmp", dir=str(self.path.parent)
+                )
+                try:
+                    with os.fdopen(handle, "w", encoding="utf-8") as stream:
+                        stream.write("".join(line + "\n" for line in lines))
+                    os.replace(temp_name, self.path)
+                except BaseException:
+                    try:
+                        os.unlink(temp_name)
+                    except OSError:  # pragma: no cover - already promoted
+                        pass
+                    raise
+        except OSError as error:
+            self.disabled_reason = f"journal checkpoint failed: {type(error).__name__}: {error}"
+            if self._on_error is not None:
+                self._on_error(self.disabled_reason)
+            return 0
+        return len(replay.pending)

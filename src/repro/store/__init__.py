@@ -36,7 +36,7 @@ Typical use::
 from __future__ import annotations
 
 from .artifact import RunArtifact, load_run, save_run
-from .cache import RunStore
+from .cache import RunStore, StoreWriteError
 from .fingerprint import (
     EXCLUDED_PLAN_FIELDS,
     FINGERPRINT_FIELDS,
@@ -73,6 +73,7 @@ __all__ = [
     "FINGERPRINT_FIELDS",
     "EXCLUDED_PLAN_FIELDS",
     "RunStore",
+    "StoreWriteError",
     "artifact_dir",
     "iter_artifact_dirs",
     "validate_fingerprint",

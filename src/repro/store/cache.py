@@ -35,9 +35,11 @@ from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple, Union
 
 from ..errors import ExperimentError
+from ..testing import chaos
 from .artifact import RunArtifact, load_run, save_run
 from .index import append_entry, read_entries, rebuild
 from .layout import (
+    STALE_GRACE_SECONDS,
     artifact_dir,
     iter_artifact_dirs,
     iter_stale_dirs,
@@ -45,7 +47,33 @@ from .layout import (
     validate_fingerprint,
 )
 
-__all__ = ["RunStore"]
+__all__ = ["StoreWriteError", "RunStore"]
+
+
+class StoreWriteError(ExperimentError):
+    """Persisting an artifact failed for *environmental* reasons.
+
+    The store's failure taxonomy distinguishes two kinds of trouble: a
+    **corrupt artifact** (fingerprint mismatch, unreadable payload — a data
+    problem, raised as a plain :class:`~repro.errors.ExperimentError` by
+    :meth:`RunStore.get`/:meth:`RunStore.verify`) and a **failed write**
+    (disk full, read-only filesystem, permissions — an environment problem,
+    raised as this subclass by :meth:`RunStore.put`).  The distinction is
+    what lets :func:`repro.api.run_experiment` degrade gracefully: a
+    computed result is still perfectly good when only its persistence
+    failed, so write failures are recorded on the artifact instead of
+    destroying the run, and the experiment service flips into a degraded
+    compute-only mode rather than answering 500.
+    """
+
+    def __init__(self, root: Path, cause: BaseException):
+        """Label the failed store and keep the driving ``cause``."""
+        super().__init__(
+            f"failed to persist run artifact into store {root}: "
+            f"{type(cause).__name__}: {cause}"
+        )
+        self.root = root
+        self.cause = cause
 
 #: Process-wide per-``(store root, fingerprint)`` compute locks.  Keyed by
 #: the *resolved* root so two ``RunStore`` objects wrapping the same
@@ -111,20 +139,31 @@ class RunStore:
         Computes the fingerprint if the artifact does not carry one yet.
         The write is atomic (see :func:`repro.store.artifact.save_run`), and
         re-putting the same fingerprint simply replaces the stored version.
+
+        Environmental write failures — disk full, read-only filesystem,
+        permissions — are raised as :class:`StoreWriteError` so callers can
+        tell "the disk is unhappy" (degrade, retry later) from "the data is
+        bad" (a plain :class:`~repro.errors.ExperimentError`).  The
+        ``store.put`` chaos point (:mod:`repro.testing.chaos`) fires first,
+        so recovery tests can stage exactly these failures.
         """
         if artifact.fingerprint is None:
             artifact.fingerprint = artifact.compute_fingerprint()
-        destination = save_run(artifact, self.artifact_dir(artifact.fingerprint))
-        append_entry(
-            self.root,
-            {
-                "fingerprint": artifact.fingerprint,
-                "spec_id": artifact.spec_id,
-                "version": artifact.version,
-                "path": relative_artifact_path(artifact.fingerprint),
-                "wall_time_seconds": artifact.wall_time_seconds,
-            },
-        )
+        try:
+            chaos.fire("store.put", fingerprint=artifact.fingerprint, store=str(self.root))
+            destination = save_run(artifact, self.artifact_dir(artifact.fingerprint))
+            append_entry(
+                self.root,
+                {
+                    "fingerprint": artifact.fingerprint,
+                    "spec_id": artifact.spec_id,
+                    "version": artifact.version,
+                    "path": relative_artifact_path(artifact.fingerprint),
+                    "wall_time_seconds": artifact.wall_time_seconds,
+                },
+            )
+        except OSError as error:
+            raise StoreWriteError(self.root, error) from error
         return destination
 
     def compute_lock(self, fingerprint: str) -> threading.Lock:
@@ -225,7 +264,13 @@ class RunStore:
 
         Returns one ``{"fingerprint", "ok", "error"}`` record per artifact
         checked; never raises for a corrupt artifact (the point is the
-        report).
+        report).  *Any* failure loading an artifact quarantines it as
+        ``ok=False`` — not only the labelled
+        :class:`~repro.errors.ExperimentError` cases but also arbitrary
+        decode crashes from hand-mangled payloads (a report body of the
+        wrong shape raises ``KeyError``/``TypeError`` deep in the
+        deserialisers); a corrupt artifact must never be able to crash the
+        sweep that exists to find it.
         """
         if fingerprint is not None:
             targets = [(validate_fingerprint(fingerprint), self.artifact_dir(fingerprint))]
@@ -241,20 +286,32 @@ class RunStore:
                         f"filed under {candidate}"
                     )
                 report.append({"fingerprint": candidate, "ok": True, "error": None})
-            except ExperimentError as error:
-                report.append({"fingerprint": candidate, "ok": False, "error": str(error)})
+            except Exception as error:  # quarantine, never crash the sweep
+                report.append(
+                    {
+                        "fingerprint": candidate,
+                        "ok": False,
+                        "error": f"{type(error).__name__}: {error}",
+                    }
+                )
         return report
 
-    def gc(self) -> Dict[str, Any]:
+    def gc(self, *, stale_grace_seconds: float = STALE_GRACE_SECONDS) -> Dict[str, Any]:
         """Sweep the store: stale staging dirs, corrupt artifacts, the index.
 
         Removes leftover ``.``-prefixed staging/graveyard directories from
         interrupted saves, removes artifacts that fail :meth:`verify`, then
         rebuilds ``index.jsonl`` from the surviving artifacts.  Returns a
         summary of what was removed and kept.
+
+        ``stale_grace_seconds`` protects saves racing the sweep: a staging
+        directory younger than the grace (default one hour) is an in-flight
+        :func:`~repro.store.artifact.save_run`, and sweeping it would make
+        that writer's atomic promotion fail — pass ``0`` only when no
+        writer can be live.
         """
         removed_stale = []
-        for stale in iter_stale_dirs(self.root):
+        for stale in iter_stale_dirs(self.root, grace_seconds=stale_grace_seconds):
             shutil.rmtree(stale, ignore_errors=True)
             removed_stale.append(str(stale.relative_to(self.root)))
 

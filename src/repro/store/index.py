@@ -51,24 +51,36 @@ try:  # Windows region locks
 except ImportError:
     msvcrt = None
 
-__all__ = ["index_path", "index_lock", "append_entry", "read_entries", "rebuild"]
+__all__ = [
+    "index_path",
+    "index_lock",
+    "file_lock",
+    "append_jsonl",
+    "read_jsonl",
+    "append_entry",
+    "read_entries",
+    "rebuild",
+]
 
 #: Name of the per-store lock file serialising index appends.
 LOCK_FILE = INDEX_FILE + ".lock"
 
 
 @contextlib.contextmanager
-def index_lock(root: Union[str, Path]) -> Iterator[None]:
-    """Hold the store's exclusive index-append lock for the ``with`` body.
+def file_lock(path: Union[str, Path]) -> Iterator[None]:
+    """Hold an exclusive advisory lock on ``path`` for the ``with`` body.
 
-    Locks ``index.jsonl.lock`` (created on first use) with ``fcntl.flock``
-    on POSIX or ``msvcrt.locking`` on Windows; both are advisory, block
-    until the holder releases, and are released by the OS even if the
-    holding process dies.  On platforms with neither primitive the context
-    is a no-op — entries are still whole because each is one single-write
-    appended line.
+    The generic primitive behind :func:`index_lock`, reused by any other
+    append-only file that needs serialised writers (the service's durable
+    job journal locks ``journal.jsonl.lock`` the same way).  Locks the file
+    (created on first use) with ``fcntl.flock`` on POSIX or
+    ``msvcrt.locking`` on Windows; both are advisory, block until the
+    holder releases, and are released by the OS even if the holding process
+    dies.  On platforms with neither primitive the context is a no-op —
+    callers keep entries whole by writing each as one single-write appended
+    line.
     """
-    path = Path(root) / LOCK_FILE
+    path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     with open(path, "a+b") as handle:
         if fcntl is not None:
@@ -89,9 +101,61 @@ def index_lock(root: Union[str, Path]) -> Iterator[None]:
             yield
 
 
+@contextlib.contextmanager
+def index_lock(root: Union[str, Path]) -> Iterator[None]:
+    """Hold the store's exclusive index-append lock for the ``with`` body.
+
+    A :func:`file_lock` on the store's ``index.jsonl.lock`` — a separate,
+    empty sibling of the index, so locking never touches the index's own
+    contents.
+    """
+    with file_lock(Path(root) / LOCK_FILE):
+        yield
+
+
 def index_path(root: Union[str, Path]) -> Path:
     """The index file path under a store root."""
     return Path(root) / INDEX_FILE
+
+
+def append_jsonl(path: Union[str, Path], entry: Dict[str, Any]) -> None:
+    """Append ``entry`` to the JSONL file at ``path`` as one locked line.
+
+    The generic append behind :func:`append_entry`, shared with the
+    service's job journal: the entry is serialised compactly, written with
+    a single ``write`` on a file opened in append mode, and serialised
+    against other writers through :func:`file_lock` on ``<path>.lock``.
+    """
+    path = Path(path)
+    line = json.dumps(entry, sort_keys=True, separators=(",", ":"), allow_nan=False) + "\n"
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with file_lock(path.with_name(path.name + ".lock")):
+        with open(path, "a", encoding="utf-8") as stream:
+            stream.write(line)
+
+
+def read_jsonl(path: Union[str, Path]) -> Iterator[Dict[str, Any]]:
+    """Yield the parseable JSON-object lines of ``path``, skipping damage.
+
+    The torn-tail-tolerant read behind :func:`read_entries`, shared with
+    the service's job journal: unparseable lines (a torn final line from a
+    crashed writer, a truncated copy) and non-object lines are skipped
+    rather than raised, so a damaged file degrades to fewer entries, never
+    to an error.  A missing file yields nothing.
+    """
+    path = Path(path)
+    if not path.exists():
+        return
+    for line in path.read_text(encoding="utf-8").splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            entry = json.loads(line)
+        except json.JSONDecodeError:
+            continue  # torn/partial line: tolerated by design
+        if isinstance(entry, dict):
+            yield entry
 
 
 def append_entry(root: Union[str, Path], entry: Dict[str, Any]) -> None:
@@ -124,19 +188,9 @@ def read_entries(root: Union[str, Path]) -> Dict[str, Dict[str, Any]]:
     layout scan (``RunStore.entries`` / ``gc``) backfills anything the index
     is missing.
     """
-    path = index_path(root)
     entries: Dict[str, Dict[str, Any]] = {}
-    if not path.exists():
-        return entries
-    for line in path.read_text(encoding="utf-8").splitlines():
-        line = line.strip()
-        if not line:
-            continue
-        try:
-            entry = json.loads(line)
-        except json.JSONDecodeError:
-            continue  # torn/partial line: tolerated by design
-        if isinstance(entry, dict) and isinstance(entry.get("fingerprint"), str):
+    for entry in read_jsonl(index_path(root)):
+        if isinstance(entry.get("fingerprint"), str):
             entries[entry["fingerprint"]] = entry
     return entries
 

@@ -28,6 +28,7 @@ from ..errors import ExperimentError
 
 __all__ = [
     "INDEX_FILE",
+    "STALE_GRACE_SECONDS",
     "validate_fingerprint",
     "artifact_dir",
     "relative_artifact_path",
@@ -94,20 +95,42 @@ def iter_artifact_dirs(root: Union[str, Path]) -> Iterator[Tuple[str, Path]]:
                 yield candidate.name, candidate
 
 
-def iter_stale_dirs(root: Union[str, Path]) -> Iterator[Path]:
+#: Default minimum age (seconds) before a staging directory counts as stale.
+STALE_GRACE_SECONDS = 3600.0
+
+
+def iter_stale_dirs(
+    root: Union[str, Path], *, grace_seconds: float = STALE_GRACE_SECONDS
+) -> Iterator[Path]:
     """Yield leftover staging/graveyard directories from interrupted saves.
 
     :func:`repro.store.artifact.save_run` stages into ``.``-prefixed sibling
     directories and promotes atomically; a crash can only ever leave such a
     transient directory behind, never a torn artifact.  ``RunStore.gc``
     removes what this yields.
+
+    A staging directory is only *stale* once it is older than
+    ``grace_seconds`` (modification time of the directory itself): a
+    ``gc`` racing an **in-flight** ``save_run`` must never sweep the
+    staging directory out from under the writer — that would turn a healthy
+    put into a failed one.  The default hour dwarfs any real save;
+    ``grace_seconds=0`` restores the sweep-everything behaviour for tests
+    and for operators who know no writer is live.
     """
+    import time
+
     base = Path(root)
     if not base.is_dir():
         return
+    cutoff = time.time() - max(0.0, grace_seconds)
     for shard in sorted(base.iterdir()):
         if not shard.is_dir() or not _SHARD.match(shard.name):
             continue
         for candidate in sorted(shard.iterdir()):
             if candidate.is_dir() and candidate.name.startswith("."):
+                try:
+                    if candidate.stat().st_mtime > cutoff:
+                        continue  # young enough to be an in-flight save
+                except OSError:
+                    continue  # promoted/removed mid-scan: no longer stale
                 yield candidate

@@ -18,6 +18,7 @@ import pytest
 
 from repro.errors import ExperimentError
 from repro.exec.backends import DispatchSettings, Task, chunk_tasks, dispatch_chunks, run_task
+from repro.testing import chaos
 
 
 def _add(a, b):
@@ -317,6 +318,26 @@ class TestRetryAndEviction:
         # worker executed the other chunk plus the requeued copy.
         assert sum(flaky.attempts_seen.values()) == 1
         assert sorted(steady.completed) == [0, 1]
+
+    def test_chaos_dropped_done_is_requeued_and_converges(self):
+        """A completion lost in transport (chaos ``dispatch.done:drop``) is
+        recovered by the chunk-timeout requeue and the recomputed result is
+        identical — the remote-worker half of the crash-safety story."""
+        tasks = _make_tasks(2)
+        settings = _settings(chunk_size=2, chunk_timeout=0.05, max_attempts=3, poll=0.002)
+        task_queue, result_queue = queue.Queue(), queue.Queue()
+        worker = _FakeWorker(
+            "steady", task_queue, result_queue, lambda chunk_id, attempt: "complete"
+        )
+        result_queue.put(("hello", "steady"))
+        worker.start()
+        with chaos.inject("dispatch.done", action="drop", times=1):
+            results = dispatch_chunks(tasks, task_queue, result_queue, settings)
+        assert results == _expected(tasks)
+        task_queue.put(("stop",))
+        worker.join(timeout=2)
+        # The one chunk was executed twice: original (dropped) + requeue.
+        assert worker.attempts_seen == {0: 2}
 
     def test_heartbeats_keep_a_slow_worker_alive(self):
         """A busy worker that heartbeats is not evicted even past the timeout."""

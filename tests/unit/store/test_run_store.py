@@ -11,6 +11,8 @@ behind ``repro-flip store`` (``entries``/``resolve_prefix``/``verify``/``gc``).
 from __future__ import annotations
 
 import json
+import os
+import time
 
 import pytest
 
@@ -204,9 +206,12 @@ class TestIndexAndMaintenance:
         second = run_experiment(
             "E1", config=ExecutionConfig(store_path=store.root), sizes=(250, 400), epsilon=0.35, trials=1
         )
-        # A stale staging dir (interrupted save) and a tampered artifact.
+        # A stale staging dir (interrupted save, backdated past the grace)
+        # and a tampered artifact.
         stale = store.artifact_dir(cold.fingerprint).parent / f".{cold.fingerprint}.xyz.tmp"
         stale.mkdir()
+        long_ago = time.time() - 7200
+        os.utime(stale, (long_ago, long_ago))
         manifest_path = store.artifact_dir(second.fingerprint) / "manifest.json"
         manifest_path.write_text(manifest_path.read_text().replace("0.35", "0.36"))
         summary = store.gc()
@@ -215,6 +220,41 @@ class TestIndexAndMaintenance:
         assert not stale.exists()
         assert store.get(cold.fingerprint) is not None
         assert store.get(second.fingerprint) is None  # clean miss now
+
+    def test_gc_grace_protects_an_in_flight_save(self, tmp_path):
+        # The race from the robustness issue: ``gc`` running while another
+        # thread/process is mid-``save_run`` must not sweep the writer's
+        # fresh staging directory (the atomic promotion would then fail and
+        # a healthy put would be destroyed).  A *young* dot-directory is
+        # exactly what an in-flight save looks like from the outside.
+        store = RunStore(tmp_path / "store")
+        cold = _cold_run(store.root)
+        in_flight = store.artifact_dir(cold.fingerprint).parent / f".{cold.fingerprint}.abc.tmp"
+        in_flight.mkdir()
+        summary = store.gc()  # default grace: the young dir must survive
+        assert summary["removed_stale"] == []
+        assert in_flight.exists()
+        # An explicit zero grace restores the sweep-everything behaviour.
+        summary = store.gc(stale_grace_seconds=0)
+        assert summary["removed_stale"] == [f"{cold.fingerprint[:2]}/{in_flight.name}"]
+        assert not in_flight.exists()
+
+    def test_verify_quarantines_arbitrary_decode_crashes(self, tmp_path):
+        # A corrupt payload whose load raises something *other* than the
+        # labelled ExperimentError (here: a report body of the wrong shape)
+        # must come back as ok=False, never crash the verify sweep.
+        store = RunStore(tmp_path / "store")
+        cold = _cold_run(store.root)
+        report_path = store.artifact_dir(cold.fingerprint) / "report.json"
+        report_path.write_text('{"unexpected": "shape"}')
+        outcomes = store.verify()
+        assert [o["ok"] for o in outcomes] == [False]
+        assert outcomes[0]["fingerprint"] == cold.fingerprint
+        assert outcomes[0]["error"]
+        # gc removes it and the store serves a clean miss afterwards.
+        summary = store.gc()
+        assert summary["removed_corrupt"] == [cold.fingerprint]
+        assert store.get(cold.fingerprint) is None
 
     def test_verify_reports_per_artifact(self, tmp_path):
         store = RunStore(tmp_path / "store")
